@@ -1,0 +1,54 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper's Sec. 8; the
+per-file docstrings state the paper's setting and our scaled default.  Set
+``REPRO_BENCH_SCALE`` (e.g. ``2.0``) to grow every dataset proportionally.
+
+Each bench prints its paper-style rows and also writes them to
+``benchmarks/results/<name>.txt`` so the regenerated evaluation survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import bench_scale, format_table
+
+#: Directory where benches drop their rendered tables.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale a baseline size by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(base * bench_scale()))
+
+
+def emit(name: str, title: str, headers: list[str],
+         rows: list[list]) -> str:
+    """Render, print and persist one paper-style table."""
+    rendered = f"{title}\n\n{format_table(headers, rows)}\n"
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "w") as handle:
+        handle.write(rendered)
+    return rendered
+
+
+def emit_note(name: str, note: str) -> None:
+    """Append a free-form note under a bench's persisted table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "a") as handle:
+        handle.write("\n" + note.rstrip() + "\n")
+    print(note)
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean environment toggle for optional heavy benches."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")

@@ -1,0 +1,102 @@
+"""Ablation — BETWEEN trapdoors vs two comparison trapdoors (Appendix A).
+
+The appendix argues a BETWEEN predicate reveals (and costs) essentially
+the same as its two constituent comparisons, except for the narrow-band
+corner case.  This bench compares the two query forms on the same
+workload: result sets are identical, QPF costs are within a small factor,
+and the POP chains end up with comparable resolution.
+
+One genuine corner the comparison surfaces: on a *virgin* single-partition
+chain a BETWEEN result can never be split (the out-of-band tuples could
+lie on either side), so a BETWEEN-only workload cannot bootstrap PRKB at
+all.  Both arms are therefore seeded with a handful of comparison
+queries, and the bootstrap caveat is recorded in the emitted note.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Testbed, format_count
+from repro.core import BetweenProcessor, SingleDimensionProcessor
+from repro.workloads import range_query_bounds, uniform_table
+
+from _common import emit, emit_note, scaled
+
+DOMAIN = (1, 30_000_000)
+NUM_QUERIES = 80
+
+
+def _run(form: str, n: int):
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=230)
+    bed = Testbed(table, ["X"], seed=230)
+    bed.warm_up("X", 12, seed=229)  # bootstrap (see module docstring)
+    queries = range_query_bounds("X", DOMAIN, 0.02, count=NUM_QUERIES,
+                                 seed=231)
+    costs = []
+    results = []
+    for q in queries:
+        before = bed.counter.qpf_uses
+        if form == "between":
+            processor = BetweenProcessor(bed.prkb["X"])
+            trapdoor = bed.owner.between_trapdoor("X", q.low + 1,
+                                                  q.high - 1)
+            winners = processor.select(trapdoor)
+        else:
+            processor = SingleDimensionProcessor(bed.prkb["X"])
+            dim = bed.dimension_range("X", q.as_tuple())
+            winners = processor.select_range(dim.low, dim.high)
+        costs.append(bed.counter.qpf_uses - before)
+        results.append(np.sort(winners))
+    return costs, results, bed.prkb["X"].num_partitions
+
+
+def test_ablation_between(benchmark):
+    n = scaled(8_000)
+    between_costs, between_results, between_k = _run("between", n)
+    pair_costs, pair_results, pair_k = _run("comparisons", n)
+    for a, b in zip(between_results, pair_results):
+        assert np.array_equal(a, b)  # identical answers
+    quarter = NUM_QUERIES // 4
+    rows = []
+    for label, window in (("first quarter", slice(0, quarter)),
+                          ("last quarter", slice(-quarter, None)),
+                          ("total", slice(None))):
+        rows.append([
+            label,
+            format_count(sum(between_costs[window])),
+            format_count(sum(pair_costs[window])),
+        ])
+    rows.append(["final k", str(between_k), str(pair_k)])
+    emit(
+        "ablation_between",
+        f"Ablation: BETWEEN vs two comparisons over {NUM_QUERIES} "
+        f"2%-selectivity range queries (n={n})",
+        ["Window (#QPF)", "BETWEEN trapdoor", "two comparisons"],
+        rows,
+    )
+    emit_note(
+        "ablation_between",
+        "Findings: (i) a BETWEEN-only workload on a virgin chain never "
+        "splits it (the out-of-band half's side is unknowable with k=1), "
+        "so both arms were seeded with 12 comparison queries; (ii) while "
+        "the chain is coarse, a narrow band rarely contains a partition "
+        "sample, triggering the appendix's full-scan worst case — BETWEEN "
+        "is much more expensive early; (iii) once the chain is fine "
+        "enough that bands straddle boundaries, BETWEEN refines it and "
+        "converges towards the two-comparison cost, as Appendix A argues.",
+    )
+    # BETWEEN's cost declines as the chain refines...
+    assert sum(between_costs[-quarter:]) < sum(between_costs[:quarter])
+    # ...and ends well under the full-scan worst case, within a single
+    # order of magnitude of the two-comparison form.
+    assert sum(between_costs[-quarter:]) / quarter < n / 3
+    late_ratio = (sum(between_costs[-quarter:])
+                  / sum(pair_costs[-quarter:]))
+    assert late_ratio < 8.0
+    # Both forms refine the chain substantially.
+    assert between_k > 25
+    assert pair_k > 25
+
+    benchmark.pedantic(lambda: _run("between", scaled(1_500)), rounds=3,
+                       iterations=1)

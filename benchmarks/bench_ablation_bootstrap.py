@@ -1,0 +1,97 @@
+"""Ablation — DO-driven priming strategies (Sec. 8.2.6's closing remark).
+
+The paper suggests the DO can fire ~50 arbitrary queries to pre-warm
+PRKB.  This bench compares (a) no priming, (b) the paper's random
+priming and (c) deterministic equal-width priming, then measures the
+query cost an immediately following real workload sees.  Equal-width
+priming balances partition sizes, trimming the worst-case NS-pair scan.
+Also measured: the adaptive ``rotate`` cap policy versus the paper's
+``freeze`` under a workload whose hot region drifts after the cap
+is reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Testbed, format_count
+from repro.core import PRKBIndex, prime_index
+from repro.workloads import range_query_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+PRIMING_QUERIES = 50
+
+
+def _workload_cost(bed, seed: int) -> float:
+    queries = range_query_bounds("X", DOMAIN, 0.01, count=10, seed=seed)
+    runs = [bed.run_sd("X", q.as_tuple(), update=False) for q in queries]
+    return sum(m.qpf_uses for m in runs) / len(runs)
+
+
+def test_ablation_bootstrap(benchmark):
+    n = scaled(10_000)
+    rows = []
+    costs = {}
+    for label, strategy in (("no priming", None),
+                            ("random priming", "random"),
+                            ("equal-width priming", "equal-width")):
+        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=400)
+        bed = Testbed(table, ["X"], seed=400)
+        priming_qpf = 0
+        if strategy is not None:
+            report = prime_index(bed.owner, bed.prkb["X"], DOMAIN,
+                                 PRIMING_QUERIES, strategy=strategy,
+                                 seed=401)
+            priming_qpf = report.qpf_spent
+        costs[label] = _workload_cost(bed, seed=402)
+        rows.append([
+            label,
+            str(bed.prkb["X"].num_partitions),
+            format_count(max(bed.prkb["X"].pop.sizes())),
+            format_count(priming_qpf),
+            format_count(costs[label]),
+        ])
+    emit(
+        "ablation_bootstrap",
+        f"Ablation: priming a cold PRKB with {PRIMING_QUERIES} "
+        f"DO-generated queries (n={n})",
+        ["Configuration", "k", "largest partition", "priming #QPF",
+         "avg query #QPF after"],
+        rows,
+    )
+    assert costs["random priming"] < costs["no priming"] / 5
+    assert costs["equal-width priming"] <= costs["random priming"]
+
+    # Cap-policy comparison under a drifting hot region.
+    def drifting(policy: str) -> float:
+        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=403)
+        bed = Testbed(table, ["X"], seed=403)
+        bed.prkb["X"] = PRKBIndex(bed.table, bed.qpf, "X",
+                                  max_partitions=25, cap_policy=policy,
+                                  seed=403)
+        prime_index(bed.owner, bed.prkb["X"], DOMAIN, 30,
+                    strategy="random", seed=404)
+        total = 0
+        hot_lo, hot_hi = 20_000_000, 21_000_000
+        for i in range(25):
+            low = hot_lo + (i * 37_717) % (hot_hi - hot_lo)
+            m = bed.run_sd("X", (low, low + 50_000), update=True)
+            total += m.qpf_uses
+        return total
+
+    frozen = drifting("freeze")
+    rotated = drifting("rotate")
+    emit(
+        "ablation_cap_policy",
+        f"Ablation: cap policy under a drifting hot region "
+        f"(n={n}, cap=25, 25 hot queries)",
+        ["Policy", "Total #QPF"],
+        [["freeze (paper)", format_count(frozen)],
+         ["rotate (adaptive)", format_count(rotated)]],
+    )
+    assert rotated < frozen
+
+    benchmark.pedantic(lambda: drifting("rotate"), rounds=3,
+                       iterations=1)

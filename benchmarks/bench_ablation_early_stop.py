@@ -1,0 +1,56 @@
+"""Ablation — QScan's early-stop strategy (Sec. 5.2).
+
+Early stop skips the second NS partition whenever the first one is found
+non-homogeneous, saving up to half of the NS scan.  This bench quantifies
+the saving over a growing-PRKB workload; the design claim is a consistent
+QPF reduction with identical answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Testbed, format_count
+from repro.core import PRKBIndex, SingleDimensionProcessor
+from repro.workloads import distinct_comparison_thresholds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+
+
+def _run(early_stop: bool, n: int):
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=200)
+    bed = Testbed(table, ["X"], seed=200)
+    bed.prkb["X"] = PRKBIndex(bed.table, bed.qpf, "X",
+                              early_stop=early_stop, seed=200)
+    processor = SingleDimensionProcessor(bed.prkb["X"])
+    thresholds = distinct_comparison_thresholds(DOMAIN, 150, seed=201)
+    results = []
+    before = bed.counter.qpf_uses
+    for threshold in thresholds:
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", int(threshold))
+        results.append(np.sort(processor.select(trapdoor)))
+    return bed.counter.qpf_uses - before, results
+
+
+def test_ablation_early_stop(benchmark):
+    n = scaled(8_000)
+    with_stop, results_with = _run(True, n)
+    without_stop, results_without = _run(False, n)
+    for a, b in zip(results_with, results_without):
+        assert np.array_equal(a, b)  # identical answers
+    saving = 100 * (1 - with_stop / without_stop)
+    emit(
+        "ablation_early_stop",
+        f"Ablation: QScan early stop over 150 distinct queries (n={n})",
+        ["Configuration", "Total #QPF", "Saving"],
+        [
+            ["early stop ON", format_count(with_stop), f"{saving:.1f}%"],
+            ["early stop OFF", format_count(without_stop), "-"],
+        ],
+    )
+    assert with_stop < without_stop
+
+    benchmark.pedantic(lambda: _run(True, scaled(2_000)), rounds=3,
+                       iterations=1)

@@ -1,0 +1,59 @@
+"""Ablation — the partition cap (static "PRKB-k" configurations).
+
+The paper fixes k=250 for its static experiments without studying the
+knob.  This bench sweeps the cap: query cost falls roughly as n/k (the
+NS-pair scan dominates) while index storage rises only marginally
+(membership is n entries regardless; only separators grow).  The design
+claim: diminishing returns — beyond a few hundred partitions, extra
+knowledge buys little at these scales.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Testbed, format_count, format_ms
+from repro.workloads import range_query_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+CAPS = [10, 50, 250, 1000]
+
+
+def _measure(cap: int, n: int):
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=210)
+    bed = Testbed(table, ["X"], max_partitions=cap, seed=210)
+    bed.warm_up("X", min(cap + 100, 1100), seed=211)
+    queries = range_query_bounds("X", DOMAIN, 0.01, count=6, seed=212)
+    runs = [bed.run_sd("X", q.as_tuple(), update=False) for q in queries]
+    qpf = sum(m.qpf_uses for m in runs) / len(runs)
+    ms = sum(m.simulated_ms for m in runs) / len(runs)
+    return qpf, ms, bed.prkb["X"].storage_bytes(), \
+        bed.prkb["X"].num_partitions
+
+
+def test_ablation_partition_cap(benchmark):
+    n = scaled(16_000)
+    rows = []
+    stats = {}
+    for cap in CAPS:
+        qpf, ms, storage, k = _measure(cap, n)
+        stats[cap] = qpf
+        rows.append([
+            str(cap), str(k), format_count(qpf), format_ms(ms),
+            format_count(storage) + "B",
+        ])
+    emit(
+        "ablation_partition_cap",
+        f"Ablation: partition cap vs query cost (n={n}, 1% sel.)",
+        ["Cap", "k reached", "Avg #QPF", "Avg time", "Index storage"],
+        rows,
+    )
+    # More partitions -> cheaper queries, with diminishing returns.
+    assert stats[50] < stats[10]
+    assert stats[250] < stats[50]
+    gain_low = stats[10] / stats[50]
+    gain_high = stats[250] / stats[1000]
+    assert gain_low > gain_high  # diminishing returns
+
+    benchmark.pedantic(lambda: _measure(50, scaled(2_000)), rounds=3,
+                       iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation — PRKB(MD)'s update policy (DESIGN.md interpretation note).
+
+The paper leaves open how the MD algorithm's *partial* scans refine the
+POP.  We compare the two implemented policies over a 2-D query sequence:
+
+* ``none``            — the index never grows under MD queries; cost stays
+                        near the cold level (the paper's Figs. 11/12 use a
+                        separately pre-warmed static index).
+* ``complete-partition`` — each observed non-homogeneous partition is
+                        scanned to completion and split; per-query cost
+                        falls steadily (the Fig. 13 behaviour).
+
+The completion scans are an investment: the policy pays extra QPF early
+to save much more later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Testbed, format_count
+from repro.workloads import multi_range_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+ATTRS = ["X", "Y"]
+NUM_QUERIES = 60
+
+
+def _run(policy: str, n: int):
+    table = uniform_table("t", n, ATTRS, domain=DOMAIN, seed=220)
+    bed = Testbed(table, ATTRS, seed=220)
+    from repro.core import MultiDimensionProcessor
+    processor = MultiDimensionProcessor(
+        {attr: bed.prkb[attr] for attr in ATTRS}, update_policy=policy)
+    queries = multi_range_bounds(ATTRS, DOMAIN, 0.05, count=NUM_QUERIES,
+                                 seed=221)
+    costs = []
+    for bounds in queries:
+        query = [bed.dimension_range(a, b) for a, b in bounds.items()]
+        before = bed.counter.qpf_uses
+        processor.select(query, update=(policy != "none"))
+        costs.append(bed.counter.qpf_uses - before)
+    return costs, {attr: bed.prkb[attr].num_partitions for attr in ATTRS}
+
+
+def test_ablation_update_policy(benchmark):
+    n = scaled(6_000)
+    costs_none, k_none = _run("none", n)
+    costs_complete, k_complete = _run("complete-partition", n)
+    rows = []
+    for window_name, window in (("first 5", slice(0, 5)),
+                                ("queries 20-40", slice(20, 40)),
+                                ("last 10", slice(-10, None))):
+        rows.append([
+            window_name,
+            format_count(np.mean(costs_none[window])),
+            format_count(np.mean(costs_complete[window])),
+        ])
+    rows.append([
+        "final k (X)", str(k_none["X"]), str(k_complete["X"])
+    ])
+    emit(
+        "ablation_update_policy",
+        f"Ablation: PRKB(MD) update policy over {NUM_QUERIES} 2-D "
+        f"queries (n={n})",
+        ["Window", "policy=none (avg #QPF)",
+         "policy=complete-partition (avg #QPF)"],
+        rows,
+    )
+    # Without updates the index never grows and cost stays flat-high.
+    assert k_none["X"] == 1
+    assert k_complete["X"] > 10
+    # The investment pays off: the trailing window is far cheaper.
+    assert np.mean(costs_complete[-10:]) < np.mean(costs_none[-10:]) / 5
+
+    benchmark.pedantic(lambda: _run("complete-partition", scaled(1_500)),
+                       rounds=3, iterations=1)

@@ -1,0 +1,81 @@
+"""Extension — the KKNO reconstruction argument of Sec. 3.3, quantified.
+
+The paper justifies revealing selection results by citing Kellaris et
+al. [24]: reconstruction "can be recovered in a short time for a small
+data domain (e.g., D <= 365)" but "when the domain size D is large, it
+becomes impractical for SP to collect O(D^4) queries".  This bench runs
+our KKNO implementation at a fixed realistic query budget across domain
+sizes: the small-domain victim is essentially recovered exactly, the
+large-domain victim is not — while (a finding worth recording) the
+*relative* precision of frequency analysis is domain-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import kkno_attack
+from repro.bench import format_count
+
+from _common import emit, scaled
+
+DOMAINS = [
+    ("day-of-year (D=365)", (1, 365)),
+    ("small int (D=10k)", (1, 10_000)),
+    ("salary-like (D=1M)", (1, 1_000_000)),
+    ("paper synthetic (D=30M)", (1, 30_000_000)),
+]
+QUERY_BUDGET = 30_000
+
+
+def test_extension_kkno(benchmark):
+    n = scaled(200)
+    rng = np.random.default_rng(500)
+    rows = []
+    normalised = {}
+    for label, domain in DOMAINS:
+        values = rng.integers(domain[0], domain[1] + 1, size=n)
+        outcome = kkno_attack(values, QUERY_BUDGET, domain, seed=501)
+        width = domain[1] - domain[0]
+        normalised[label] = outcome.mean_absolute_error / width
+        rows.append([
+            label,
+            format_count(QUERY_BUDGET),
+            f"{outcome.mean_absolute_error:.1f}",
+            f"{100 * normalised[label]:.3f}%",
+            f"{100 * outcome.exact_hits:.1f}%",
+        ])
+    emit(
+        "extension_kkno",
+        f"Extension: KKNO reconstruction vs domain size "
+        f"(n={n}, {QUERY_BUDGET} observed queries)",
+        ["Victim domain", "Queries", "Attack MAE",
+         "MAE (% of domain)", "Exact hits"],
+        rows,
+    )
+    from _common import emit_note
+    emit_note(
+        "extension_kkno",
+        "Finding: frequency analysis leaks *relative* position at a "
+        "domain-independent precision (~W/sqrt(Q), here a constant "
+        "fraction of a percent) — what collapses on large domains is "
+        "EXACT recovery: at D=365 a third of the values are pinned "
+        "exactly (MAE ~1 day), while on the paper's 30M domain exact "
+        "recovery is nil and the absolute error is ~1e5.  This is the "
+        "precise sense of Sec. 3.3's 'impractical for large domains'.",
+    )
+    # Sec. 3.3's dichotomy, asserted on exactness and absolute error.
+    exact = {label: float(row[4].rstrip("%")) / 100
+             for (label, __), row in zip(DOMAINS, rows)}
+    assert exact["day-of-year (D=365)"] > 0.2
+    assert exact["paper synthetic (D=30M)"] == 0.0
+    mae = {label: float(row[2]) for (label, __), row in zip(DOMAINS,
+                                                            rows)}
+    assert mae["day-of-year (D=365)"] <= 2.0  # within a day
+    assert mae["paper synthetic (D=30M)"] > 10_000  # far from plaintext
+
+    def small_domain_attack():
+        values = rng.integers(1, 366, size=scaled(100))
+        return kkno_attack(values, 5_000, (1, 365), seed=502)
+
+    benchmark.pedantic(small_domain_attack, rounds=3, iterations=1)

@@ -1,0 +1,71 @@
+"""Fig. 10 — single-dimensional query cost vs selectivity.
+
+Paper setting: 10M tuples, selectivity 1-10%, static PRKB-250.  PRKB's
+cost is *flat* in selectivity (it scans only the two NS-pairs at the
+answer's boundary), while Baseline stays at n and Logarithmic-SRC-i's
+retrieval grows with the answer size.
+
+Our setting: 20k tuples (scaled).  Shape checks: PRKB's QPF count varies
+by less than 3x across the sweep while the result size varies by ~10x,
+and PRKB stays far below Baseline everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Testbed, format_count, format_ms
+from repro.workloads import range_query_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+PARTITIONS = 250
+SELECTIVITIES = [0.01, 0.02, 0.04, 0.06, 0.08, 0.10]
+
+
+def test_fig10_selectivity(benchmark):
+    n = scaled(20_000)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=50)
+    bed = Testbed(table, ["X"], max_partitions=PARTITIONS,
+                  with_log_src_i=True, seed=50)
+    bed.warm_up("X", 250, seed=50)
+    rows = []
+    prkb_qpf = []
+    result_sizes = []
+    for i, selectivity in enumerate(SELECTIVITIES):
+        queries = range_query_bounds("X", DOMAIN, selectivity, count=5,
+                                     seed=60 + i)
+        prkb = [bed.run_sd("X", q.as_tuple(), update=False)
+                for q in queries]
+        src = [bed.run_log_src_i("X", q.as_tuple()) for q in queries]
+        base = bed.run_baseline("X", queries[0].as_tuple())
+        qpf = sum(m.qpf_uses for m in prkb) / len(prkb)
+        ms = sum(m.simulated_ms for m in prkb) / len(prkb)
+        src_ms = sum(m.simulated_ms for m in src) / len(src)
+        results = sum(m.result_count for m in prkb) / len(prkb)
+        prkb_qpf.append(qpf)
+        result_sizes.append(results)
+        rows.append([
+            f"{selectivity:.0%}",
+            format_count(results),
+            format_count(qpf), format_ms(ms),
+            format_ms(src_ms),
+            format_count(base.qpf_uses), format_ms(base.simulated_ms),
+        ])
+    emit(
+        "fig10_sd_selectivity",
+        f"Fig. 10: SD query vs selectivity (n={n}, PRKB-{PARTITIONS})",
+        ["Selectivity", "|result|", "PRKB #QPF", "PRKB time",
+         "Log-SRC-i time", "Baseline #QPF", "Baseline time"],
+        rows,
+    )
+    # Paper shape: PRKB cost independent of the answer size.
+    assert max(result_sizes) > 5 * min(result_sizes)
+    assert max(prkb_qpf) < 3 * min(prkb_qpf)
+    assert max(prkb_qpf) < n / 10
+
+    queries = range_query_bounds("X", DOMAIN, 0.05, count=1, seed=70)
+
+    def warm_query():
+        return bed.run_sd("X", queries[0].as_tuple(), update=False)
+
+    benchmark.pedantic(warm_query, rounds=10, iterations=1)

@@ -1,0 +1,76 @@
+"""Fig. 12 — multi-dimensional query cost vs dimensionality.
+
+Paper setting: 5M tuples, 2% selectivity per dimension, d = 1..7, static
+PRKB-250.  The headline crossover: PRKB(SD+)'s cost *rises* with d (each
+dimension pays its own NS scans) while PRKB(MD)'s cost *falls* (more
+predicates prune more candidate tuples), so the gap widens with d;
+Logarithmic-SRC-i sits between, approaching SD+ at high d.
+
+Our setting: 5k tuples (scaled), d = 1..5.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Testbed, format_count, format_ms
+from repro.workloads import multi_range_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+ALL_ATTRS = ["D1", "D2", "D3", "D4", "D5"]
+SELECTIVITY = 0.02
+PARTITIONS = 250
+WARM = 120
+
+
+def test_fig12_md_dimensionality(benchmark):
+    n = scaled(5_000)
+    table = uniform_table("t", n, ALL_ATTRS, domain=DOMAIN, seed=130)
+    bed = Testbed(table, ALL_ATTRS, max_partitions=PARTITIONS,
+                  with_log_src_i=True, seed=130)
+    for i, attr in enumerate(ALL_ATTRS):
+        bed.warm_up(attr, WARM, seed=131 + i)
+    rows = []
+    md_series = []
+    sdp_series = []
+    for d in range(1, len(ALL_ATTRS) + 1):
+        attrs = ALL_ATTRS[:d]
+        queries = multi_range_bounds(attrs, DOMAIN, SELECTIVITY,
+                                     count=4, seed=140 + d)
+        md = [bed.run_md(q, strategy="md", update=False) for q in queries]
+        sdp = [bed.run_md(q, strategy="sd+", update=False)
+               for q in queries]
+        src = [bed.run_log_src_i_md(q) for q in queries]
+        md_qpf = sum(m.qpf_uses for m in md) / len(md)
+        sdp_qpf = sum(m.qpf_uses for m in sdp) / len(sdp)
+        md_series.append(md_qpf)
+        sdp_series.append(sdp_qpf)
+        rows.append([
+            str(d),
+            format_count(md_qpf),
+            format_ms(sum(m.simulated_ms for m in md) / len(md)),
+            format_count(sdp_qpf),
+            format_ms(sum(m.simulated_ms for m in sdp) / len(sdp)),
+            format_ms(sum(m.simulated_ms for m in src) / len(src)),
+        ])
+    emit(
+        "fig12_md_dimensionality",
+        f"Fig. 12: MD query vs dimensionality (n={n}, "
+        f"{SELECTIVITY:.0%} sel./dim, PRKB-{PARTITIONS})",
+        ["d", "PRKB(MD) #QPF", "PRKB(MD) time", "PRKB(SD+) #QPF",
+         "PRKB(SD+) time", "Log-SRC-i time"],
+        rows,
+    )
+    # Paper shape: SD+ grows with d, MD does not; the gap widens.
+    assert sdp_series[-1] > 2 * sdp_series[0]
+    assert md_series[-1] < 1.5 * md_series[0]
+    assert (sdp_series[-1] / md_series[-1]) > \
+        (sdp_series[0] / md_series[0])
+
+    bounds = multi_range_bounds(ALL_ATTRS, DOMAIN, SELECTIVITY, count=1,
+                                seed=150)[0]
+
+    def warm_5d_query():
+        return bed.run_md(bounds, strategy="md", update=False)
+
+    benchmark.pedantic(warm_5d_query, rounds=5, iterations=1)

@@ -1,0 +1,92 @@
+"""Fig. 8 — query cost while PRKB grows from scratch.
+
+Paper setting: 10M tuples, 600 distinct single-comparison queries; #QPF
+and time plotted per i-th distinct query for PRKB(SD), Baseline and
+Logarithmic-SRC-i.  PRKB matches Logarithmic-SRC-i around query 50 and
+beats it by an order of magnitude by query 600; Baseline is flat at n.
+
+Our setting: 20k tuples (scaled), same 600-query schedule, milestones
+sampled along the way.  Shape checks: cold PRKB costs n; by the last
+milestone the cost has dropped by >=2 orders of magnitude and is below
+Logarithmic-SRC-i's simulated time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Testbed, ascii_chart, format_count, format_ms
+from repro.core import SingleDimensionProcessor
+from repro.workloads import distinct_comparison_thresholds, uniform_table
+
+from _common import emit, emit_note, scaled
+
+MILESTONES = [1, 50, 100, 200, 300, 400, 500, 600]
+DOMAIN = (1, 30_000_000)
+
+
+def _grow_and_sample():
+    n = scaled(20_000)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=0)
+    bed = Testbed(table, ["X"], with_log_src_i=True, seed=0)
+    processor = SingleDimensionProcessor(bed.prkb["X"])
+    thresholds = distinct_comparison_thresholds(DOMAIN, 600, seed=1)
+    selectivity_width = int(0.01 * (DOMAIN[1] - DOMAIN[0]))
+    samples = {}
+    for i, threshold in enumerate(thresholds, start=1):
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", int(threshold))
+        m = bed.measure("PRKB(SD)", lambda: processor.select(trapdoor))
+        if i in MILESTONES:
+            low = int(threshold) % (DOMAIN[1] - selectivity_width)
+            src = bed.run_log_src_i("X", (low, low + selectivity_width))
+            samples[i] = (m, src)
+    baseline = bed.run_baseline("X", (10_000_000, 10_300_000))
+    return bed, samples, baseline, n
+
+
+def test_fig8_growing_prkb(benchmark):
+    bed, samples, baseline, n = _grow_and_sample()
+    rows = []
+    for i in MILESTONES:
+        prkb, src = samples[i]
+        rows.append([
+            str(i),
+            format_count(prkb.qpf_uses),
+            format_ms(prkb.simulated_ms),
+            format_ms(src.simulated_ms),
+            format_count(baseline.qpf_uses),
+            format_ms(baseline.simulated_ms),
+        ])
+    emit(
+        "fig8_growing_prkb",
+        f"Fig. 8: query cost vs i-th distinct query (n={n}, 1% sel.)",
+        ["i-th query", "PRKB #QPF", "PRKB time", "Log-SRC-i time",
+         "Baseline #QPF", "Baseline time"],
+        rows,
+    )
+    emit_note("fig8_growing_prkb", ascii_chart(
+        [str(i) for i in MILESTONES],
+        {
+            "PRKB(SD)": [samples[i][0].simulated_ms for i in MILESTONES],
+            "Log-SRC-i": [samples[i][1].simulated_ms for i in MILESTONES],
+            "Baseline": [baseline.simulated_ms] * len(MILESTONES),
+        },
+        title="simulated time (ms) vs i-th distinct query",
+    ))
+    first_prkb = samples[MILESTONES[0]][0]
+    last_prkb, last_src = samples[MILESTONES[-1]]
+    # Cold PRKB == full scan; warm PRKB >= 2 orders of magnitude cheaper.
+    assert first_prkb.qpf_uses >= n
+    assert last_prkb.qpf_uses < first_prkb.qpf_uses / 100
+    # Warm PRKB beats both competitors (paper: one order of magnitude
+    # under Log-SRC-i by query 600).
+    assert last_prkb.simulated_ms < last_src.simulated_ms
+    assert last_prkb.simulated_ms < baseline.simulated_ms / 100
+    # Benchmark a steady-state warm query.
+    processor = SingleDimensionProcessor(bed.prkb["X"])
+
+    def warm_query():
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 15_000_000)
+        return processor.select(trapdoor, update=False)
+
+    benchmark(warm_query)

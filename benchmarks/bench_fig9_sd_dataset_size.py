@@ -1,0 +1,87 @@
+"""Fig. 9 — single-dimensional query cost vs dataset size.
+
+Paper setting: 10M-22M tuples, 1% selectivity, static PRKB with 250
+partitions; PRKB(SD) is ~2 orders of magnitude under Baseline and ~4x
+under Logarithmic-SRC-i, all methods scaling linearly.
+
+Our setting: 8k-20k tuples (scaled).  Shape checks: PRKB's advantage over
+Baseline is >=50x at every size, PRKB's simulated time beats
+Logarithmic-SRC-i, and each method's cost grows roughly linearly with n.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Testbed, format_count, format_ms
+from repro.workloads import range_query_bounds, uniform_table
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+SELECTIVITY = 0.01
+PARTITIONS = 250
+WARM_QUERIES = 250
+
+
+def _measure_at_size(n: int, seed: int):
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=seed)
+    bed = Testbed(table, ["X"], max_partitions=PARTITIONS,
+                  with_log_src_i=True, seed=seed)
+    bed.warm_up("X", WARM_QUERIES, seed=seed)
+    queries = range_query_bounds("X", DOMAIN, SELECTIVITY, count=5,
+                                 seed=seed + 1)
+    prkb = [bed.run_sd("X", q.as_tuple(), update=False) for q in queries]
+    src = [bed.run_log_src_i("X", q.as_tuple()) for q in queries]
+    base = [bed.run_baseline("X", queries[0].as_tuple())]
+    mean = lambda ms: sum(m.qpf_uses for m in ms) / len(ms)
+    mean_t = lambda ms: sum(m.simulated_ms for m in ms) / len(ms)
+    return {
+        "prkb_qpf": mean(prkb), "prkb_ms": mean_t(prkb),
+        "src_ms": mean_t(src),
+        "base_qpf": mean(base), "base_ms": mean_t(base),
+    }
+
+
+def test_fig9_dataset_size(benchmark):
+    sizes = [scaled(8_000), scaled(12_000), scaled(16_000),
+             scaled(20_000)]
+    rows = []
+    stats = {}
+    for i, n in enumerate(sizes):
+        stats[n] = _measure_at_size(n, seed=40 + i)
+        s = stats[n]
+        rows.append([
+            format_count(n),
+            format_count(s["prkb_qpf"]), format_ms(s["prkb_ms"]),
+            format_ms(s["src_ms"]),
+            format_count(s["base_qpf"]), format_ms(s["base_ms"]),
+        ])
+    emit(
+        "fig9_sd_dataset_size",
+        f"Fig. 9: SD query vs dataset size ({SELECTIVITY:.0%} sel., "
+        f"PRKB-{PARTITIONS})",
+        ["n", "PRKB #QPF", "PRKB time", "Log-SRC-i time",
+         "Baseline #QPF", "Baseline time"],
+        rows,
+    )
+    for n, s in stats.items():
+        # Paper shape: ~2 orders of magnitude under Baseline, and under
+        # Logarithmic-SRC-i at every size.
+        assert s["base_qpf"] > 50 * s["prkb_qpf"], n
+        assert s["prkb_ms"] < s["src_ms"], n
+    # Linear scaling: doubling n should not blow costs up superlinearly.
+    small, large = stats[sizes[0]], stats[sizes[-1]]
+    growth = sizes[-1] / sizes[0]
+    assert large["base_qpf"] / small["base_qpf"] < growth * 1.5
+    assert large["prkb_qpf"] / small["prkb_qpf"] < growth * 3
+
+    bed_n = sizes[0]
+    table = uniform_table("t", bed_n, ["X"], domain=DOMAIN, seed=99)
+    bed = Testbed(table, ["X"], max_partitions=PARTITIONS, seed=99)
+    bed.warm_up("X", WARM_QUERIES, seed=99)
+    bounds = range_query_bounds("X", DOMAIN, SELECTIVITY, count=1,
+                                seed=100)[0]
+
+    def warm_query():
+        return bed.run_sd("X", bounds.as_tuple(), update=False)
+
+    benchmark.pedantic(warm_query, rounds=10, iterations=1)

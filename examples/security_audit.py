@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Security audit: what does a compromised server actually learn?
+
+Reproduces the reasoning of the paper's Sec. 3.3 / 8.1 as a runnable
+demo.  Three scenarios over the same salary column:
+
+1. QPF-model EDBMS (what PRKB runs on): the attacker replays the
+   observed selection results into a partial order and we measure RPOI —
+   small, and growing ever slower.
+2. The same attack at higher query volume — sub-linear growth.
+3. OPE-encrypted column (the CryptDB design point): sorting ciphertexts
+   recovers the total order instantly: RPOI = 100% with zero queries.
+
+Run:  python examples/security_audit.py
+"""
+
+import numpy as np
+
+from repro.attacks import OrderReconstructionAttack, rpoi_trajectory
+from repro.crypto import OrderPreservingEncryption, generate_key
+from repro.workloads import labor_salary
+
+
+def main() -> None:
+    num_rows = 40_000
+    table = labor_salary(num_rows, seed=21)
+    salaries = table.columns["salary"]
+    distinct = len(np.unique(salaries))
+    print(f"== Victim column: {num_rows} salaries, "
+          f"{distinct} distinct values ==")
+
+    print("\n== Scenario 1: attacker replays observed selection results ==")
+    attack = OrderReconstructionAttack(range(num_rows))
+    rng = np.random.default_rng(22)
+    for __ in range(200):
+        threshold = int(rng.integers(10_000, 5_000_001))
+        result = {int(i) for i in np.flatnonzero(salaries < threshold)}
+        attack.observe(result)
+    print(f"   after 200 queries: {attack.num_partitions} partitions, "
+          f"RPOI = {100 * attack.rpoi(distinct):.3f}%")
+
+    print("\n== Scenario 2: RPOI vs query volume (closed form) ==")
+    counts = [250, 1_000, 10_000, 50_000]
+    series = rpoi_trajectory(salaries, counts,
+                             domain=(10_000, 5_000_000), seed=23)
+    for count, rpoi in zip(counts, series):
+        print(f"   {count:>7,} queries -> RPOI {100 * rpoi:7.3f}%")
+    gains = [b - a for a, b in zip(series, series[1:])]
+    print(f"   growth decelerates: per-decade gains {gains}")
+
+    print("\n== Scenario 2b: KKNO value reconstruction (ref [24]) ==")
+    from repro.attacks import kkno_attack
+    small_sample = salaries[:300]
+    for queries in (500, 5_000):
+        outcome = kkno_attack(small_sample, queries,
+                              (10_000, 5_000_000), seed=25)
+        print(f"   {queries:>6,} range queries -> "
+              f"MAE ${outcome.mean_absolute_error:,.0f}, "
+              f"exact {100 * outcome.exact_hits:.1f}%")
+    print("   large domain + realistic volume = values stay fuzzy")
+
+    print("\n== Scenario 3: the OPE alternative leaks everything ==")
+    ope = OrderPreservingEncryption(generate_key(24), 10_000, 5_000_000)
+    sample = salaries[:5_000]
+    ciphertexts = ope.encrypt_many(sample)
+    order_match = np.array_equal(
+        np.argsort(ciphertexts, kind="stable"),
+        np.argsort(sample, kind="stable"))
+    print(f"   ciphertext order == plaintext order: {order_match}")
+    print("   RPOI = 100.000% before the attacker observes a single "
+          "query.")
+
+    print("\n== Verdict (paper Sec. 8.1) ==")
+    print("   Result-revealing EDBMSs leak slowly and sub-linearly on")
+    print("   large domains; OPE leaks the total order up front. PRKB")
+    print("   adds NOTHING on top of scenario 1 — it is built from the")
+    print("   same observed results the attacker already has.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Server restart: persist and restore the SP's state, knowledge intact.
+
+A service provider accumulates PRKB knowledge over a morning of queries,
+checkpoints its ciphertext store and index to disk, "restarts", and
+continues serving at warm-index speed — no re-learning, no data-owner
+involvement in any of it.
+
+Run:  python examples/server_restart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import Testbed
+from repro.edbms.persistence import (
+    load_index,
+    load_table,
+    save_index,
+    save_table,
+)
+from repro.workloads import range_query_bounds, uniform_table
+
+
+def main() -> None:
+    domain = (1, 1_000_000)
+    table = uniform_table("inventory", 20_000, ["qty"], domain=domain,
+                          seed=51)
+    bed = Testbed(table, ["qty"], seed=51)
+
+    print("== Morning shift: the index learns ==")
+    for bounds in range_query_bounds("qty", domain, 0.02, count=60,
+                                     seed=52):
+        bed.run_sd("qty", bounds.as_tuple())
+    k = bed.prkb["qty"].num_partitions
+    warm = bed.run_sd("qty", (100_000, 120_000), update=False)
+    print(f"   after 60 queries: k={k} partitions, "
+          f"warm query = {warm.qpf_uses} QPF uses")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        print("\n== Checkpoint (SP-side only; no keys involved) ==")
+        save_table(bed.table, base / "inventory")
+        save_index(bed.prkb["qty"], base / "inventory_qty")
+        files = sorted(p.name for p in base.iterdir())
+        sizes = {p.name: p.stat().st_size for p in base.iterdir()}
+        for name in files:
+            print(f"   {name}: {sizes[name]:,} bytes")
+
+        print("\n== Restart: restore ciphertexts and knowledge ==")
+        restored_table = load_table(base / "inventory")
+        restored_index = load_index(base / "inventory_qty",
+                                    restored_table, bed.qpf, seed=53)
+        print(f"   restored k={restored_index.num_partitions} partitions, "
+              f"{restored_index.num_separators} separators")
+
+        print("\n== First query after restart ==")
+        from repro.core import SingleDimensionProcessor
+        processor = SingleDimensionProcessor(restored_index)
+        dim = bed.dimension_range("qty", (100_000, 120_000))
+        before = bed.counter.qpf_uses
+        winners = processor.select_range(dim.low, dim.high, update=False)
+        spent = bed.counter.qpf_uses - before
+        truth = bed.owner.expected_range_result(
+            "inventory", {"qty": (100_000, 120_000)})
+        print(f"   {winners.size} rows, {spent} QPF uses "
+              f"(cold would be {bed.table.num_rows})")
+        print(f"   matches ground truth: "
+              f"{np.array_equal(np.sort(winners), truth)}")
+        assert np.array_equal(np.sort(winners), truth)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+installs (no ``bdist_wheel``); this shim lets
+``pip install -e . --no-use-pep517`` work.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

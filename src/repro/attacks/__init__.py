@@ -1,0 +1,31 @@
+"""Security studies: what a compromised service provider can learn."""
+
+from .order_reconstruction import (
+    OrderReconstructionAttack,
+    simulate_rpoi,
+    rpoi_trajectory,
+)
+from .inference import (
+    InferenceOutcome,
+    ope_rank_matching_attack,
+    pop_interval_attack,
+)
+from .kkno import (
+    observe_match_counts,
+    observe_cooccurrence,
+    estimate_values,
+    kkno_attack,
+)
+
+__all__ = [
+    "OrderReconstructionAttack",
+    "simulate_rpoi",
+    "rpoi_trajectory",
+    "InferenceOutcome",
+    "ope_rank_matching_attack",
+    "pop_interval_attack",
+    "observe_match_counts",
+    "observe_cooccurrence",
+    "estimate_values",
+    "kkno_attack",
+]

@@ -1,0 +1,207 @@
+"""Order-reconstruction attack study (paper Sec. 8.1, Table 2).
+
+Any EDBMS that reveals selection results lets a compromised SP accumulate
+the same partial order PRKB does; Kellaris et al. showed that with O(D^4)
+observed queries this converges to the *total* order, enabling inference
+attacks.  The paper's Sec. 8.1 measures how far an attacker actually gets
+with realistic query volumes, via the **recovered portion of ordering
+information**::
+
+    RPOI = (length of the longest recovered chain)
+           / (length of the total order)
+         = (number of partial-order partitions)
+           / (number of distinct plain values)
+
+Two implementations are provided:
+
+* :class:`OrderReconstructionAttack` — the generic attacker that consumes
+  nothing but observed result sets (exactly what a compromised SP sees)
+  and maintains a partition chain.  Used by the tests and small studies.
+* :func:`simulate_rpoi` — a closed-form fast path exploiting that for
+  comparison predicates the chain length equals one plus the number of
+  distinct *effective cuts* among the observed thresholds.  This is what
+  lets the Table 2 benchmark sweep to millions of queries; the test suite
+  verifies it agrees with the generic attacker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OrderReconstructionAttack", "simulate_rpoi", "rpoi_trajectory"]
+
+
+class OrderReconstructionAttack:
+    """Reconstruct a partial order of tuples from observed result sets.
+
+    The attacker maintains an ordered list of tuple-id partitions.  Every
+    observed comparison-selection result either leaves the chain unchanged
+    (equivalent query) or splits exactly one partition.
+    """
+
+    def __init__(self, tuple_ids) -> None:
+        ids = [int(t) for t in tuple_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate tuple ids")
+        self._chain: list[set[int]] = [set(ids)] if ids else []
+        self._universe = set(ids)
+
+    @property
+    def num_partitions(self) -> int:
+        """Current chain length (the recovered-chain length)."""
+        return len(self._chain)
+
+    @property
+    def chain(self) -> list[frozenset]:
+        """The recovered partition chain (read-only copies)."""
+        return [frozenset(p) for p in self._chain]
+
+    def observe(self, result_ids) -> bool:
+        """Digest one observed selection result; True if knowledge grew."""
+        result = {int(t) for t in result_ids}
+        unknown = result - self._universe
+        if unknown:
+            raise ValueError(f"result contains unknown ids {sorted(unknown)[:5]}")
+        mixed_positions = [
+            i for i, partition in enumerate(self._chain)
+            if partition & result and partition - result
+        ]
+        if not mixed_positions:
+            return False
+        if len(mixed_positions) > 1:
+            raise ValueError(
+                "multiple mixed partitions — result is not from a single "
+                "comparison predicate"
+            )
+        position = mixed_positions[0]
+        partition = self._chain[position]
+        inside = partition & result
+        outside = partition - result
+        # Orient by a neighbour: the half sharing the neighbour's
+        # membership status sits adjacent to it.
+        if position > 0:
+            left_in_result = bool(self._chain[position - 1] & result)
+            first, second = (inside, outside) if left_in_result \
+                else (outside, inside)
+        elif position + 1 < len(self._chain):
+            right_in_result = bool(self._chain[position + 1] & result)
+            first, second = (outside, inside) if right_in_result \
+                else (inside, outside)
+        else:
+            # Only partition in the chain: the direction is arbitrary.
+            first, second = outside, inside
+        self._chain[position:position + 1] = [first, second]
+        return True
+
+    def observe_band(self, result_ids) -> bool:
+        """Digest the result of a *range* query (a contiguous band).
+
+        A band's in-set occupies a contiguous run of the chain, with up
+        to two straddling partitions.  Each straddler can be split when
+        the band provably extends past it on exactly one side (in-band
+        evidence at another chain position) — the same soundness rule
+        :class:`~repro.core.between.BetweenProcessor` applies server-side.
+        Returns True if knowledge grew.
+        """
+        result = {int(t) for t in result_ids}
+        unknown = result - self._universe
+        if unknown:
+            raise ValueError(
+                f"result contains unknown ids {sorted(unknown)[:5]}")
+        mixed = [
+            i for i, partition in enumerate(self._chain)
+            if partition & result and partition - result
+        ]
+        if len(mixed) > 2:
+            raise ValueError(
+                "more than two mixed partitions — result is not a "
+                "contiguous band on this chain"
+            )
+        in_positions = {
+            i for i, partition in enumerate(self._chain)
+            if partition & result
+        }
+        grew = False
+        # Split right-most first so earlier indices stay valid.
+        for position in sorted(mixed, reverse=True):
+            others = in_positions - {position}
+            if not others:
+                continue  # band confined to this partition: ambiguous
+            rightward = all(o > position for o in others)
+            leftward = all(o < position for o in others)
+            if not (rightward or leftward):
+                raise ValueError(
+                    "band evidence on both sides of a mixed partition"
+                )
+            partition = self._chain[position]
+            inside = partition & result
+            outside = partition - result
+            first, second = (outside, inside) if rightward \
+                else (inside, outside)
+            self._chain[position:position + 1] = [first, second]
+            grew = True
+        return grew
+
+    def position_of(self, tuple_id: int) -> int:
+        """Chain position of one tuple (attacker-side lookup)."""
+        tuple_id = int(tuple_id)
+        for position, partition in enumerate(self._chain):
+            if tuple_id in partition:
+                return position
+        raise KeyError(f"unknown tuple id {tuple_id}")
+
+    def positions_of(self, tuple_ids) -> np.ndarray:
+        """Vectorised :meth:`position_of`."""
+        index = {}
+        for position, partition in enumerate(self._chain):
+            for tuple_id in partition:
+                index[tuple_id] = position
+        return np.asarray([index[int(t)] for t in tuple_ids],
+                          dtype=np.int64)
+
+    def rpoi(self, num_distinct_values: int) -> float:
+        """Recovered portion of ordering information (Sec. 8.1)."""
+        if num_distinct_values < 1:
+            raise ValueError("need at least one distinct value")
+        return self.num_partitions / num_distinct_values
+
+
+def simulate_rpoi(values: np.ndarray, thresholds: np.ndarray) -> float:
+    """Closed-form RPOI after observing ``X < c`` for each threshold.
+
+    A threshold ``c`` induces the cut separating values ``< c`` from the
+    rest; its *effective cut id* is the number of distinct values below it.
+    Cut ids 0 and D split nothing.  The chain length is one plus the number
+    of distinct non-trivial cut ids, so::
+
+        RPOI = (1 + #distinct non-trivial cuts) / D
+    """
+    distinct = np.unique(np.asarray(values))
+    num_distinct = int(distinct.size)
+    if num_distinct == 0:
+        raise ValueError("empty dataset")
+    cuts = np.searchsorted(distinct, np.asarray(thresholds), side="left")
+    effective = np.unique(cuts)
+    effective = effective[(effective > 0) & (effective < num_distinct)]
+    return (1 + int(effective.size)) / num_distinct
+
+
+def rpoi_trajectory(values: np.ndarray, query_counts: list[int],
+                    domain: tuple[int, int],
+                    seed: int | None = None) -> list[float]:
+    """RPOI after each query-count milestone, for Table 2's sweep.
+
+    Thresholds are drawn uniformly from ``domain`` (the paper's
+    randomly-generated DO queries); the same growing prefix of queries is
+    reused across milestones so the series is monotone by construction.
+    """
+    if sorted(query_counts) != list(query_counts):
+        raise ValueError("query_counts must be ascending")
+    rng = np.random.default_rng(seed)
+    lo, hi = domain
+    total = query_counts[-1] if query_counts else 0
+    thresholds = rng.integers(lo, hi + 1, size=total, dtype=np.int64)
+    return [
+        simulate_rpoi(values, thresholds[:count])
+        for count in query_counts
+    ]

@@ -1,0 +1,19 @@
+"""Comparison systems: the unindexed baseline and Logarithmic-SRC-i."""
+
+from .linear_scan import LinearScanProcessor
+from .dyadic import TDAG, TDAGNode
+from .sse import SSEIndex
+from .log_src_i import LogSRCiIndex, multi_dimensional_query
+from .brc import LogBRCIndex, LogSRCIndex, dyadic_cover
+
+__all__ = [
+    "LinearScanProcessor",
+    "TDAG",
+    "TDAGNode",
+    "SSEIndex",
+    "LogSRCiIndex",
+    "multi_dimensional_query",
+    "LogBRCIndex",
+    "LogSRCIndex",
+    "dyadic_cover",
+]

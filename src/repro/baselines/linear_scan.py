@@ -1,0 +1,42 @@
+"""Baseline selection: test every encrypted tuple with the QPF (Fig. 2a).
+
+This is the "Baseline" series in all of the paper's plots — what an EDBMS
+without any SP-side index has to do for each predicate: n QPF uses for a
+single comparison, and up to 2dn for a d-dimensional range (with per-tuple
+short-circuiting, footnote 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.multi import DimensionRange
+from ..crypto.trapdoor import EncryptedPredicate
+from ..edbms.encryption import EncryptedTable
+from ..edbms.qpf import QueryProcessingFunction
+
+__all__ = ["LinearScanProcessor"]
+
+
+class LinearScanProcessor:
+    """Unindexed EDBMS selection processing."""
+
+    def __init__(self, table: EncryptedTable, qpf: QueryProcessingFunction):
+        self.table = table
+        self.qpf = qpf
+
+    def select(self, trapdoor: EncryptedPredicate) -> np.ndarray:
+        """One predicate: n QPF uses."""
+        labels = self.qpf.batch(trapdoor, self.table, self.table.uids)
+        return np.sort(self.table.uids[labels])
+
+    def select_range(self, query: list[DimensionRange]) -> np.ndarray:
+        """d-dimensional range: predicates applied with short-circuiting."""
+        alive = self.table.uids
+        for dimension in query:
+            for trapdoor in dimension.trapdoors():
+                if alive.size == 0:
+                    break
+                labels = self.qpf.batch(trapdoor, self.table, alive)
+                alive = alive[labels]
+        return np.sort(alive)

@@ -1,0 +1,27 @@
+"""Benchmark harness: testbed construction, measurement, reporting."""
+
+from .harness import Measurement, Testbed, build_testbed, bench_scale
+from .reporting import (
+    format_table,
+    print_table,
+    print_header,
+    format_count,
+    format_ms,
+    speedup,
+)
+from .plots import ascii_chart, ascii_bars
+
+__all__ = [
+    "Measurement",
+    "Testbed",
+    "build_testbed",
+    "bench_scale",
+    "format_table",
+    "print_table",
+    "print_header",
+    "format_count",
+    "format_ms",
+    "speedup",
+    "ascii_chart",
+    "ascii_bars",
+]

@@ -1,0 +1,113 @@
+"""ASCII chart rendering for the benchmark reports.
+
+The paper's evaluation is figures; the benches regenerate the underlying
+series and these helpers render them as monospace charts in the persisted
+result files — log-scale line charts for the cost-vs-x figures and plain
+bar charts for comparisons.  Pure string formatting: no plotting
+dependency, terminal-friendly, diffable in version control.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_chart", "ascii_bars"]
+
+
+def _log_positions(series: list[float], height: int, floor: float,
+                   lo_value: float, hi_value: float) -> list[int]:
+    """Row index (0 = bottom) per point on a shared log10 scale."""
+    lo = math.log10(max(floor, lo_value))
+    hi = math.log10(max(floor, hi_value))
+    if hi - lo < 1e-9:
+        return [height // 2] * len(series)
+    rows = []
+    for value in series:
+        fraction = (math.log10(max(floor, value)) - lo) / (hi - lo)
+        rows.append(round(fraction * (height - 1)))
+    return rows
+
+
+def ascii_chart(x_labels: list[str], series: dict[str, list[float]],
+                height: int = 10, log_scale: bool = True,
+                title: str = "") -> str:
+    """Render one or more series as a monospace chart.
+
+    Each series gets a marker character; points on the same cell show the
+    later series' marker.  The y-axis is log10 by default, matching the
+    paper's log-scale cost plots.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(s) for s in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("series lengths must match x_labels")
+    markers = "*o+x#@"
+    floor = 1e-12
+    all_values = [v for s in series.values() for v in s]
+    if not log_scale:
+        lo, hi = min(all_values), max(all_values)
+
+        def position(value: float) -> int:
+            if hi - lo < 1e-12:
+                return height // 2
+            return round((value - lo) / (hi - lo) * (height - 1))
+
+        positions = {
+            name: [position(v) for v in s] for name, s in series.items()
+        }
+        top_label, bottom_label = f"{hi:.3g}", f"{lo:.3g}"
+    else:
+        lo_value, hi_value = min(all_values), max(all_values)
+        positions = {
+            name: _log_positions(s, height, floor, lo_value, hi_value)
+            for name, s in series.items()
+        }
+        top_label = f"{hi_value:.3g}"
+        bottom_label = f"{max(floor, lo_value):.3g}"
+    width = len(x_labels)
+    grid = [[" "] * width for __ in range(height)]
+    legend = []
+    for index, (name, rows) in enumerate(positions.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {name}")
+        for column, row in enumerate(rows):
+            grid[height - 1 - row][column] = marker
+    gutter = max(len(top_label), len(bottom_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |" + " ".join(row))
+    axis = " " * gutter + " +" + "-" * (2 * width - 1)
+    lines.append(axis)
+    tick_row = " " * (gutter + 2) + " ".join(
+        label[0] if label else " " for label in x_labels)
+    lines.append(tick_row)
+    lines.append(" " * (gutter + 2) + "x: " + ", ".join(x_labels))
+    lines.append(" " * (gutter + 2) + "   ".join(legend)
+                 + ("   (log y)" if log_scale else ""))
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: list[str], values: list[float], width: int = 40,
+               title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart, linear scale."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    gutter = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width)) if peak > 0 \
+            else ""
+        lines.append(f"{label.rjust(gutter)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Compile the persisted benchmark results into one report.
+
+``python -m repro.bench.summary [results_dir] [output_md]`` stitches the
+``benchmarks/results/*.txt`` artefacts (written by every bench via
+``_common.emit``) into a single ``RESULTS.md`` ordered like the paper's
+evaluation section — the regenerated Sec. 8, ready to diff against a
+previous run or attach to a report.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["compile_results", "main"]
+
+#: Presentation order: the paper's tables/figures first, then ablations
+#: and extensions.  Unlisted artefacts are appended alphabetically.
+SECTION_ORDER = [
+    ("The paper's evaluation (Sec. 8)", [
+        "table2_rpoi",
+        "fig8_growing_prkb",
+        "table3_storage",
+        "fig9_sd_dataset_size",
+        "fig10_sd_selectivity",
+        "fig11_md_dataset_size",
+        "fig12_md_dimensionality",
+        "fig13_real_dataset",
+        "table4_insertion",
+        "storage_real",
+    ]),
+    ("Ablations", [
+        "ablation_early_stop",
+        "ablation_partition_cap",
+        "ablation_update_policy",
+        "ablation_between",
+        "ablation_bootstrap",
+        "ablation_cap_policy",
+        "ablation_backend",
+        "ablation_src_family",
+        "ablation_distributions",
+    ]),
+    ("Extensions", [
+        "extension_aggregates",
+        "extension_inference",
+        "extension_kkno",
+    ]),
+]
+
+
+def compile_results(results_dir, output_path) -> str:
+    """Assemble the report; returns the rendered markdown."""
+    results_dir = Path(results_dir)
+    available = {
+        path.stem: path for path in sorted(results_dir.glob("*.txt"))
+    }
+    if not available:
+        raise FileNotFoundError(
+            f"no result artefacts in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    used: set[str] = set()
+    parts = [
+        "# Regenerated evaluation",
+        "",
+        "Produced by `python -m repro.bench.summary` from the artefacts "
+        "that `pytest benchmarks/ --benchmark-only` wrote to "
+        f"`{results_dir.name}/`.  See EXPERIMENTS.md for the "
+        "paper-vs-measured commentary.",
+    ]
+    for section_title, names in SECTION_ORDER:
+        present = [name for name in names if name in available]
+        if not present:
+            continue
+        parts.append(f"\n## {section_title}\n")
+        for name in present:
+            used.add(name)
+            parts.append("```")
+            parts.append(available[name].read_text().rstrip())
+            parts.append("```\n")
+    leftovers = sorted(set(available) - used)
+    if leftovers:
+        parts.append("\n## Other artefacts\n")
+        for name in leftovers:
+            parts.append("```")
+            parts.append(available[name].read_text().rstrip())
+            parts.append("```\n")
+    rendered = "\n".join(parts) + "\n"
+    Path(output_path).write_text(rendered)
+    return rendered
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    repo_root = Path(__file__).resolve().parents[3].parent
+    default_results = Path("benchmarks/results")
+    results_dir = Path(argv[0]) if argv else default_results
+    output_path = Path(argv[1]) if len(argv) > 1 else Path("RESULTS.md")
+    if not results_dir.exists() and (repo_root / default_results).exists():
+        results_dir = repo_root / default_results
+    compile_results(results_dir, output_path)
+    print(f"wrote {output_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

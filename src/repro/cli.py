@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Three commands cover the library's everyday entry points:
+
+* ``demo``    — a self-contained growing-PRKB demonstration on synthetic
+  data (no inputs needed).
+* ``query``   — load an integer CSV, encrypt it, build PRKB on chosen
+  columns and run a SQL statement, reporting the answer and its cost.
+* ``rpoi``    — the Sec. 8.1 security study on one CSV column: how much
+  ordering information a given query volume would leak.
+
+The CLI is a thin shell over the public API; everything it does can be
+done in a few lines of Python (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRKB encrypted-database reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a growing-PRKB demonstration")
+    demo.add_argument("--rows", type=int, default=10_000,
+                      help="synthetic table size (default 10000)")
+    demo.add_argument("--queries", type=int, default=12,
+                      help="number of range queries to run (default 12)")
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query",
+                           help="run SQL over an encrypted CSV table")
+    query.add_argument("--csv", required=True,
+                       help="CSV file with integer columns and a header")
+    query.add_argument("--table", default="data",
+                       help="table name used in the SQL (default 'data')")
+    query.add_argument("--sql", required=True, action="append",
+                       help="SQL statement (repeatable)")
+    query.add_argument("--index", default=None,
+                       help="comma-separated columns to index "
+                            "(default: all)")
+    query.add_argument("--strategy", default="auto",
+                       choices=("auto", "md", "sd+", "baseline"))
+    query.add_argument("--explain", action="store_true",
+                       help="print the query plan instead of executing")
+    query.add_argument("--stats", action="store_true",
+                       help="print per-index statistics after the queries")
+    query.add_argument("--prime", type=int, default=0, metavar="N",
+                       help="pre-warm each index with N DO-generated "
+                            "queries before executing (Sec. 8.2.6)")
+    query.add_argument("--seed", type=int, default=0)
+
+    rpoi = sub.add_parser("rpoi",
+                          help="order-reconstruction study on one column")
+    rpoi.add_argument("--csv", required=True)
+    rpoi.add_argument("--column", required=True)
+    rpoi.add_argument("--queries", type=int, nargs="+",
+                      default=[100, 1_000, 10_000])
+    rpoi.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_csv(path: str) -> dict[str, np.ndarray]:
+    """Read an all-integer CSV with a header row."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SystemExit(f"{path}: missing header row")
+        columns: dict[str, list[int]] = {
+            name: [] for name in reader.fieldnames
+        }
+        for line_number, row in enumerate(reader, start=2):
+            for name in reader.fieldnames:
+                try:
+                    columns[name].append(int(row[name]))
+                except (TypeError, ValueError):
+                    raise SystemExit(
+                        f"{path}:{line_number}: column {name!r} has "
+                        f"non-integer value {row[name]!r}"
+                    ) from None
+    if not any(columns.values()):
+        raise SystemExit(f"{path}: no data rows")
+    return {name: np.asarray(values, dtype=np.int64)
+            for name, values in columns.items()}
+
+
+def _cmd_demo(args) -> int:
+    from .bench import Testbed
+    from .workloads import range_query_bounds, uniform_table
+
+    domain = (1, 1_000_000)
+    table = uniform_table("demo", args.rows, ["X"], domain=domain,
+                          seed=args.seed)
+    bed = Testbed(table, ["X"], seed=args.seed)
+    print(f"encrypted {args.rows} rows; PRKB initialised on 'X'")
+    print(f"{'query':>5}  {'matches':>8}  {'QPF uses':>9}  {'simulated':>10}")
+    bounds = range_query_bounds("X", domain, 0.02, count=args.queries,
+                                seed=args.seed + 1)
+    for i, query in enumerate(bounds, start=1):
+        m = bed.run_sd("X", query.as_tuple())
+        print(f"{i:>5}  {m.result_count:>8}  {m.qpf_uses:>9}  "
+              f"{m.simulated_ms:>8.2f}ms")
+    print(f"final chain length: k={bed.prkb['X'].num_partitions}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .edbms.engine import EncryptedDatabase
+
+    columns = _load_csv(args.csv)
+    domains = {
+        name: (int(values.min()) - 1, int(values.max()) + 1)
+        for name, values in columns.items()
+    }
+    db = EncryptedDatabase(seed=args.seed)
+    db.create_table(args.table, domains, columns)
+    indexed = (args.index.split(",") if args.index
+               else list(columns))
+    missing = [a for a in indexed if a not in columns]
+    if missing:
+        raise SystemExit(f"--index columns not in CSV: {missing}")
+    db.enable_prkb(args.table, indexed)
+    if args.prime:
+        from .core import prime_index
+        for attribute in indexed:
+            report = prime_index(
+                db.owner, db.server.index(args.table, attribute),
+                domains[attribute], args.prime, seed=args.seed)
+            print(f"primed {attribute!r}: k={report.partitions_after} "
+                  f"({report.qpf_spent} QPF)")
+    for sql in args.sql:
+        if args.explain:
+            print(db.explain(sql, strategy=args.strategy).render())
+            continue
+        answer = db.query(sql, strategy=args.strategy)
+        if answer.value is not None:
+            print(f"{sql}\n  value={answer.value}  "
+                  f"qpf={answer.qpf_uses}  "
+                  f"simulated={answer.simulated_ms:.2f}ms")
+        else:
+            print(f"{sql}\n  count={answer.count}  "
+                  f"qpf={answer.qpf_uses}  "
+                  f"simulated={answer.simulated_ms:.2f}ms")
+    if args.stats:
+        for attribute in indexed:
+            stats = db.server.index(args.table, attribute).describe()
+            print(f"index {attribute!r}: k={stats['partitions']}  "
+                  f"largest={stats['largest_partition']}  "
+                  f"storage={stats['storage_bytes']}B  "
+                  f"~next-query={stats['expected_range_query_qpf']} QPF")
+    return 0
+
+
+def _cmd_rpoi(args) -> int:
+    from .attacks import rpoi_trajectory
+
+    columns = _load_csv(args.csv)
+    if args.column not in columns:
+        raise SystemExit(
+            f"column {args.column!r} not in CSV "
+            f"(have {sorted(columns)})"
+        )
+    values = columns[args.column]
+    counts = sorted(args.queries)
+    domain = (int(values.min()), int(values.max()))
+    series = rpoi_trajectory(values, counts, domain=domain,
+                             seed=args.seed)
+    distinct = len(np.unique(values))
+    print(f"column {args.column!r}: {values.size} rows, "
+          f"{distinct} distinct values")
+    for count, rpoi in zip(counts, series):
+        print(f"  {count:>9,} queries -> RPOI {100 * rpoi:7.3f}%")
+    print("  (OPE would leak RPOI = 100.000% with 0 queries)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "rpoi":
+        return _cmd_rpoi(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

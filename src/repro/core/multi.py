@@ -1,0 +1,420 @@
+"""Multi-dimensional range query processing (paper Sec. 6).
+
+Two strategies are implemented:
+
+* ``PRKB(SD+)`` — the naive composition: run the single-dimension PRKB
+  pipeline once per comparison predicate (2d of them) and intersect the
+  winner sets.  Each predicate pays its own NS-pair scan over *full*
+  partitions.
+* ``PRKB(MD)`` — the grid-based algorithm of Sec. 6.2.  Per-dimension
+  ``QFilter`` passes classify every partition as certainly-in (IN),
+  certainly-out (OUT) or not-sure (NS).  Tuples inside the all-IN central
+  region are accepted with zero QPF; tuples touching any OUT partition are
+  rejected with zero QPF; only the small cross-shaped NS residue is tested,
+  and each tuple is tested only against the predicates whose NS partitions
+  contain it, with short-circuiting on the first failed dimension and
+  partition-level early-stop inference (a mixed observation in one NS
+  partition resolves its pair partner for free — Sec. 6.2's early stop).
+
+POP refinement under PRKB(MD) is governed by ``update_policy`` (see
+DESIGN.md): the paper does not specify how the *partial* scans of the MD
+algorithm feed back into the index, so ``"complete-partition"`` (default)
+finishes scanning any partition observed non-homogeneous — making the split
+sound — while ``"none"`` keeps the index static (the configuration of the
+paper's Figs. 11-12).  When both thresholds of one dimension fall into the
+same partition, the second refinement is skipped for that query (the
+sibling split invalidated the snapshot); the knowledge is simply picked up
+by a later query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crypto.trapdoor import EncryptedPredicate
+from .partitions import Partition
+from .prkb import PRKBIndex
+from .single import SingleDimensionProcessor
+
+__all__ = ["DimensionRange", "MultiDimensionProcessor"]
+
+_EMPTY = np.zeros(0, dtype=np.uint64)
+
+#: Valid values of ``update_policy``.
+UPDATE_POLICIES = ("complete-partition", "none")
+
+#: Valid values of ``dim_order`` — the predicate-testing order for
+#: candidates.  ``"selective-first"`` tests the dimension whose POP
+#: snapshot predicts the smallest pass rate first, maximising the
+#: short-circuit effect of Sec. 6.2; ``"given"`` keeps the query's order.
+DIM_ORDERS = ("selective-first", "given")
+
+
+@dataclass(frozen=True)
+class DimensionRange:
+    """One dimension of a hyper-rectangle query: two comparison trapdoors.
+
+    ``low`` is the trapdoor of the lower-bound predicate (``X > lb``) and
+    ``high`` of the upper bound (``X < ub``); the server cannot tell which
+    is which — it just receives two comparison trapdoors per dimension.
+    """
+
+    attribute: str
+    low: EncryptedPredicate
+    high: EncryptedPredicate
+
+    def trapdoors(self) -> tuple[EncryptedPredicate, EncryptedPredicate]:
+        """Both trapdoors of this dimension."""
+        return (self.low, self.high)
+
+
+@dataclass
+class _PredicateContext:
+    """Snapshot of one predicate's QFilter pass over its POP chain."""
+
+    trapdoor: EncryptedPredicate
+    index: PRKBIndex
+    #: Per chain position: True (all satisfy), False (none satisfy) or
+    #: None (not sure) at snapshot time.
+    status: list[bool | None]
+    #: NS partition objects (1 for a single-partition chain, else 2).
+    ns_partitions: list[Partition]
+    label_prefix: bool | None
+    label_suffix: bool | None
+    #: "single", or the mixed partition's role: tracked per NS partition —
+    #: ns_partitions[0] is the lower ("a") and ns_partitions[-1] the upper.
+    single: bool = False
+    #: Candidate uids grouped per NS partition (filled by the processor).
+    groups: list[list[int]] = field(default_factory=list)
+    #: Observed QPF outputs for tuples of this predicate's NS partitions.
+    observed: dict[int, bool] = field(default_factory=dict)
+    #: The NS partition observed non-homogeneous, if any.
+    mixed_partition: Partition | None = None
+
+
+class MultiDimensionProcessor:
+    """Answer d-dimensional hyper-rectangle queries over PRKB indexes."""
+
+    def __init__(self, indexes: dict[str, PRKBIndex],
+                 update_policy: str = "complete-partition",
+                 dim_order: str = "selective-first"):
+        if not indexes:
+            raise ValueError("at least one PRKB index is required")
+        if update_policy not in UPDATE_POLICIES:
+            raise ValueError(
+                f"unknown update_policy {update_policy!r}; "
+                f"expected one of {UPDATE_POLICIES}"
+            )
+        if dim_order not in DIM_ORDERS:
+            raise ValueError(
+                f"unknown dim_order {dim_order!r}; "
+                f"expected one of {DIM_ORDERS}"
+            )
+        self.dim_order = dim_order
+        tables = {id(ix.table) for ix in indexes.values()}
+        if len(tables) != 1:
+            raise ValueError("all indexes must cover the same table")
+        self.indexes = dict(indexes)
+        self.update_policy = update_policy
+        self._table = next(iter(indexes.values())).table
+        self._qpf = next(iter(indexes.values())).qpf
+
+    def _index_for(self, attribute: str) -> PRKBIndex:
+        try:
+            return self.indexes[attribute]
+        except KeyError:
+            raise KeyError(
+                f"no PRKB index for attribute {attribute!r}; "
+                f"have {sorted(self.indexes)}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # PRKB(SD+): naive per-predicate composition                          #
+    # ------------------------------------------------------------------ #
+
+    def select_naive(self, query: list[DimensionRange],
+                     update: bool = True) -> np.ndarray:
+        """Process the query one dimension at a time — PRKB(SD+)."""
+        winners: np.ndarray | None = None
+        for dimension in query:
+            processor = SingleDimensionProcessor(
+                self._index_for(dimension.attribute))
+            part = processor.select_range(dimension.low, dimension.high,
+                                          update=update)
+            if winners is None:
+                winners = part
+            else:
+                self._qpf.counter.comparisons += winners.size + part.size
+                winners = np.intersect1d(winners, part, assume_unique=True)
+        return winners if winners is not None else _EMPTY
+
+    # ------------------------------------------------------------------ #
+    # PRKB(MD): grid-based processing                                     #
+    # ------------------------------------------------------------------ #
+
+    def select(self, query: list[DimensionRange],
+               update: bool = True) -> np.ndarray:
+        """Process the query with the Sec. 6.2 grid algorithm — PRKB(MD)."""
+        if not query:
+            return _EMPTY
+        contexts = self._snapshot(query)
+        free_winners = self._central_region(query, contexts)
+        candidates = self._collect_candidates(query, contexts)
+        survivors = self._test_candidates(contexts, candidates)
+        if update and self.update_policy == "complete-partition":
+            self._refine(contexts)
+        self._qpf.counter.comparisons += free_winners.size + len(survivors)
+        if not survivors:
+            return free_winners
+        return np.concatenate(
+            [free_winners, np.asarray(sorted(survivors), dtype=np.uint64)])
+
+    # -- phase 1: QFilter snapshots and per-partition classification ----- #
+
+    def _snapshot(self, query: list[DimensionRange]
+                  ) -> dict[int, list[_PredicateContext]]:
+        """Run QFilter for all 2d predicates; classify every partition."""
+        contexts: dict[int, list[_PredicateContext]] = {}
+        for position, dimension in enumerate(query):
+            index = self._index_for(dimension.attribute)
+            contexts[position] = [
+                self._classify(index, trapdoor)
+                for trapdoor in dimension.trapdoors()
+            ]
+        return contexts
+
+    @staticmethod
+    def _classify(index: PRKBIndex,
+                  trapdoor: EncryptedPredicate) -> _PredicateContext:
+        """One QFilter pass turned into a per-partition status vector."""
+        filtered = index.qfilter(trapdoor)
+        k = index.pop.num_partitions
+        status: list[bool | None] = [None] * k
+        ns = list(filtered.ns_indices)
+        if len(ns) <= 1:
+            return _PredicateContext(
+                trapdoor=trapdoor,
+                index=index,
+                status=status,
+                ns_partitions=[index.pop[i] for i in ns],
+                label_prefix=None,
+                label_suffix=None,
+                single=True,
+            )
+        a, b = ns
+        if filtered.boundary:
+            for i in range(1, k - 1):
+                status[i] = filtered.label_prefix
+        else:
+            for i in range(a):
+                status[i] = filtered.label_prefix
+            for i in range(b + 1, k):
+                status[i] = filtered.label_suffix
+        return _PredicateContext(
+            trapdoor=trapdoor,
+            index=index,
+            status=status,
+            ns_partitions=[index.pop[a], index.pop[b]],
+            label_prefix=filtered.label_prefix,
+            label_suffix=filtered.label_suffix,
+        )
+
+    @staticmethod
+    def _dimension_status(contexts: list[_PredicateContext],
+                          position: int) -> bool | None:
+        """Combine a partition's status across the dimension's predicates.
+
+        ``False`` (OUT) dominates, then ``None`` (NS); both-True is IN.
+        """
+        combined: bool | None = True
+        for ctx in contexts:
+            value = ctx.status[position]
+            if value is False:
+                return False
+            if value is None:
+                combined = None
+        return combined
+
+    # -- phase 1b: central all-IN region and NS candidates --------------- #
+
+    def _central_region(self, query: list[DimensionRange],
+                        contexts: dict[int, list[_PredicateContext]]
+                        ) -> np.ndarray:
+        """Tuples inside IN partitions of *every* dimension: free winners."""
+        current: np.ndarray | None = None
+        for position in range(len(query)):
+            ctxs = contexts[position]
+            index = ctxs[0].index
+            in_chunks = [
+                index.pop[i].uids
+                for i in range(index.pop.num_partitions)
+                if self._dimension_status(ctxs, i) is True
+            ]
+            dim_in = np.sort(np.concatenate(in_chunks)) if in_chunks \
+                else _EMPTY
+            if current is None:
+                current = dim_in
+            else:
+                current = np.intersect1d(current, dim_in,
+                                         assume_unique=True)
+            if current.size == 0:
+                return _EMPTY
+        return current if current is not None else _EMPTY
+
+    def _collect_candidates(self, query: list[DimensionRange],
+                            contexts: dict[int, list[_PredicateContext]]
+                            ) -> set[int]:
+        """Tuples in some NS partition and in no OUT partition.
+
+        Also files each candidate into the per-predicate NS groups used by
+        phase 2, so it is only ever tested against predicates that are
+        actually unsure about it.
+        """
+        ns_union: set[int] = set()
+        for position in range(len(query)):
+            ctxs = contexts[position]
+            index = ctxs[0].index
+            for i in range(index.pop.num_partitions):
+                if self._dimension_status(ctxs, i) is None:
+                    ns_union.update(int(u) for u in index.pop[i].uids)
+        candidates: set[int] = set()
+        for uid in ns_union:
+            rejected = False
+            for position in range(len(query)):
+                ctxs = contexts[position]
+                chain_pos = ctxs[0].index.pop.index_of_uid(uid)
+                if self._dimension_status(ctxs, chain_pos) is False:
+                    rejected = True
+                    break
+            self._qpf.counter.comparisons += len(query)
+            if not rejected:
+                candidates.add(uid)
+        for position in range(len(query)):
+            for ctx in contexts[position]:
+                ctx.groups = [[] for __ in ctx.ns_partitions]
+                for slot, partition in enumerate(ctx.ns_partitions):
+                    chain_pos = ctx.index.pop.index_of(partition)
+                    if ctx.status[chain_pos] is not None:
+                        continue  # defensive: NS slots only
+                    for uid in candidates:
+                        if ctx.index.pop.partition_of(uid) is partition:
+                            ctx.groups[slot].append(uid)
+        return candidates
+
+    # -- phase 2: QPF testing with early-stop inference ------------------ #
+
+    def _test_candidates(self, contexts: dict[int, list[_PredicateContext]],
+                         candidates: set[int]) -> set[int]:
+        """Test candidates against their unsure predicates only."""
+        alive = set(candidates)
+        for position in self._dimension_order(contexts):
+            for ctx in contexts[position]:
+                if not alive:
+                    return alive
+                self._test_predicate(ctx, alive)
+        return alive
+
+    def _dimension_order(self,
+                         contexts: dict[int, list[_PredicateContext]]
+                         ) -> list[int]:
+        """Dimension processing order for the candidate-testing phase."""
+        positions = sorted(contexts)
+        if self.dim_order == "given":
+            return positions
+
+        def estimated_pass_rate(position: int) -> float:
+            ctxs = contexts[position]
+            index = ctxs[0].index
+            k = index.pop.num_partitions
+            if k == 0:
+                return 1.0
+            passing = sum(
+                1 for i in range(k)
+                if self._dimension_status(ctxs, i) is not False
+            )
+            return passing / k
+
+        return sorted(positions, key=estimated_pass_rate)
+
+    def _test_predicate(self, ctx: _PredicateContext,
+                        alive: set[int]) -> None:
+        """Evaluate one predicate over its NS groups, inferring when able.
+
+        Scanning the lower NS partition first mirrors Algorithm 2: a mixed
+        observation there certifies the other NS partition homogeneous with
+        the suffix label (``label_suffix``), saving its QPF calls.
+        """
+        resolved: dict[int, bool] = {}
+        for slot, group in enumerate(ctx.groups):
+            to_test = [u for u in group if u in alive]
+            if not to_test:
+                continue
+            if slot in resolved:
+                if not resolved[slot]:
+                    alive.difference_update(to_test)
+                for uid in to_test:
+                    ctx.observed[uid] = resolved[slot]
+                continue
+            uids = np.asarray(to_test, dtype=np.uint64)
+            labels = ctx.index.qpf.batch(ctx.trapdoor, ctx.index.table, uids)
+            for uid, label in zip(to_test, labels):
+                ctx.observed[uid] = bool(label)
+                if not label:
+                    alive.discard(uid)
+            if labels.any() and not labels.all():
+                # Mixed: this NS partition holds the separating point, so
+                # every other NS partition of this predicate is homogeneous.
+                ctx.mixed_partition = ctx.ns_partitions[slot]
+                if not ctx.single and len(ctx.ns_partitions) == 2:
+                    other = 1 - slot
+                    inferred = (ctx.label_suffix if other == 1
+                                else ctx.label_prefix)
+                    resolved[other] = bool(inferred)
+
+    # -- phase 3: POP refinement ----------------------------------------- #
+
+    def _refine(self, contexts: dict[int, list[_PredicateContext]]) -> None:
+        """Complete-partition update policy (see module docstring)."""
+        for position in sorted(contexts):
+            for ctx in contexts[position]:
+                if ctx.mixed_partition is None or not ctx.index.can_grow:
+                    continue
+                partition = ctx.mixed_partition
+                try:
+                    chain_pos = ctx.index.pop.index_of(partition)
+                except KeyError:
+                    continue  # sibling predicate already split it
+                members = partition.uids
+                untested = np.asarray(
+                    [int(u) for u in members if int(u) not in ctx.observed],
+                    dtype=np.uint64,
+                )
+                if untested.size:
+                    labels = ctx.index.qpf.batch(ctx.trapdoor,
+                                                 ctx.index.table, untested)
+                    for uid, label in zip(untested, labels):
+                        ctx.observed[int(uid)] = bool(label)
+                true_uids = np.asarray(
+                    [int(u) for u in members if ctx.observed[int(u)]],
+                    dtype=np.uint64,
+                )
+                false_uids = np.asarray(
+                    [int(u) for u in members if not ctx.observed[int(u)]],
+                    dtype=np.uint64,
+                )
+                if not (true_uids.size and false_uids.size):
+                    continue  # completion revealed a homogeneous partition
+                first_label = self._orientation(ctx, partition)
+                ctx.index.apply_split(ctx.trapdoor, chain_pos, true_uids,
+                                      false_uids, first_label)
+
+    @staticmethod
+    def _orientation(ctx: _PredicateContext, partition: Partition) -> bool:
+        """First-half label for the split, by the Sec. 5.3 rules."""
+        if ctx.single:
+            return False
+        if partition is ctx.ns_partitions[0]:
+            return not ctx.label_suffix
+        return bool(ctx.label_prefix)

@@ -1,0 +1,261 @@
+"""Partial order partitions (POP) — the knowledge PRKB accumulates.
+
+Definition 4.2 of the paper: ``POP_k`` is a list of k disjoint partitions
+covering the encrypted table such that every tuple in partition ``P_i`` has
+a strictly smaller (or strictly larger — direction unknown to the SP) plain
+value than every tuple in ``P_{i+1}``.  The chain is refined one split at a
+time as inequivalent predicates are observed.
+
+The implementation keeps, per partition, a list-backed uid store (cheap
+append for inserts, lazily materialised numpy view for batched QPF calls)
+and a global ``uid -> partition`` map so multi-dimensional processing can
+classify tuples in O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Partition", "PartialOrderPartitions"]
+
+
+class Partition:
+    """One partition of the chain: an unordered set of tuple uids."""
+
+    __slots__ = ("_uids", "_array", "_dirty")
+
+    def __init__(self, uids):
+        self._uids = [int(u) for u in uids]
+        self._array: np.ndarray | None = None
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._uids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(size={len(self._uids)})"
+
+    @property
+    def uids(self) -> np.ndarray:
+        """Members as a numpy array (cached until the partition mutates)."""
+        if self._dirty:
+            self._array = np.asarray(self._uids, dtype=np.uint64)
+            self._dirty = False
+        return self._array
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """One uniformly random member — ``P_i.sample`` in the paper."""
+        if not self._uids:
+            raise ValueError("cannot sample from an empty partition")
+        return self._uids[int(rng.integers(len(self._uids)))]
+
+    def add(self, uid: int) -> None:
+        """Insert a tuple uid (Sec. 7.1 insertion lands here)."""
+        self._uids.append(int(uid))
+        self._dirty = True
+
+    def remove(self, uid: int) -> None:
+        """Delete a tuple uid (Sec. 7.2); O(size) but deletes are rare."""
+        self._uids.remove(int(uid))
+        self._dirty = True
+
+
+class PartialOrderPartitions:
+    """The ordered chain ``P1 ↦ P2 ↦ … ↦ Pk`` plus a tuple→partition map.
+
+    The chain's *global direction* (ascending vs descending in plain value)
+    is unknowable to the SP; all algorithms are direction-agnostic and the
+    test-suite invariant checks accept either orientation.
+    """
+
+    def __init__(self, uids: np.ndarray):
+        first = Partition(np.asarray(uids, dtype=np.uint64))
+        self._chain: list[Partition] = [first]
+        self._partition_of: dict[int, Partition] = {
+            int(u): first for u in first.uids
+        }
+        self._index_cache: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # inspection                                                          #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def __iter__(self):
+        return iter(self._chain)
+
+    def __getitem__(self, index: int) -> Partition:
+        return self._chain[index]
+
+    @property
+    def num_partitions(self) -> int:
+        """k — the chain length."""
+        return len(self._chain)
+
+    @property
+    def num_tuples(self) -> int:
+        """Total number of tuples across all partitions."""
+        return len(self._partition_of)
+
+    def partition_of(self, uid: int) -> Partition:
+        """The partition containing ``uid``."""
+        return self._partition_of[int(uid)]
+
+    def index_of(self, partition: Partition) -> int:
+        """Chain position of ``partition`` (cached until structure changes)."""
+        if self._index_cache is None:
+            self._index_cache = {
+                id(p): i for i, p in enumerate(self._chain)
+            }
+        return self._index_cache[id(partition)]
+
+    def index_of_uid(self, uid: int) -> int:
+        """Chain position of the partition holding ``uid``."""
+        return self.index_of(self.partition_of(uid))
+
+    def indices_of_uids(self, uids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`index_of_uid` (multi-dimensional grid use)."""
+        if self._index_cache is None:
+            self.index_of(self._chain[0])  # build cache
+        cache = self._index_cache
+        part_of = self._partition_of
+        return np.fromiter(
+            (cache[id(part_of[int(u)])] for u in np.asarray(uids).ravel()),
+            dtype=np.int64,
+            count=int(np.asarray(uids).size),
+        )
+
+    def sizes(self) -> list[int]:
+        """Partition sizes along the chain."""
+        return [len(p) for p in self._chain]
+
+    # ------------------------------------------------------------------ #
+    # refinement                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _invalidate(self) -> None:
+        self._index_cache = None
+
+    def split(self, index: int, first_uids: np.ndarray,
+              second_uids: np.ndarray) -> tuple[Partition, Partition]:
+        """Replace ``P[index]`` by two partitions in the given chain order.
+
+        The caller (``updatePRKB``) has already decided the orientation —
+        i.e. which half sits adjacent to which neighbour; this method only
+        performs the structural replacement.
+        """
+        old = self._chain[index]
+        first_uids = np.asarray(first_uids, dtype=np.uint64)
+        second_uids = np.asarray(second_uids, dtype=np.uint64)
+        if first_uids.size == 0 or second_uids.size == 0:
+            raise ValueError("split halves must both be non-empty")
+        if first_uids.size + second_uids.size != len(old):
+            raise ValueError(
+                "split halves do not partition the original "
+                f"({first_uids.size} + {second_uids.size} != {len(old)})"
+            )
+        first = Partition(first_uids)
+        second = Partition(second_uids)
+        self._chain[index:index + 1] = [first, second]
+        for u in first_uids:
+            self._partition_of[int(u)] = first
+        for u in second_uids:
+            self._partition_of[int(u)] = second
+        self._invalidate()
+        return first, second
+
+    def merge_range(self, first: int, last: int) -> Partition:
+        """Coarsen the chain by merging partitions ``first..last`` into one.
+
+        Merging adjacent partitions is always sound — it only *forgets*
+        ordering knowledge (``POP_k`` degrades towards ``POP_{k-m}``).  Used
+        as the fallback when an insertion cannot be placed decisively
+        (possible only with BETWEEN-created boundaries; see
+        :mod:`repro.core.between`).
+        """
+        if not 0 <= first <= last < len(self._chain):
+            raise IndexError(f"merge range [{first}, {last}] out of bounds")
+        if first == last:
+            return self._chain[first]
+        merged_uids = np.concatenate(
+            [self._chain[i].uids for i in range(first, last + 1)])
+        merged = Partition(merged_uids)
+        self._chain[first:last + 1] = [merged]
+        for u in merged_uids:
+            self._partition_of[int(u)] = merged
+        self._invalidate()
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # updates (Sec. 7)                                                    #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, uid: int, index: int) -> None:
+        """Place a newly inserted tuple into partition ``index``."""
+        uid = int(uid)
+        if uid in self._partition_of:
+            raise ValueError(f"uid {uid} already tracked by POP")
+        partition = self._chain[index]
+        partition.add(uid)
+        self._partition_of[uid] = partition
+
+    def delete(self, uid: int) -> int | None:
+        """Remove a tuple; returns the chain index of a partition that
+        became empty and was dropped, or ``None`` if no partition vanished.
+
+        When a partition empties, the knowledge degrades from ``POP_k`` to
+        ``POP_{k-1}`` (Sec. 7.2); the caller retires the matching separator
+        predicate.
+        """
+        uid = int(uid)
+        partition = self._partition_of.pop(uid)
+        partition.remove(uid)
+        if len(partition) > 0:
+            return None
+        index = self.index_of(partition)
+        del self._chain[index]
+        self._invalidate()
+        return index
+
+    # ------------------------------------------------------------------ #
+    # validation (test support)                                           #
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self, plain_value_of=None) -> None:
+        """Assert the POP invariants; optionally check order consistency.
+
+        ``plain_value_of`` maps uid → plaintext value (ground truth known
+        only to tests).  The chain must then be monotone *as partitions* in
+        one direction or the other (Definition 4.2).
+        """
+        seen: set[int] = set()
+        for partition in self._chain:
+            if len(partition) == 0:
+                raise AssertionError("empty partition in chain")
+            members = {int(u) for u in partition.uids}
+            if members & seen:
+                raise AssertionError("partitions are not disjoint")
+            seen |= members
+            for u in members:
+                if self._partition_of.get(u) is not partition:
+                    raise AssertionError(f"uid {u} mapped to wrong partition")
+        if seen != set(self._partition_of):
+            raise AssertionError("partition map does not cover the chain")
+        if plain_value_of is None or len(self._chain) == 1:
+            return
+        ranges = []
+        for partition in self._chain:
+            values = [plain_value_of(int(u)) for u in partition.uids]
+            ranges.append((min(values), max(values)))
+        ascending = all(
+            ranges[i][1] < ranges[i + 1][0] for i in range(len(ranges) - 1)
+        )
+        descending = all(
+            ranges[i][0] > ranges[i + 1][1] for i in range(len(ranges) - 1)
+        )
+        if not (ascending or descending):
+            raise AssertionError(
+                f"chain is not monotone in either direction: {ranges}"
+            )

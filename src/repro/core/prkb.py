@@ -1,0 +1,601 @@
+"""PRKB — the past result knowledge base index (Sec. 4, 5 and 7).
+
+One :class:`PRKBIndex` instance covers one attribute of one encrypted
+table.  It owns the POP chain, the stored *separator* predicates needed for
+insert handling, and implements the paper's four algorithms:
+
+* ``initPRKB``  — the constructor (single all-covering partition),
+* ``qfilter``   — Algorithm 1: sampling + binary search for the NS-pair,
+* ``qscan``     — Algorithm 2: bounded scan with early stop,
+* ``update``    — ``updatePRKB``: split the non-homogeneous partition and
+  record the new separator, at zero extra QPF cost.
+
+Everything here runs server-side only: the index consumes nothing but QPF
+outputs, which is the paper's central security argument (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crypto.trapdoor import EncryptedPredicate
+from ..edbms.encryption import EncryptedTable
+from ..edbms.qpf import QueryProcessingFunction
+from .partitions import PartialOrderPartitions, Partition
+
+__all__ = ["PRKBIndex", "QFilterOutcome", "QScanOutcome", "SelectionResult"]
+
+
+@dataclass(eq=False)  # identity semantics: partners reference each other
+class _Separator:
+    """A stored past predicate that cuts the chain at one boundary.
+
+    For a comparison predicate, ``prefix_label`` is the QPF output of the
+    trapdoor on *every* tuple in the partitions at or before the boundary;
+    the complement holds after it.  This is exactly the information
+    Sec. 7.1's O(log k) insertion binary search needs.
+
+    For a boundary created by a BETWEEN predicate (Appendix A), the output
+    is only *one-sided* decisive: ``edge == "low"`` means a 1-output
+    certifies the tuple lies after the boundary (it is >= the band's low
+    end), ``edge == "high"`` means a 1-output certifies it lies at or
+    before the boundary.  A 0-output ("outside the band") is ambiguous on
+    its own; :meth:`PRKBIndex.locate_partition` resolves it using the
+    position of the ``partner`` edge of the same band when possible and
+    otherwise degrades knowledge by merging (see the module docstring of
+    :mod:`repro.core.between`).
+    """
+
+    trapdoor: EncryptedPredicate
+    prefix_label: bool
+    edge: str | None = None
+    partner: "_Separator | None" = None
+
+
+@dataclass(frozen=True)
+class QFilterOutcome:
+    """Result of Algorithm 1 (``QFilter``).
+
+    Attributes
+    ----------
+    winners:
+        Uids guaranteed to satisfy the predicate without per-tuple QPF
+        (the ``TW`` group).
+    ns_indices:
+        Chain indices of the Not-Sure partitions — ``(a, b)`` in the
+        general case, a single index when the chain has one partition.
+    boundary:
+        True when the samples of the first and last partition agreed
+        (Algorithm 1's *boundary case*, NS-pair = ⟨P1, Pk⟩).
+    label_prefix / label_suffix:
+        QPF labels of the partition groups before / after the separating
+        point (``label1`` / ``labelk`` in the paper); ``None`` only in the
+        single-partition case where no samples are drawn.
+    """
+
+    winners: np.ndarray
+    ns_indices: tuple[int, ...]
+    boundary: bool
+    label_prefix: bool | None
+    label_suffix: bool | None
+
+
+@dataclass(frozen=True)
+class QScanOutcome:
+    """Result of Algorithm 2 (``QScan``) over the NS partitions.
+
+    ``split_index`` is the chain index of the non-homogeneous partition
+    (Case 2 of Lemma 4.5) or ``None`` when the predicate turned out
+    equivalent to a stored one (Case 1).  When a split occurred,
+    ``true_uids`` / ``false_uids`` are the two halves by QPF output.
+    """
+
+    winners: np.ndarray
+    split_index: int | None
+    true_uids: np.ndarray = field(default_factory=lambda: _EMPTY)
+    false_uids: np.ndarray = field(default_factory=lambda: _EMPTY)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Full outcome of processing one comparison predicate with PRKB.
+
+    ``phase_qpf`` breaks the total down by pipeline phase —
+    ``qfilter`` (sampling + binary search, O(log k)), ``qscan`` (the
+    NS-pair scans, O(n/k)) and ``update`` (0 for comparisons; the
+    completion scans of other processors may charge here).
+    """
+
+    winners: np.ndarray
+    qpf_uses: int
+    partitions_after: int
+    was_equivalent: bool
+    phase_qpf: dict[str, int] = field(default_factory=dict)
+
+
+_EMPTY = np.zeros(0, dtype=np.uint64)
+
+
+def _concat(parts: list[np.ndarray]) -> np.ndarray:
+    chunks = [p for p in parts if p.size]
+    if not chunks:
+        return _EMPTY
+    return np.concatenate(chunks)
+
+
+class PRKBIndex:
+    """Past result knowledge base over one encrypted attribute.
+
+    Parameters
+    ----------
+    table, qpf:
+        The encrypted relation and the server's QPF handle.
+    attribute:
+        The encrypted column this index covers.
+    max_partitions:
+        Optional cap on the chain length k.  The paper's static
+        experiments use a cap of 250.
+    cap_policy:
+        What happens when a split would exceed the cap: ``"freeze"``
+        (paper behaviour — stop refining) or ``"rotate"`` (beyond the
+        paper — merge the smallest adjacent pair elsewhere in the chain
+        to make room, adapting the fixed budget to the current
+        workload's hot region).  Rotation applies to the single-predicate
+        pipeline; BETWEEN and PRKB(MD) refinement still freeze at the
+        cap.
+    early_stop:
+        Algorithm 2's early-stop strategy; disable only for the ablation
+        benchmark.
+    seed:
+        Seed for the sampling RNG (reproducible benchmarks).
+    """
+
+    CAP_POLICIES = ("freeze", "rotate")
+
+    def __init__(self, table: EncryptedTable, qpf: QueryProcessingFunction,
+                 attribute: str, max_partitions: int | None = None,
+                 early_stop: bool = True, seed: int | None = None,
+                 cap_policy: str = "freeze"):
+        if attribute not in table.attribute_names:
+            raise KeyError(
+                f"attribute {attribute!r} not in table {table.name!r}"
+            )
+        if max_partitions is not None and max_partitions < 1:
+            raise ValueError("max_partitions must be positive")
+        if cap_policy not in self.CAP_POLICIES:
+            raise ValueError(
+                f"unknown cap_policy {cap_policy!r}; "
+                f"expected one of {self.CAP_POLICIES}"
+            )
+        self.table = table
+        self.qpf = qpf
+        self.attribute = attribute
+        self.max_partitions = max_partitions
+        self.cap_policy = cap_policy
+        self.early_stop = early_stop
+        self._rng = np.random.default_rng(seed)
+        # initPRKB: all tuples in one big partition (Sec. 4, last paragraph).
+        self.pop = PartialOrderPartitions(table.uids)
+        self._separators: list[_Separator] = []
+
+    # ------------------------------------------------------------------ #
+    # inspection                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_partitions(self) -> int:
+        """Current chain length k."""
+        return self.pop.num_partitions
+
+    @property
+    def num_separators(self) -> int:
+        """Number of stored past predicates (k - 1 for a live chain)."""
+        return len(self._separators)
+
+    def storage_bytes(self) -> int:
+        """Index footprint: uid membership lists + stored trapdoors.
+
+        Matches the paper's Table 3 accounting: PRKB is "simply partition
+        information of encrypted tuples" (≈ one word per tuple) plus the
+        separator predicates kept for update handling.
+        """
+        membership = 8 * self.pop.num_tuples
+        chain_overhead = 16 * self.pop.num_partitions
+        separators = sum(
+            len(s.trapdoor.sealed) + 1 for s in self._separators
+        )
+        return membership + chain_overhead + separators
+
+    def describe(self) -> dict:
+        """Operational statistics for monitoring / the CLI.
+
+        Returns chain shape (length, size quantiles, imbalance), the
+        separator mix (comparison vs BETWEEN edges) and the expected
+        QPF cost of the next range query under the Sec. 5 model.
+        """
+        sizes = sorted(self.pop.sizes())
+        n = self.pop.num_tuples
+        k = self.pop.num_partitions
+        if sizes:
+            median = sizes[len(sizes) // 2]
+            largest = sizes[-1]
+        else:
+            median = largest = 0
+        between_edges = sum(
+            1 for s in self._separators if s.edge is not None)
+        expected_qpf = (n if k <= 1 else
+                        4 * max(1, largest) // 2 + 2 * max(1, k).bit_length())
+        return {
+            "attribute": self.attribute,
+            "tuples": n,
+            "partitions": k,
+            "median_partition": median,
+            "largest_partition": largest,
+            "imbalance": (largest * k / n) if n and k else 0.0,
+            "separators": len(self._separators),
+            "between_edge_separators": between_edges,
+            "max_partitions": self.max_partitions,
+            "cap_policy": self.cap_policy,
+            "storage_bytes": self.storage_bytes(),
+            "expected_range_query_qpf": expected_qpf,
+        }
+
+    def _check_attribute(self, trapdoor: EncryptedPredicate) -> None:
+        if trapdoor.attribute != self.attribute:
+            raise ValueError(
+                f"trapdoor targets attribute {trapdoor.attribute!r}, index "
+                f"covers {self.attribute!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: QFilter                                                #
+    # ------------------------------------------------------------------ #
+
+    def _theta_sample(self, trapdoor: EncryptedPredicate,
+                      partition: Partition) -> bool:
+        """Θ on one random sample of ``partition`` — one QPF use."""
+        uid = partition.sample(self._rng)
+        return self.qpf(trapdoor, self.table, uid)
+
+    def qfilter(self, trapdoor: EncryptedPredicate) -> QFilterOutcome:
+        """Locate the NS-pair and the free Winner group (Algorithm 1)."""
+        self._check_attribute(trapdoor)
+        k = self.pop.num_partitions
+        if k == 0:
+            return QFilterOutcome(_EMPTY, (), False, None, None)
+        if k == 1:
+            # No samples needed: the single partition is the NS "pair".
+            return QFilterOutcome(_EMPTY, (0,), False, None, None)
+        label_first = self._theta_sample(trapdoor, self.pop[0])
+        label_last = self._theta_sample(trapdoor, self.pop[k - 1])
+        if label_first == label_last:
+            # Boundary case: separating point is at one of the two ends;
+            # every middle partition shares the sampled label.
+            if label_first:
+                winners = _concat([self.pop[j].uids for j in range(1, k - 1)])
+            else:
+                winners = _EMPTY
+            return QFilterOutcome(
+                winners=winners,
+                ns_indices=(0, k - 1),
+                boundary=True,
+                label_prefix=label_first,
+                label_suffix=label_last,
+            )
+        # Recursive case: binary search for the adjacent NS-pair.
+        a, b = 0, k - 1
+        while b - a > 1:
+            m = (a + b) // 2
+            label_m = self._theta_sample(trapdoor, self.pop[m])
+            if label_m == label_first:
+                a = m
+            else:
+                b = m
+        if label_first:
+            winners = _concat([self.pop[j].uids for j in range(a)])
+        else:
+            winners = _concat([self.pop[j].uids for j in range(b + 1, k)])
+        return QFilterOutcome(
+            winners=winners,
+            ns_indices=(a, b),
+            boundary=False,
+            label_prefix=label_first,
+            label_suffix=label_last,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: QScan                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _scan_partition(self, trapdoor: EncryptedPredicate,
+                        partition: Partition
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Θ on every tuple of ``partition``; returns (true, false) uids."""
+        uids = partition.uids
+        labels = self.qpf.batch(trapdoor, self.table, uids)
+        return uids[labels], uids[~labels]
+
+    def qscan(self, trapdoor: EncryptedPredicate,
+              filtered: QFilterOutcome) -> QScanOutcome:
+        """Resolve the exact result within the NS partitions (Algorithm 2)."""
+        self._check_attribute(trapdoor)
+        if not filtered.ns_indices:
+            return QScanOutcome(winners=_EMPTY, split_index=None)
+        if len(filtered.ns_indices) == 1:
+            # Single-partition chain: a full scan is both QScan and the
+            # first opportunity to split.
+            index = filtered.ns_indices[0]
+            true_uids, false_uids = self._scan_partition(
+                trapdoor, self.pop[index])
+            if true_uids.size and false_uids.size:
+                return QScanOutcome(true_uids, index, true_uids, false_uids)
+            return QScanOutcome(true_uids, None)
+
+        a, b = filtered.ns_indices
+        true_a, false_a = self._scan_partition(trapdoor, self.pop[a])
+        if true_a.size and false_a.size:
+            # Pa is non-homogeneous: the separating point is a.  With early
+            # stop, Pb's label is already known from QFilter's samples.
+            if self.early_stop:
+                winners_b = (
+                    self.pop[b].uids if filtered.label_suffix else _EMPTY
+                )
+            else:
+                winners_b, _ = self._scan_partition(trapdoor, self.pop[b])
+            return QScanOutcome(
+                winners=_concat([true_a, winners_b]),
+                split_index=a,
+                true_uids=true_a,
+                false_uids=false_a,
+            )
+        # Pa is homogeneous; Pb must be scanned to settle the case.
+        true_b, false_b = self._scan_partition(trapdoor, self.pop[b])
+        winners = _concat([true_a, true_b])
+        if true_b.size and false_b.size:
+            return QScanOutcome(winners, b, true_b, false_b)
+        # Case 1 of Lemma 4.5: the predicate is equivalent to a stored one.
+        return QScanOutcome(winners, None)
+
+    # ------------------------------------------------------------------ #
+    # updatePRKB                                                          #
+    # ------------------------------------------------------------------ #
+
+    def update(self, trapdoor: EncryptedPredicate,
+               filtered: QFilterOutcome, scanned: QScanOutcome) -> bool:
+        """Refine POP_k to POP_{k+1} from the scan's split (Sec. 5.3).
+
+        Returns True when a split was applied.  No QPF is used: the halves
+        and their orientation are fully determined by information already
+        observed.
+        """
+        self._check_attribute(trapdoor)
+        if scanned.split_index is None:
+            return False
+        s = scanned.split_index
+        # Orientation is decided against the pre-rotation chain snapshot
+        # the QFilter/QScan outcomes refer to.
+        if len(filtered.ns_indices) == 1:
+            # First split of a virgin chain: the direction is genuinely
+            # unknowable (either orientation is consistent); fix one.
+            first_label = False
+        elif s == filtered.ns_indices[0]:
+            # Split at the lower NS index: the half matching the suffix
+            # group's label sits adjacent to the suffix side (second).
+            first_label = not filtered.label_suffix
+        else:
+            # Split at the upper NS index: the half matching the prefix
+            # group's label sits adjacent to the prefix side (first).
+            first_label = filtered.label_prefix
+        if not self.can_grow:
+            if self.cap_policy != "rotate":
+                return False
+            rotated = self._make_room(protect=s)
+            if rotated is None:
+                return False
+            s = rotated
+        self.apply_split(trapdoor, s, scanned.true_uids, scanned.false_uids,
+                         first_label)
+        return True
+
+    def apply_split(self, trapdoor: EncryptedPredicate, index: int,
+                    true_uids: np.ndarray, false_uids: np.ndarray,
+                    first_label: bool, edge: str | None = None,
+                    partner_index: int | None = None) -> None:
+        """Split the partition at ``index`` and record its separator.
+
+        ``first_label`` states which half (the Θ=1 half when True) takes
+        the chain position adjacent to the *prefix* side.  The caller is
+        responsible for the orientation reasoning; this method performs the
+        structural refinement.  ``edge``/``partner_index`` carry BETWEEN
+        boundary metadata (see :class:`_Separator`).
+        """
+        if first_label:
+            first_uids, second_uids = true_uids, false_uids
+        else:
+            first_uids, second_uids = false_uids, true_uids
+        self.pop.split(index, first_uids, second_uids)
+        separator = _Separator(trapdoor=trapdoor, prefix_label=first_label,
+                               edge=edge)
+        if partner_index is not None:
+            partner = self._separators[partner_index]
+            separator.partner = partner
+            partner.partner = separator
+        self._separators.insert(index, separator)
+        self.qpf.counter.index_updates += 1
+
+    # ------------------------------------------------------------------ #
+    # full pipeline                                                       #
+    # ------------------------------------------------------------------ #
+
+    def select(self, trapdoor: EncryptedPredicate,
+               update: bool = True) -> SelectionResult:
+        """Process one comparison predicate end to end (Fig. 2b).
+
+        ``QFilter`` → ``QScan`` → optional ``updatePRKB``; the result is
+        ``TW ∪ TWNS``.
+        """
+        counter = self.qpf.counter
+        before = counter.qpf_uses
+        filtered = self.qfilter(trapdoor)
+        after_filter = counter.qpf_uses
+        scanned = self.qscan(trapdoor, filtered)
+        after_scan = counter.qpf_uses
+        if update:
+            self.update(trapdoor, filtered, scanned)
+        winners = _concat([filtered.winners, scanned.winners])
+        return SelectionResult(
+            winners=winners,
+            qpf_uses=counter.qpf_uses - before,
+            partitions_after=self.pop.num_partitions,
+            was_equivalent=(scanned.split_index is None
+                            and self.pop.num_partitions > 1),
+            phase_qpf={
+                "qfilter": after_filter - before,
+                "qscan": after_scan - after_filter,
+                "update": counter.qpf_uses - after_scan,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # update handling (Sec. 7)                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def can_grow(self) -> bool:
+        """Whether the partition cap still allows refinement."""
+        return (self.max_partitions is None
+                or self.pop.num_partitions < self.max_partitions)
+
+    def _make_room(self, protect: int) -> int | None:
+        """Rotate policy: merge the cheapest adjacent pair to free a slot.
+
+        The pair with the smallest combined size loses its boundary (and
+        the separator that defined it) — the knowledge there was the
+        least valuable by the n/k scan-cost model.  ``protect`` (the
+        position about to be split) is never part of the merged pair;
+        the possibly shifted position is returned, or ``None`` when the
+        chain is too short to rotate.
+        """
+        sizes = self.pop.sizes()
+        best = None
+        best_cost = None
+        for i in range(len(sizes) - 1):
+            if i == protect or i + 1 == protect:
+                continue
+            cost = sizes[i] + sizes[i + 1]
+            if best_cost is None or cost < best_cost:
+                best, best_cost = i, cost
+        if best is None:
+            return None
+        self.pop.merge_range(best, best + 1)
+        del self._separators[best]
+        return protect - 1 if best < protect else protect
+
+    def _probe_boundary(self, uid: int, boundary: int,
+                        lo: int, hi: int) -> tuple[int, int] | None:
+        """Evaluate the separator at ``boundary`` on the new tuple.
+
+        Returns the narrowed candidate range, or ``None`` when the probe is
+        inconclusive (only possible for a 0-output on a BETWEEN edge whose
+        partner edge lies inside the candidate range).
+        """
+        separator = self._separators[boundary]
+        label = self.qpf(separator.trapdoor, self.table, uid)
+        if separator.edge is None:
+            # Comparison separator: decisive both ways (Sec. 7.1).
+            if label == separator.prefix_label:
+                return lo, boundary
+            return boundary + 1, hi
+        if label:
+            # In-band output: decisive towards the band side of this edge.
+            if separator.edge == "low":
+                return boundary + 1, hi
+            return lo, boundary
+        # Out-of-band output: the tuple is below the band's low end OR
+        # above its high end — two regions on opposite sides of this
+        # boundary.  The probe is decisive only when the band's *other*
+        # edge is known (a linked partner separator) and lies outside the
+        # candidate range on the far side, so "beyond the partner" is
+        # impossible within the range.  A missing/retired partner means
+        # the other cut's position is unknown: inconclusive.
+        partner_pos = None
+        if separator.partner is not None:
+            try:
+                partner_pos = self._separators.index(separator.partner)
+            except ValueError:
+                partner_pos = None  # partner retired by a deletion
+        if partner_pos is None:
+            return None
+        if separator.edge == "low":
+            if partner_pos >= hi:
+                return lo, boundary
+        else:
+            if partner_pos < lo:
+                return boundary + 1, hi
+        return None
+
+    def locate_partition(self, uid: int) -> int | tuple[int, int]:
+        """Find the chain partition a new tuple belongs to (Sec. 7.1).
+
+        Binary search over the stored separators: each probe asks Θ of one
+        stored trapdoor on the new tuple — O(log k) QPF uses when all
+        separators come from comparison predicates (the case the paper
+        analyses).  BETWEEN-created boundaries can be inconclusive on a
+        0-output; the search then looks for any decisive boundary inside
+        the range and, failing that, returns the unresolved range so the
+        caller can degrade knowledge by merging.
+        """
+        lo, hi = 0, self.pop.num_partitions - 1
+        while lo < hi:
+            mid = lo + (hi - lo) // 2
+            narrowed = self._probe_boundary(uid, mid, lo, hi)
+            if narrowed is None:
+                narrowed = self._probe_decisive_fallback(uid, lo, hi, mid)
+            if narrowed is None:
+                return lo, hi  # genuinely ambiguous: caller merges
+            lo, hi = narrowed
+        return lo
+
+    def _probe_decisive_fallback(self, uid: int, lo: int, hi: int,
+                                 skip: int) -> tuple[int, int] | None:
+        """Try the remaining boundaries in [lo, hi) for a decisive probe."""
+        for boundary in range(lo, hi):
+            if boundary == skip:
+                continue
+            narrowed = self._probe_boundary(uid, boundary, lo, hi)
+            if narrowed is not None:
+                return narrowed
+        return None
+
+    def insert(self, uid: int) -> int:
+        """Register a freshly inserted encrypted tuple with the index.
+
+        The tuple must already be present in the encrypted table (the QPF
+        needs its ciphertext).  Returns the chain index it was filed under.
+        If placement is ambiguous (BETWEEN boundaries only), the candidate
+        range is merged into one partition first — sound, but coarser.
+        """
+        if self.pop.num_partitions == 0:
+            self.pop = PartialOrderPartitions(
+                np.asarray([uid], dtype=np.uint64))
+            return 0
+        located = self.locate_partition(uid)
+        if isinstance(located, tuple):
+            lo, hi = located
+            self.pop.merge_range(lo, hi)
+            del self._separators[lo:hi]
+            located = lo
+        self.pop.insert(uid, located)
+        return located
+
+    def delete(self, uid: int) -> None:
+        """Drop a tuple; retire a separator if its partition vanished."""
+        dropped = self.pop.delete(uid)
+        if dropped is None or not self._separators:
+            return
+        # Boundaries dropped-1 and dropped collapsed into one; either
+        # separator now describes the same cut, keep one of them.
+        retire = min(dropped, len(self._separators) - 1)
+        del self._separators[retire]

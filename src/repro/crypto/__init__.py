@@ -1,0 +1,41 @@
+"""Cryptographic substrates for the EDBMS simulation.
+
+Everything in this package is a faithful *simulation* of the cryptography
+the paper's EDBMSs rely on — keyed PRFs, a stream cipher for attribute
+values, trapdoor sealing, order-preserving encryption and SDB-style secret
+sharing.  The constructions are real but toy-sized; see DESIGN.md's
+substitution table.
+"""
+
+from .primitives import (
+    SecretKey,
+    generate_key,
+    encrypt_value,
+    decrypt_value,
+    encrypt_words,
+    decrypt_words,
+)
+from .trapdoor import (
+    ComparisonPredicate,
+    BetweenPredicate,
+    EncryptedPredicate,
+    seal_predicate,
+)
+from .ope import OrderPreservingEncryption
+from .secret_sharing import SecretSharingScheme, SharePair
+
+__all__ = [
+    "SecretKey",
+    "generate_key",
+    "encrypt_value",
+    "decrypt_value",
+    "encrypt_words",
+    "decrypt_words",
+    "ComparisonPredicate",
+    "BetweenPredicate",
+    "EncryptedPredicate",
+    "seal_predicate",
+    "OrderPreservingEncryption",
+    "SecretSharingScheme",
+    "SharePair",
+]

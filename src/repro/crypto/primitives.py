@@ -1,0 +1,183 @@
+"""Low-level cryptographic primitives for the EDBMS simulation.
+
+These primitives simulate application-level encryption: the data owner (DO)
+encrypts every attribute value before upload and only the trusted machine
+holds the key.  The constructions here are *real* (keyed SHA-256 PRF, stream
+cipher by XOR with the PRF keystream) but are toy-sized and NOT intended to
+be production secure.  They exist so the rest of the system exercises the
+same code path as a real EDBMS: the service provider only ever sees opaque
+64-bit ciphertext words and cannot evaluate predicates without the trusted
+machine.
+
+Vectorised variants (numpy) are provided because the benchmarks encrypt
+hundreds of thousands of values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+import numpy as np
+
+__all__ = [
+    "SecretKey",
+    "generate_key",
+    "prf",
+    "prf_word",
+    "prf_words",
+    "encrypt_word",
+    "decrypt_word",
+    "encrypt_words",
+    "decrypt_words",
+    "encrypt_value",
+    "decrypt_value",
+]
+
+#: Number of bytes in a secret key.
+KEY_BYTES = 32
+
+#: Modulus for the 64-bit word space; ciphertexts live in [0, 2**64).
+WORD_MODULUS = 1 << 64
+
+
+class SecretKey:
+    """An opaque symmetric key held by the data owner / trusted machine.
+
+    The raw bytes are kept on a private attribute to make accidental leakage
+    into server-side code easy to spot in review; the server is only ever
+    handed ciphertexts and trapdoors, never a ``SecretKey``.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: bytes):
+        if not isinstance(raw, (bytes, bytearray)):
+            raise TypeError("key material must be bytes")
+        if len(raw) != KEY_BYTES:
+            raise ValueError(f"key must be {KEY_BYTES} bytes, got {len(raw)}")
+        self._raw = bytes(raw)
+
+    @property
+    def raw(self) -> bytes:
+        """Raw key bytes (trusted-side use only)."""
+        return self._raw
+
+    def subkey(self, label: str) -> "SecretKey":
+        """Derive an independent subkey for a labelled purpose.
+
+        Standard HKDF-style domain separation: different labels yield
+        computationally independent keys, so e.g. the per-attribute data
+        keys and the trapdoor-wrapping key never collide.
+        """
+        material = hmac.new(self._raw, label.encode("utf-8"),
+                            hashlib.sha256).digest()
+        return SecretKey(material)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SecretKey(<hidden>)"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SecretKey):
+            return NotImplemented
+        return hmac.compare_digest(self._raw, other._raw)
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+
+def generate_key(seed: int | None = None) -> SecretKey:
+    """Generate a fresh key, optionally deterministically from ``seed``.
+
+    Deterministic generation is used by tests and benchmarks so runs are
+    reproducible; pass ``None`` for an OS-random key.
+    """
+    if seed is None:
+        return SecretKey(os.urandom(KEY_BYTES))
+    digest = hashlib.sha256(b"repro-key-seed:%d" % seed).digest()
+    return SecretKey(digest)
+
+
+def prf(key: SecretKey, message: bytes) -> bytes:
+    """Keyed pseudo-random function: HMAC-SHA256."""
+    return hmac.new(key.raw, message, hashlib.sha256).digest()
+
+
+def prf_word(key: SecretKey, nonce: int) -> int:
+    """A pseudo-random 64-bit word derived from ``nonce``.
+
+    Delegates to :func:`prf_words` so scalar and vectorised callers see the
+    same keystream.
+    """
+    nonces = np.asarray([nonce & (WORD_MODULUS - 1)], dtype=np.uint64)
+    return int(prf_words(key, nonces)[0])
+
+
+def prf_words(key: SecretKey, nonces: np.ndarray) -> np.ndarray:
+    """Vectorised ``prf_word`` over an array of nonces.
+
+    A single HMAC keyed by the secret seeds a counter-mode expansion that is
+    then mixed with the nonces using a splitmix64-style finalizer.  This is
+    the simulation's keystream generator: deterministic given (key, nonce),
+    unpredictable without the key.
+    """
+    nonces = np.asarray(nonces, dtype=np.uint64)
+    seed_bytes = prf(key, b"prf-words-seed")
+    seed = np.uint64(struct.unpack("<Q", seed_bytes[:8])[0])
+    x = nonces + seed
+    # splitmix64 finalizer: a fast, high-quality 64-bit mixing permutation.
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def encrypt_word(key: SecretKey, value: int, nonce: int) -> int:
+    """Encrypt a 64-bit word under (key, nonce) — stream-cipher XOR."""
+    if not 0 <= value < WORD_MODULUS:
+        raise ValueError("plaintext word out of 64-bit range")
+    return value ^ prf_word(key, nonce)
+
+
+def decrypt_word(key: SecretKey, ciphertext: int, nonce: int) -> int:
+    """Invert :func:`encrypt_word`."""
+    return ciphertext ^ prf_word(key, nonce)
+
+
+def encrypt_words(key: SecretKey, values: np.ndarray,
+                  nonces: np.ndarray) -> np.ndarray:
+    """Vectorised word encryption (used for bulk table upload)."""
+    values = np.asarray(values, dtype=np.uint64)
+    return values ^ prf_words(key, nonces)
+
+
+def decrypt_words(key: SecretKey, ciphertexts: np.ndarray,
+                  nonces: np.ndarray) -> np.ndarray:
+    """Vectorised word decryption (trusted-machine side)."""
+    ciphertexts = np.asarray(ciphertexts, dtype=np.uint64)
+    return ciphertexts ^ prf_words(key, nonces)
+
+
+def _to_word(value: int) -> int:
+    """Map a signed Python int into the 64-bit word space (two's complement)."""
+    return value & (WORD_MODULUS - 1)
+
+
+def _from_word(word: int) -> int:
+    """Invert :func:`_to_word` back to a signed integer."""
+    if word >= WORD_MODULUS >> 1:
+        return word - WORD_MODULUS
+    return word
+
+
+def encrypt_value(key: SecretKey, value: int, nonce: int) -> int:
+    """Encrypt a (possibly negative) Python integer attribute value."""
+    return encrypt_word(key, _to_word(value), nonce)
+
+
+def decrypt_value(key: SecretKey, ciphertext: int, nonce: int) -> int:
+    """Invert :func:`encrypt_value`."""
+    return _from_word(decrypt_word(key, ciphertext, nonce))

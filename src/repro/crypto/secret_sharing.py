@@ -1,0 +1,100 @@
+"""SDB-style secret sharing — the alternative EDBMS backend (Sec. 2.1).
+
+SDB (Wong et al., SIGMOD'14 / PVLDB'15) splits every data item into two
+multiplicative shares modulo a public modulus: one kept by the data owner,
+one stored at the service provider.  Neither share alone reveals the value.
+Query operators are multi-party protocols between DO and SP.
+
+PRKB is backend-agnostic: it only needs a QPF that reveals selection
+results.  We include this substrate so the library demonstrates PRKB
+running on top of a *second*, structurally different EDBMS (the test suite
+runs the single-dimension processor against both backends), and so the
+per-QPF cost asymmetry the paper describes (MPC rounds are even more
+expensive than trusted-hardware decryption) can be modelled.
+
+The arithmetic here follows SDB's scheme shape: for item ``v`` the owner
+draws a random ``r`` and publishes ``share_sp = v * m^r mod n`` while
+keeping ``r`` (compressible via an RSA-like generator, per the paper's
+footnote 2).  Reconstruction multiplies by the modular inverse of ``m^r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .primitives import SecretKey, prf_word
+
+__all__ = ["SecretSharingScheme", "SharePair"]
+
+#: A public Sophie-Germain-style prime modulus (fits in 62 bits so share
+#: arithmetic stays inside numpy's uint64/python-int comfort zone).
+DEFAULT_MODULUS = 4611686018427387847  # largest prime < 2**62
+
+#: Public multiplicative base ``m``; any generator-ish element works.
+DEFAULT_BASE = 3
+
+
+@dataclass(frozen=True)
+class SharePair:
+    """The two shares of one item: ``owner_share`` (= r) and ``sp_share``."""
+
+    owner_share: int
+    sp_share: int
+
+
+class SecretSharingScheme:
+    """Multiplicative secret sharing over ``Z_n*`` in the style of SDB.
+
+    Values must be in ``[1, n-1]`` (0 has no multiplicative inverse); the
+    EDBMS layer shifts attribute domains accordingly.
+    """
+
+    def __init__(self, key: SecretKey, modulus: int = DEFAULT_MODULUS,
+                 base: int = DEFAULT_BASE):
+        if modulus < 3:
+            raise ValueError("modulus too small")
+        self._key = key.subkey("secret-sharing")
+        self.modulus = modulus
+        self.base = base
+
+    def _random_exponent(self, nonce: int) -> int:
+        """Deterministic pseudo-random exponent for item ``nonce``."""
+        return prf_word(self._key, nonce) % (self.modulus - 1)
+
+    def share(self, value: int, nonce: int) -> SharePair:
+        """Split ``value`` into (owner, SP) shares."""
+        if not 1 <= value < self.modulus:
+            raise ValueError(
+                f"value {value} outside sharable range [1, {self.modulus - 1}]"
+            )
+        r = self._random_exponent(nonce)
+        mask = pow(self.base, r, self.modulus)
+        return SharePair(owner_share=r, sp_share=(value * mask) % self.modulus)
+
+    def reconstruct(self, pair: SharePair) -> int:
+        """Recombine the two shares into the plaintext value."""
+        mask = pow(self.base, pair.owner_share, self.modulus)
+        inverse = pow(mask, -1, self.modulus)
+        return (pair.sp_share * inverse) % self.modulus
+
+    def share_many(self, values: np.ndarray,
+                   nonces: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`share`; returns (owner_shares, sp_shares).
+
+        The modular exponentiations fall back to Python ints per element
+        (numpy has no modpow), which is fine at benchmark scale because
+        sharing happens once at upload time.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        nonces = np.asarray(nonces, dtype=np.uint64)
+        if values.shape != nonces.shape:
+            raise ValueError("values and nonces must align")
+        owner = np.empty(values.size, dtype=np.int64)
+        sp = np.empty(values.size, dtype=np.uint64)
+        for i, (v, nonce) in enumerate(zip(values.tolist(), nonces.tolist())):
+            pair = self.share(v, nonce)
+            owner[i] = pair.owner_share
+            sp[i] = pair.sp_share
+        return owner, sp

@@ -1,0 +1,137 @@
+"""Server-side audit log — operational observability for the SP.
+
+A deployed service provider needs an account of what it processed and
+what each operation cost; in the EDBMS threat model the audit log is
+also exactly the transcript an attacker-of-record would hold (Sec. 3.3),
+so keeping it first-class makes the leakage surface inspectable: every
+entry records only server-visible facts (trapdoor attribute/kind, result
+*size*, counter deltas), never plaintext.
+
+Attach an :class:`AuditLog` to a :class:`ServiceProvider` with
+:func:`attach_audit_log`; it wraps the selection entry points.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .costs import CostCounter
+
+__all__ = ["AuditEntry", "AuditLog", "attach_audit_log"]
+
+_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One processed operation, server-visible facts only."""
+
+    sequence: int
+    operation: str      # "select" | "select_range" | "baseline" ...
+    table: str
+    attributes: tuple[str, ...]
+    result_size: int
+    qpf_uses: int
+    mpc_messages: int
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps({
+            "sequence": self.sequence,
+            "operation": self.operation,
+            "table": self.table,
+            "attributes": list(self.attributes),
+            "result_size": self.result_size,
+            "qpf_uses": self.qpf_uses,
+            "mpc_messages": self.mpc_messages,
+        }, sort_keys=True)
+
+
+@dataclass
+class AuditLog:
+    """Append-only log of processed operations."""
+
+    entries: list[AuditEntry] = field(default_factory=list)
+
+    def record(self, operation: str, table: str,
+               attributes: tuple[str, ...], result_size: int,
+               spent: CostCounter) -> AuditEntry:
+        """Append one entry from a cost delta."""
+        entry = AuditEntry(
+            sequence=next(_SEQUENCE),
+            operation=operation,
+            table=table,
+            attributes=attributes,
+            result_size=result_size,
+            qpf_uses=spent.qpf_uses,
+            mpc_messages=spent.mpc_messages,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- analysis --------------------------------------------------------- #
+
+    def total_qpf(self) -> int:
+        """QPF uses across every logged operation."""
+        return sum(entry.qpf_uses for entry in self.entries)
+
+    def by_attribute(self) -> dict[str, int]:
+        """QPF spend grouped by attribute — where the budget goes."""
+        spend: dict[str, int] = {}
+        for entry in self.entries:
+            for attribute in entry.attributes:
+                spend[attribute] = spend.get(attribute, 0) + entry.qpf_uses
+        return spend
+
+    def save(self, path) -> None:
+        """Persist as JSON lines."""
+        lines = [entry.to_json() for entry in self.entries]
+        Path(path).write_text("\n".join(lines)
+                              + ("\n" if lines else ""))
+
+
+def attach_audit_log(server) -> AuditLog:
+    """Wrap a :class:`ServiceProvider`'s selection entry points.
+
+    Returns the live :class:`AuditLog`; subsequent calls to ``select``,
+    ``select_baseline`` and ``select_range`` on that server are recorded
+    transparently.
+    """
+    log = AuditLog()
+    original_select = server.select
+    original_baseline = server.select_baseline
+    original_range = server.select_range
+
+    def select(table_name, trapdoor, update=True):
+        before = server.counter.snapshot()
+        result = original_select(table_name, trapdoor, update=update)
+        log.record("select", table_name, (trapdoor.attribute,),
+                   int(result.size), server.counter.diff(before))
+        return result
+
+    def select_baseline(table_name, trapdoor):
+        before = server.counter.snapshot()
+        result = original_baseline(table_name, trapdoor)
+        log.record("baseline", table_name, (trapdoor.attribute,),
+                   int(result.size), server.counter.diff(before))
+        return result
+
+    def select_range(table_name, query, strategy="md", update=True):
+        before = server.counter.snapshot()
+        result = original_range(table_name, query, strategy=strategy,
+                                update=update)
+        attributes = tuple(dimension.attribute for dimension in query)
+        log.record("select_range", table_name, attributes,
+                   int(result.size), server.counter.diff(before))
+        return result
+
+    server.select = select
+    server.select_baseline = select_baseline
+    server.select_range = select_range
+    return log

@@ -1,0 +1,372 @@
+"""High-level facade: an encrypted database you can talk SQL to.
+
+:class:`EncryptedDatabase` wires together the data owner, the trusted
+machine, the QPF and the service provider, plans parsed mini-SQL against
+the available PRKB indexes, and reports per-query cost.  This is the entry
+point the examples use; research code that wants finer control composes
+the lower-level pieces directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.aggregates import AggregateResolver
+from ..core.multi import DimensionRange
+from ..crypto.primitives import generate_key
+from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
+from .owner import DataOwner
+from .qpf import QueryProcessingFunction, TrustedMachine
+from .schema import AttributeSpec, PlainTable, Schema
+from .server import ServiceProvider
+from .sql import (
+    BetweenCondition,
+    ComparisonCondition,
+    SelectStatement,
+    parse_select,
+)
+
+__all__ = ["EncryptedDatabase", "QueryAnswer", "QueryPlan", "PlanStep"]
+
+_LOWER_OPS = (">", ">=")
+_UPPER_OPS = ("<", "<=")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of an explained query plan."""
+
+    kind: str  # "md-grid" | "prkb-sd" | "prkb-between" | "baseline-scan"
+    attributes: tuple[str, ...]
+    indexed: bool
+    partitions: int | None
+    estimated_qpf: int
+
+    def render(self) -> str:
+        """Human-readable single line."""
+        attrs = ", ".join(self.attributes)
+        index_note = (f"PRKB k={self.partitions}" if self.indexed
+                      else "no index")
+        return (f"{self.kind}({attrs}) [{index_note}] "
+                f"~{self.estimated_qpf} QPF")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """EXPLAIN output: the steps the engine would execute."""
+
+    table: str
+    projection: object
+    steps: tuple[PlanStep, ...]
+
+    @property
+    def estimated_qpf(self) -> int:
+        """Total estimated QPF uses across all steps."""
+        return sum(step.estimated_qpf for step in self.steps)
+
+    def render(self) -> str:
+        """Multi-line human-readable plan."""
+        lines = [f"SELECT {self.projection} FROM {self.table}"]
+        lines.extend("  -> " + step.render() for step in self.steps)
+        lines.append(f"  estimated total: ~{self.estimated_qpf} QPF uses")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """Result of one SQL query plus its cost accounting."""
+
+    uids: np.ndarray
+    value: int | None
+    qpf_uses: int
+    simulated_ms: float
+
+    @property
+    def count(self) -> int:
+        """Number of matching tuples."""
+        return int(self.uids.size)
+
+
+class EncryptedDatabase:
+    """One data owner, one service provider, one trusted machine."""
+
+    def __init__(self, seed: int | None = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        key = generate_key(seed)
+        self.owner = DataOwner(key=key)
+        self.counter = CostCounter()
+        self._trusted_machine = TrustedMachine(key, self.counter)
+        self.qpf = QueryProcessingFunction(self._trusted_machine)
+        self.server = ServiceProvider(self.qpf)
+        self.cost_model = cost_model
+        self._seed = seed
+
+    # -- schema / data ------------------------------------------------------ #
+
+    def create_table(self, name: str, domains: dict[str, tuple[int, int]],
+                     data: dict[str, np.ndarray]) -> None:
+        """Declare, encrypt and upload a table in one step."""
+        schema = Schema(tuple(
+            AttributeSpec(attr, lo, hi) for attr, (lo, hi) in domains.items()
+        ))
+        table = PlainTable(name=name, schema=schema,
+                           columns={k: np.asarray(v) for k, v in
+                                    data.items()})
+        encrypted = self.owner.encrypt_table(table)
+        self.server.register_table(encrypted)
+
+    def enable_prkb(self, table: str, attributes: list[str],
+                    max_partitions: int | None = None) -> None:
+        """Ask the SP to initialise PRKB on the given attributes."""
+        for position, attribute in enumerate(attributes):
+            seed = None if self._seed is None else self._seed + position
+            self.server.build_index(table, attribute,
+                                    max_partitions=max_partitions,
+                                    seed=seed)
+
+    def enable_audit(self):
+        """Attach a server-side audit log; returns the live log.
+
+        See :mod:`repro.edbms.audit` — entries record server-visible
+        facts only (attributes, result sizes, cost deltas).
+        """
+        from .audit import attach_audit_log
+        return attach_audit_log(self.server)
+
+    # -- updates ------------------------------------------------------------ #
+
+    def insert(self, table: str, rows: dict[str, np.ndarray]) -> np.ndarray:
+        """INSERT plaintext rows (DO encrypts, SP stores + indexes)."""
+        receipt = self.server.updater(table).insert_plain(self.owner.key,
+                                                          rows)
+        return receipt.uids
+
+    def delete(self, table: str, uids: np.ndarray) -> None:
+        """DELETE rows by uid."""
+        self.server.updater(table).delete(uids)
+
+    # -- querying ------------------------------------------------------------ #
+
+    def query(self, sql: str, strategy: str = "auto") -> QueryAnswer:
+        """Parse, plan and execute one SELECT statement.
+
+        ``strategy`` constrains multi-dimensional planning: ``"auto"``
+        (PRKB(MD) when two or more fully-bounded indexed dimensions exist),
+        ``"md"``, ``"sd+"``, or ``"baseline"`` (ignore PRKB entirely).
+        """
+        statement = parse_select(sql)
+        before = self.counter.snapshot()
+        uids, value = self._execute(statement, strategy)
+        spent = self.counter.diff(before)
+        return QueryAnswer(
+            uids=uids,
+            value=value,
+            qpf_uses=spent.qpf_uses,
+            simulated_ms=self.cost_model.simulated_millis(spent),
+        )
+
+    def explain(self, sql: str, strategy: str = "auto") -> QueryPlan:
+        """Describe how a statement would be planned, without running it.
+
+        Cost estimates use the PRKB model of Sec. 5/6: an indexed
+        comparison costs ~``2·(2n/k) + log2 k`` QPF uses (two NS-pair
+        scans plus the binary search), an unindexed one costs ``n``.
+        """
+        statement = parse_select(sql)
+        table = self.server.table(statement.table)
+        n = table.num_rows
+        md_dimensions, leftovers = self._plan(statement)
+        use_md = (strategy in ("auto", "md", "sd+")
+                  and len(md_dimensions) >= (1 if strategy != "auto"
+                                             else 2))
+        if strategy == "baseline" or (md_dimensions and not use_md):
+            leftovers = list(statement.conditions)
+            md_dimensions = []
+        steps: list[PlanStep] = []
+        if md_dimensions:
+            attrs = tuple(d.attribute for d in md_dimensions)
+            ks = [self.server.index(statement.table, a).num_partitions
+                  for a in attrs]
+            estimated = sum(self._estimate_sd_qpf(n, k) for k in ks)
+            if strategy != "sd+":
+                estimated = max(1, estimated // 2)  # grid pruning bonus
+            steps.append(PlanStep(
+                kind="md-grid" if strategy != "sd+" else "prkb-sd",
+                attributes=attrs,
+                indexed=True,
+                partitions=min(ks),
+                estimated_qpf=estimated,
+            ))
+        for condition in leftovers:
+            attribute = condition.attribute
+            indexed = (strategy != "baseline"
+                       and self.server.has_index(statement.table,
+                                                 attribute))
+            if indexed:
+                k = self.server.index(statement.table,
+                                      attribute).num_partitions
+                kind = ("prkb-between" if hasattr(condition, "low")
+                        and hasattr(condition, "high") else "prkb-sd")
+                steps.append(PlanStep(kind, (attribute,), True, k,
+                                      self._estimate_sd_qpf(n, k)))
+            else:
+                steps.append(PlanStep("baseline-scan", (attribute,),
+                                      False, None, n))
+        if not statement.conditions and statement.projection not in (
+                "*", ("count",)):
+            __, attribute = statement.projection
+            k = (self.server.index(statement.table,
+                                   attribute).num_partitions
+                 if self.server.has_index(statement.table, attribute)
+                 else 1)
+            steps.append(PlanStep("aggregate-ends", (attribute,),
+                                  k > 1, k, max(1, 2 * n // max(1, k))))
+        return QueryPlan(table=statement.table,
+                         projection=statement.projection,
+                         steps=tuple(steps))
+
+    @staticmethod
+    def _estimate_sd_qpf(n: int, k: int) -> int:
+        """Expected QPF uses of one PRKB(SD) range query (Sec. 5)."""
+        if k <= 1:
+            return n
+        ns_scan = 4 * max(1, n // k)  # two NS-pairs of ~n/k tuples
+        return ns_scan + 2 * max(1, int(np.log2(k)))
+
+    def _execute(self, statement: SelectStatement,
+                 strategy: str) -> tuple[np.ndarray, int | None]:
+        if statement.projection in ("*", ("count",)) or isinstance(
+                statement.projection, str):
+            uids = self._execute_selection(statement, strategy)
+            return uids, None
+        func, attribute = statement.projection
+        return self._execute_aggregate(statement, func, attribute,
+                                       strategy)
+
+    def _execute_aggregate(self, statement: SelectStatement, func: str,
+                           attribute: str,
+                           strategy: str) -> tuple[np.ndarray, int]:
+        if not self.server.has_index(statement.table, attribute):
+            # No POP to prune with: the trusted machine decrypts every
+            # candidate (the unindexed EDBMS cost).
+            return self._aggregate_by_full_decrypt(statement, func,
+                                                   attribute, strategy)
+        resolver = AggregateResolver(
+            self.server.index(statement.table, attribute), self.owner.key)
+        if statement.conditions:
+            # Filtered MIN/MAX: resolve the selection, then decrypt only
+            # the winner set's extreme-candidate partitions.
+            winners = self._execute_selection(statement, strategy)
+            if winners.size == 0:
+                raise ValueError("aggregate over an empty selection")
+            uid, value = (resolver.minimum_among(winners) if func == "min"
+                          else resolver.maximum_among(winners))
+        else:
+            uid, value = (resolver.minimum() if func == "min"
+                          else resolver.maximum())
+        return np.asarray([uid], dtype=np.uint64), value
+
+    def _aggregate_by_full_decrypt(self, statement: SelectStatement,
+                                   func: str, attribute: str,
+                                   strategy: str) -> tuple[np.ndarray,
+                                                           int]:
+        from .encryption import decrypt_column
+
+        table = self.server.table(statement.table)
+        if statement.conditions:
+            candidates = self._execute_selection(statement, strategy)
+        else:
+            candidates = table.uids
+        if candidates.size == 0:
+            raise ValueError("aggregate over an empty selection")
+        self.counter.qpf_uses += int(candidates.size)
+        self.counter.tuples_retrieved += int(candidates.size)
+        values = decrypt_column(self.owner.key, table, attribute,
+                                candidates)
+        best = int(np.argmin(values) if func == "min"
+                   else np.argmax(values))
+        return (np.asarray([candidates[best]], dtype=np.uint64),
+                int(values[best]))
+
+    def _execute_selection(self, statement: SelectStatement,
+                           strategy: str) -> np.ndarray:
+        if not statement.conditions:
+            return np.sort(self.server.table(statement.table).uids)
+        md_dimensions, leftovers = self._plan(statement)
+        use_md = (strategy in ("auto", "md", "sd+")
+                  and len(md_dimensions) >= (1 if strategy != "auto" else 2))
+        winners: np.ndarray | None = None
+        if strategy == "baseline":
+            leftovers = list(statement.conditions)
+            md_dimensions = []
+            use_md = False
+        if use_md and md_dimensions:
+            md_strategy = "sd+" if strategy == "sd+" else "md"
+            winners = self.server.select_range(
+                statement.table, md_dimensions, strategy=md_strategy)
+        elif md_dimensions:
+            # Too few dimensions for the grid: fall back to per-condition.
+            leftovers = list(statement.conditions)
+        for condition in leftovers:
+            part = self._execute_condition(statement.table, condition,
+                                           strategy)
+            winners = part if winners is None else np.intersect1d(
+                winners, part, assume_unique=True)
+        assert winners is not None
+        return np.sort(winners)
+
+    def _plan(self, statement: SelectStatement
+              ) -> tuple[list[DimensionRange], list]:
+        """Pair up fully-bounded indexed attributes into MD dimensions."""
+        by_attribute: dict[str, list[ComparisonCondition]] = {}
+        others: list = []
+        for condition in statement.conditions:
+            if isinstance(condition, ComparisonCondition):
+                by_attribute.setdefault(condition.attribute,
+                                        []).append(condition)
+            else:
+                others.append(condition)
+        dimensions: list[DimensionRange] = []
+        for attribute, conditions in by_attribute.items():
+            lows = [c for c in conditions if c.operator in _LOWER_OPS]
+            highs = [c for c in conditions if c.operator in _UPPER_OPS]
+            indexed = self.server.has_index(statement.table, attribute)
+            if indexed and len(conditions) == 2 and len(lows) == 1 \
+                    and len(highs) == 1:
+                dimensions.append(DimensionRange(
+                    attribute=attribute,
+                    low=self.owner.comparison_trapdoor(
+                        attribute, lows[0].operator, lows[0].constant),
+                    high=self.owner.comparison_trapdoor(
+                        attribute, highs[0].operator, highs[0].constant),
+                ))
+            else:
+                others.extend(conditions)
+        return dimensions, others
+
+    def _execute_condition(self, table: str, condition,
+                           strategy: str) -> np.ndarray:
+        if isinstance(condition, ComparisonCondition):
+            trapdoor = self.owner.comparison_trapdoor(
+                condition.attribute, condition.operator, condition.constant)
+        elif isinstance(condition, BetweenCondition):
+            trapdoor = self.owner.between_trapdoor(
+                condition.attribute, condition.low, condition.high)
+        else:  # pragma: no cover - parser only emits the two kinds
+            raise TypeError(f"unknown condition {condition!r}")
+        if strategy == "baseline":
+            return np.sort(self.server.select_baseline(table, trapdoor))
+        return np.sort(self.server.select(table, trapdoor))
+
+    # -- result materialisation (DO side) ------------------------------------ #
+
+    def fetch_rows(self, table: str, uids: np.ndarray) -> dict[str, list]:
+        """Materialise result rows from the DO's retained plaintext."""
+        plain = self.owner.plain_table(table)
+        rows: dict[str, list] = {attr: [] for attr in plain.schema.names}
+        for uid in np.asarray(uids).ravel():
+            for attr in plain.schema.names:
+                rows[attr].append(plain.value_of(int(uid), attr))
+        return rows

@@ -1,0 +1,107 @@
+"""The data owner (DO) role — the only party holding the private key.
+
+The DO encrypts tables before upload, generates trapdoors for its queries
+and (in tests/examples) verifies results against its local plaintext.  Per
+the paper's central design point, the DO is *never* involved in building or
+using PRKB: everything it sends — the encrypted table and the per-query
+trapdoors — is exactly what an unindexed EDBMS would receive (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crypto.primitives import SecretKey, generate_key
+from ..crypto.trapdoor import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    EncryptedPredicate,
+    seal_predicate,
+)
+from ..core.multi import DimensionRange
+from .encryption import EncryptedTable, encrypt_table
+from .schema import PlainTable
+
+__all__ = ["DataOwner"]
+
+
+class DataOwner:
+    """Client-side state: key material and the plaintext originals."""
+
+    def __init__(self, key: SecretKey | None = None,
+                 seed: int | None = None):
+        if key is not None and seed is not None:
+            raise ValueError("pass either key or seed, not both")
+        self.key = key if key is not None else generate_key(seed)
+        self._tables: dict[str, PlainTable] = {}
+
+    # -- upload ------------------------------------------------------------ #
+
+    def encrypt_table(self, table: PlainTable,
+                      keep_plain: bool = True) -> EncryptedTable:
+        """Encrypt a table for upload to the service provider.
+
+        ``keep_plain`` retains the plaintext locally so ground-truth checks
+        (``expected_result``) remain possible; a real DO would discard it.
+        """
+        encrypted = encrypt_table(self.key, table)
+        if keep_plain:
+            self._tables[table.name] = table
+        return encrypted
+
+    def plain_table(self, name: str) -> PlainTable:
+        """The retained plaintext of an uploaded table."""
+        return self._tables[name]
+
+    # -- trapdoor generation ------------------------------------------------ #
+
+    def comparison_trapdoor(self, attribute: str, operator: str,
+                            constant: int) -> EncryptedPredicate:
+        """Seal ``attribute op constant`` into a trapdoor."""
+        return seal_predicate(
+            self.key, ComparisonPredicate(attribute, operator, constant))
+
+    def between_trapdoor(self, attribute: str, low: int,
+                         high: int) -> EncryptedPredicate:
+        """Seal ``attribute BETWEEN low AND high`` into a trapdoor."""
+        return seal_predicate(
+            self.key, BetweenPredicate(attribute, low, high))
+
+    def range_query(self, bounds: dict[str, tuple[int, int]]
+                    ) -> list[DimensionRange]:
+        """Trapdoors for a hyper-rectangle query (Sec. 6's SQL form).
+
+        ``bounds`` maps attribute → (lb, ub), producing the 2d comparison
+        trapdoors ``attr > lb`` and ``attr < ub`` per dimension.
+        """
+        query = []
+        for attribute, (low, high) in bounds.items():
+            if low >= high:
+                raise ValueError(
+                    f"empty range for {attribute!r}: ({low}, {high})"
+                )
+            query.append(DimensionRange(
+                attribute=attribute,
+                low=self.comparison_trapdoor(attribute, ">", low),
+                high=self.comparison_trapdoor(attribute, "<", high),
+            ))
+        return query
+
+    # -- local verification -------------------------------------------------- #
+
+    def expected_result(self, table_name: str,
+                        predicate) -> np.ndarray:
+        """Ground-truth uids for a plaintext predicate (testing aid)."""
+        table = self._tables[table_name]
+        return np.sort(table.rows_matching(predicate.attribute, predicate))
+
+    def expected_range_result(self, table_name: str,
+                              bounds: dict[str, tuple[int, int]]
+                              ) -> np.ndarray:
+        """Ground-truth uids for a hyper-rectangle query (testing aid)."""
+        table = self._tables[table_name]
+        mask = np.ones(table.num_rows, dtype=bool)
+        for attribute, (low, high) in bounds.items():
+            values = table.columns[attribute]
+            mask &= (values > low) & (values < high)
+        return np.sort(table.uids[mask])

@@ -1,0 +1,170 @@
+"""Persistence for server-side state: encrypted tables and PRKB indexes.
+
+A real service provider restarts; its ciphertext store and its accumulated
+past-result knowledge should survive.  Each artefact is saved as a pair of
+files: ``<path>.json`` (structural metadata, sealed trapdoors in hex) and
+``<path>.npz`` (the bulk arrays).  Nothing here requires the data owner's
+key — persistence is an SP-side operation over SP-visible state only,
+consistent with the paper's security argument.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..crypto.trapdoor import EncryptedPredicate
+from .encryption import EncryptedTable
+
+__all__ = ["save_table", "load_table", "save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def _paths(path) -> tuple[Path, Path]:
+    base = Path(path)
+    return base.with_suffix(".json"), base.with_suffix(".npz")
+
+
+# --------------------------------------------------------------------- #
+# encrypted tables                                                       #
+# --------------------------------------------------------------------- #
+
+def save_table(table: EncryptedTable, path) -> None:
+    """Persist an encrypted table (ciphertexts + uids + metadata)."""
+    meta_path, data_path = _paths(path)
+    arrays = {"uids": np.asarray(table.uids)}
+    for attr in table.attribute_names:
+        ciphertexts, __ = table.ciphertexts_for(attr, table.uids)
+        arrays[f"col:{attr}"] = ciphertexts
+    np.savez_compressed(data_path, **arrays)
+    meta = {
+        "format": _FORMAT_VERSION,
+        "kind": "encrypted-table",
+        "name": table.name,
+        "attribute_names": list(table.attribute_names),
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+
+
+def load_table(path) -> EncryptedTable:
+    """Restore an encrypted table saved by :func:`save_table`."""
+    meta_path, data_path = _paths(path)
+    meta = json.loads(meta_path.read_text())
+    if meta.get("kind") != "encrypted-table":
+        raise ValueError(f"{meta_path} does not hold an encrypted table")
+    with np.load(data_path) as data:
+        uids = data["uids"]
+        ciphertexts = {
+            attr: data[f"col:{attr}"]
+            for attr in meta["attribute_names"]
+        }
+    return EncryptedTable(
+        name=meta["name"],
+        attribute_names=tuple(meta["attribute_names"]),
+        uids=uids,
+        ciphertexts=ciphertexts,
+    )
+
+
+# --------------------------------------------------------------------- #
+# PRKB indexes                                                            #
+# --------------------------------------------------------------------- #
+
+def save_index(index, path) -> None:
+    """Persist a :class:`~repro.core.prkb.PRKBIndex` (POP + separators)."""
+    meta_path, data_path = _paths(path)
+    chain = [partition.uids for partition in index.pop]
+    offsets = np.cumsum([0] + [len(c) for c in chain]).astype(np.int64)
+    members = (np.concatenate(chain) if chain
+               else np.zeros(0, dtype=np.uint64))
+    np.savez_compressed(data_path, members=members, offsets=offsets)
+    separators = []
+    separator_list = index._separators
+    for separator in separator_list:
+        partner_position = -1
+        if separator.partner is not None:
+            try:
+                partner_position = separator_list.index(separator.partner)
+            except ValueError:
+                partner_position = -1
+        separators.append({
+            "attribute": separator.trapdoor.attribute,
+            "kind": separator.trapdoor.kind,
+            "sealed": separator.trapdoor.sealed.hex(),
+            "prefix_label": bool(separator.prefix_label),
+            "edge": separator.edge,
+            "partner": partner_position,
+        })
+    meta = {
+        "format": _FORMAT_VERSION,
+        "kind": "prkb-index",
+        "table": index.table.name,
+        "attribute": index.attribute,
+        "max_partitions": index.max_partitions,
+        "early_stop": index.early_stop,
+        "separators": separators,
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+
+
+def load_index(path, table: EncryptedTable, qpf, seed: int | None = None):
+    """Restore a PRKB index against its (already loaded) table and QPF.
+
+    The sampling RNG cannot be checkpointed meaningfully (it only affects
+    which tuples get probed, never correctness); pass ``seed`` for
+    reproducible post-restore sampling.
+    """
+    from ..core.partitions import PartialOrderPartitions
+    from ..core.prkb import PRKBIndex, _Separator
+
+    meta_path, data_path = _paths(path)
+    meta = json.loads(meta_path.read_text())
+    if meta.get("kind") != "prkb-index":
+        raise ValueError(f"{meta_path} does not hold a PRKB index")
+    if meta["table"] != table.name:
+        raise ValueError(
+            f"index was saved for table {meta['table']!r}, "
+            f"got {table.name!r}"
+        )
+    index = PRKBIndex(table, qpf, meta["attribute"],
+                      max_partitions=meta["max_partitions"],
+                      early_stop=meta["early_stop"], seed=seed)
+    with np.load(data_path) as data:
+        members = data["members"]
+        offsets = data["offsets"]
+    stored_uids = set(members.tolist())
+    table_uids = set(table.uids.tolist())
+    if stored_uids != table_uids:
+        raise ValueError(
+            "saved index does not cover the loaded table's tuples "
+            f"({len(stored_uids)} saved vs {len(table_uids)} in table)"
+        )
+    # Rebuild the chain left to right: repeatedly split the last (still
+    # aggregated) partition at the next saved boundary.
+    pop = PartialOrderPartitions(members)
+    num_partitions = len(offsets) - 1
+    for boundary in range(1, num_partitions):
+        first = members[offsets[boundary - 1]:offsets[boundary]]
+        second = members[offsets[boundary]:]
+        pop.split(boundary - 1, first, second)
+    index.pop = pop
+    separators = []
+    for item in meta["separators"]:
+        trapdoor = EncryptedPredicate(
+            attribute=item["attribute"],
+            kind=item["kind"],
+            sealed=bytes.fromhex(item["sealed"]),
+        )
+        separators.append(_Separator(
+            trapdoor=trapdoor,
+            prefix_label=item["prefix_label"],
+            edge=item["edge"],
+        ))
+    for position, item in enumerate(meta["separators"]):
+        if item["partner"] >= 0:
+            separators[position].partner = separators[item["partner"]]
+    index._separators = separators
+    return index

@@ -1,0 +1,163 @@
+"""The service provider (SP) role — stores ciphertext, answers queries.
+
+The SP holds encrypted tables, the QPF handle (backed by the trusted
+machine) and, optionally, PRKB indexes.  It implements the paper's query
+dispatch: baseline linear scan (Fig. 2a), PRKB-assisted single predicates
+and BETWEEN, and the two multi-dimensional strategies of Sec. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.between import BetweenProcessor
+from ..core.multi import DimensionRange, MultiDimensionProcessor
+from ..core.prkb import PRKBIndex
+from ..core.single import SingleDimensionProcessor
+from ..core.updates import TableUpdater
+from ..crypto.trapdoor import EncryptedPredicate
+from .costs import CostCounter
+from .encryption import EncryptedTable
+from .qpf import QueryProcessingFunction
+
+__all__ = ["ServiceProvider"]
+
+
+class ServiceProvider:
+    """Server-side engine: storage, QPF dispatch and PRKB management."""
+
+    def __init__(self, qpf: QueryProcessingFunction):
+        self.qpf = qpf
+        self._tables: dict[str, EncryptedTable] = {}
+        # indexes[table][attribute] -> PRKBIndex
+        self._indexes: dict[str, dict[str, PRKBIndex]] = {}
+
+    @property
+    def counter(self) -> CostCounter:
+        """The shared cost counter."""
+        return self.qpf.counter
+
+    # -- storage ------------------------------------------------------------ #
+
+    def register_table(self, table: EncryptedTable) -> None:
+        """Accept an uploaded encrypted table."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        self._indexes[table.name] = {}
+
+    def table(self, name: str) -> EncryptedTable:
+        """Look up a registered encrypted table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    # -- PRKB management (initPRKB is SP-initiated; Sec. 4) ------------------ #
+
+    def build_index(self, table_name: str, attribute: str,
+                    max_partitions: int | None = None,
+                    early_stop: bool = True,
+                    seed: int | None = None,
+                    cap_policy: str = "freeze") -> PRKBIndex:
+        """``initPRKB`` for one attribute — a purely server-side decision."""
+        table = self.table(table_name)
+        index = PRKBIndex(table, self.qpf, attribute,
+                          max_partitions=max_partitions,
+                          early_stop=early_stop, seed=seed,
+                          cap_policy=cap_policy)
+        self._indexes[table_name][attribute] = index
+        return index
+
+    def index(self, table_name: str, attribute: str) -> PRKBIndex:
+        """Look up an existing PRKB index."""
+        try:
+            return self._indexes[table_name][attribute]
+        except KeyError:
+            raise KeyError(
+                f"no PRKB index on {table_name!r}.{attribute!r}"
+            ) from None
+
+    def has_index(self, table_name: str, attribute: str) -> bool:
+        """Whether PRKB covers the given attribute."""
+        return attribute in self._indexes.get(table_name, {})
+
+    def indexes_for(self, table_name: str) -> dict[str, PRKBIndex]:
+        """All PRKB indexes of one table."""
+        return dict(self._indexes.get(table_name, {}))
+
+    def updater(self, table_name: str) -> TableUpdater:
+        """Update coordinator for one table and its indexes (Sec. 7)."""
+        return TableUpdater(self.table(table_name),
+                            self.indexes_for(table_name))
+
+    # -- selection processing ------------------------------------------------ #
+
+    def select_baseline(self, table_name: str,
+                        trapdoor: EncryptedPredicate) -> np.ndarray:
+        """Fig. 2a: test every encrypted tuple with the QPF (n uses)."""
+        table = self.table(table_name)
+        labels = self.qpf.batch(trapdoor, table, table.uids)
+        return table.uids[labels]
+
+    def select(self, table_name: str, trapdoor: EncryptedPredicate,
+               update: bool = True) -> np.ndarray:
+        """Answer one predicate, using PRKB when the attribute is indexed."""
+        if not self.has_index(table_name, trapdoor.attribute):
+            return self.select_baseline(table_name, trapdoor)
+        index = self.index(table_name, trapdoor.attribute)
+        if trapdoor.kind == "between":
+            return BetweenProcessor(index).select(trapdoor, update=update)
+        return SingleDimensionProcessor(index).select(trapdoor,
+                                                      update=update)
+
+    def select_range(self, table_name: str, query: list[DimensionRange],
+                     strategy: str = "md",
+                     update: bool = True) -> np.ndarray:
+        """Answer a multi-dimensional range query (Sec. 6).
+
+        ``strategy`` selects between ``"md"`` (grid algorithm, Sec. 6.2),
+        ``"sd+"`` (naive per-dimension composition) and ``"baseline"``
+        (no index: every tuple tested against the predicates with
+        per-tuple short-circuiting, as in existing EDBMSs).
+        """
+        if strategy == "baseline":
+            return self._select_range_baseline(table_name, query)
+        indexes = {}
+        for dimension in query:
+            if not self.has_index(table_name, dimension.attribute):
+                raise KeyError(
+                    f"strategy {strategy!r} needs a PRKB index on "
+                    f"{dimension.attribute!r}"
+                )
+            indexes[dimension.attribute] = self.index(table_name,
+                                                      dimension.attribute)
+        processor = MultiDimensionProcessor(indexes)
+        if strategy == "md":
+            return np.sort(processor.select(query, update=update))
+        if strategy == "sd+":
+            return np.sort(processor.select_naive(query, update=update))
+        raise ValueError(
+            f"unknown strategy {strategy!r}; "
+            "expected 'md', 'sd+' or 'baseline'"
+        )
+
+    def _select_range_baseline(self, table_name: str,
+                               query: list[DimensionRange]) -> np.ndarray:
+        """Unindexed EDBMS behaviour: up to 2d QPF uses per tuple.
+
+        Processing stops for a tuple as soon as one predicate fails
+        (the paper's footnote 5), so the expected cost is below 2dn but
+        still Θ(n).
+        """
+        table = self.table(table_name)
+        alive = table.uids
+        for dimension in query:
+            for trapdoor in dimension.trapdoors():
+                if alive.size == 0:
+                    return alive
+                labels = self.qpf.batch(trapdoor, table, alive)
+                alive = alive[labels]
+        return np.sort(alive)

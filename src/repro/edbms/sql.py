@@ -1,0 +1,221 @@
+"""A mini-SQL front end for the restricted query language of the paper.
+
+Supported grammar (case-insensitive keywords)::
+
+    statement   := SELECT projection FROM ident [WHERE condition
+                                                 (AND condition)*]
+    projection  := '*' | COUNT '(' '*' ')' | MIN '(' ident ')'
+                       | MAX '(' ident ')'
+    condition   := ident op integer
+                 | integer op ident
+                 | ident BETWEEN integer AND integer
+    op          := '<' | '<=' | '>' | '>='
+
+This covers exactly the selection shapes the paper evaluates: single
+comparison predicates (Sec. 5), conjunctive multi-dimensional ranges
+(Sec. 6), BETWEEN (Appendix A) and the future-work MIN/MAX aggregates
+(Sec. 9).  Conditions written constant-first are normalised to
+attribute-first form (``5 < X`` becomes ``X > 5``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "SqlError",
+    "ComparisonCondition",
+    "BetweenCondition",
+    "SelectStatement",
+    "parse_select",
+]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|<|>)"
+    r"|(?P<punct>[*(),])"
+    r")"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "min", "max",
+             "count"}
+
+#: Mirror of each comparison operator, for constant-first normalisation.
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class SqlError(ValueError):
+    """Raised on any lexical or syntactic error in a statement."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "ident" | "op" | "punct" | "keyword"
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize near {remainder[:20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.lower()))
+        else:
+            tokens.append(_Token(kind, value))
+    return tokens
+
+
+@dataclass(frozen=True)
+class ComparisonCondition:
+    """``attribute op constant`` in attribute-first normal form."""
+
+    attribute: str
+    operator: str
+    constant: int
+
+
+@dataclass(frozen=True)
+class BetweenCondition:
+    """``attribute BETWEEN low AND high`` (inclusive bounds)."""
+
+    attribute: str
+    low: int
+    high: int
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """Parsed form of a supported SELECT statement.
+
+    ``projection`` is ``"*"``, ``("count",)``, ``("min", attr)`` or
+    ``("max", attr)``.
+    """
+
+    table: str
+    projection: object
+    conditions: tuple
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise SqlError(f"expected {wanted!r}, found {token.text!r}")
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return (token is not None and token.kind == "keyword"
+                and token.text == word)
+
+    # -- grammar ------------------------------------------------------- #
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect("keyword", "select")
+        projection = self._parse_projection()
+        self._expect("keyword", "from")
+        table = self._expect("ident").text
+        conditions: list = []
+        if self._at_keyword("where"):
+            self._next()
+            conditions.append(self._parse_condition())
+            while self._at_keyword("and"):
+                self._next()
+                conditions.append(self._parse_condition())
+        trailing = self._peek()
+        if trailing is not None:
+            raise SqlError(f"unexpected trailing token {trailing.text!r}")
+        return SelectStatement(table=table, projection=projection,
+                               conditions=tuple(conditions))
+
+    def _parse_projection(self):
+        token = self._peek()
+        if token is None:
+            raise SqlError("missing projection")
+        if token.kind == "punct" and token.text == "*":
+            self._next()
+            return "*"
+        if token.kind == "keyword" and token.text in ("min", "max"):
+            func = self._next().text
+            self._expect("punct", "(")
+            attribute = self._expect("ident").text
+            self._expect("punct", ")")
+            return (func, attribute)
+        if token.kind == "keyword" and token.text == "count":
+            self._next()
+            self._expect("punct", "(")
+            self._expect("punct", "*")
+            self._expect("punct", ")")
+            return ("count",)
+        raise SqlError(f"unsupported projection near {token.text!r}")
+
+    def _parse_condition(self):
+        token = self._next()
+        if token.kind == "ident":
+            return self._parse_attribute_first(token.text)
+        if token.kind == "number":
+            return self._parse_constant_first(int(token.text))
+        raise SqlError(f"bad condition start {token.text!r}")
+
+    def _parse_attribute_first(self, attribute: str):
+        token = self._next()
+        if token.kind == "op":
+            constant = int(self._expect("number").text)
+            return ComparisonCondition(attribute, token.text, constant)
+        if token.kind == "keyword" and token.text == "between":
+            low = int(self._expect("number").text)
+            self._expect("keyword", "and")
+            high = int(self._expect("number").text)
+            if low > high:
+                raise SqlError(
+                    f"BETWEEN bounds out of order: {low} > {high}"
+                )
+            return BetweenCondition(attribute, low, high)
+        raise SqlError(f"expected operator or BETWEEN, found {token.text!r}")
+
+    def _parse_constant_first(self, constant: int):
+        operator = self._expect("op").text
+        attribute = self._expect("ident").text
+        return ComparisonCondition(attribute, _MIRROR[operator], constant)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement (trailing semicolon tolerated)."""
+    text = text.strip()
+    if text.endswith(";"):
+        text = text[:-1]
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SqlError("empty statement")
+    return _Parser(tokens).parse_statement()

@@ -1,0 +1,52 @@
+"""Dataset and query workload generators for the paper's experiments."""
+
+from .synthetic import (
+    DEFAULT_DOMAIN,
+    uniform_table,
+    normal_table,
+    correlated_table,
+    anticorrelated_table,
+    zipf_table,
+    make_table,
+)
+from .realistic import (
+    hospital_charges,
+    labor_salary,
+    us_buildings,
+    GEO_DOMAIN_LAT,
+    GEO_DOMAIN_LON,
+    MICRODEGREES,
+)
+from .queries import (
+    RangeBounds,
+    range_query_bounds,
+    multi_range_bounds,
+    distinct_comparison_thresholds,
+    geo_square_bounds,
+)
+from .trace import Operation, WorkloadTrace, ReplayResult, replay
+
+__all__ = [
+    "DEFAULT_DOMAIN",
+    "uniform_table",
+    "normal_table",
+    "correlated_table",
+    "anticorrelated_table",
+    "zipf_table",
+    "make_table",
+    "hospital_charges",
+    "labor_salary",
+    "us_buildings",
+    "GEO_DOMAIN_LAT",
+    "GEO_DOMAIN_LON",
+    "MICRODEGREES",
+    "RangeBounds",
+    "range_query_bounds",
+    "multi_range_bounds",
+    "distinct_comparison_thresholds",
+    "geo_square_bounds",
+    "Operation",
+    "WorkloadTrace",
+    "ReplayResult",
+    "replay",
+]

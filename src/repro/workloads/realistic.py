@@ -1,0 +1,128 @@
+"""Synthetic stand-ins for the paper's real datasets.
+
+The originals — NY Hospital Inpatient Discharges 2013 (charges), US Labor
+Statistics 2017 (salary) and the GeoNames US buildings dataset (latitude /
+longitude) — are not redistributable in this offline environment, so each
+generator reproduces the *statistical shape* that matters to PRKB and the
+RPOI study: the duplicate structure (how many distinct values), the domain
+size and the clustering.  DESIGN.md documents the substitution.
+
+All values are integers: charges in dollars, salaries in dollars, and
+coordinates in microdegrees (degree × 10^6) so geo ranges stay exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..edbms.schema import AttributeSpec, PlainTable, Schema
+
+__all__ = [
+    "hospital_charges",
+    "labor_salary",
+    "us_buildings",
+    "GEO_DOMAIN_LAT",
+    "GEO_DOMAIN_LON",
+    "MICRODEGREES",
+]
+
+#: Scale factor for storing geographic coordinates as integers.
+MICRODEGREES = 1_000_000
+
+#: Contiguous-US bounding box in microdegrees.
+GEO_DOMAIN_LAT = (int(24.5 * MICRODEGREES), int(49.4 * MICRODEGREES))
+GEO_DOMAIN_LON = (int(-124.8 * MICRODEGREES), int(-66.9 * MICRODEGREES))
+
+#: Cluster centres loosely shaped like major US metro areas (lat, lon).
+_CITY_CENTRES = (
+    (40.7, -74.0),   # New York
+    (34.1, -118.2),  # Los Angeles
+    (41.9, -87.6),   # Chicago
+    (29.8, -95.4),   # Houston
+    (33.4, -112.1),  # Phoenix
+    (39.9, -75.2),   # Philadelphia
+    (47.6, -122.3),  # Seattle
+    (25.8, -80.2),   # Miami
+    (39.7, -104.9),  # Denver
+    (37.8, -122.4),  # San Francisco
+)
+
+
+def hospital_charges(num_rows: int, seed: int | None = None) -> PlainTable:
+    """Stand-in for NY hospital inpatient total charges.
+
+    Heavy-tailed (log-normal) dollar amounts rounded to whole dollars,
+    yielding many ties at common charge levels — the property that keeps
+    the distinct-value count (RPOI's denominator) well below ``num_rows``.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=9.2, sigma=1.1, size=num_rows)  # ~$10k median
+    charges = np.clip(np.rint(raw).astype(np.int64), 25, 3_000_000)
+    # Common procedures cluster on round price points: snap a fraction of
+    # rows to $100 multiples, amplifying the tie structure of billing data.
+    snap = rng.random(num_rows) < 0.35
+    charges[snap] = (charges[snap] // 100) * 100
+    charges = np.maximum(charges, 25)
+    schema = Schema.of(AttributeSpec("charge", 1, 3_000_000))
+    return PlainTable("hospital", schema, {"charge": charges})
+
+
+def labor_salary(num_rows: int, seed: int | None = None) -> PlainTable:
+    """Stand-in for US labor statistics annual salaries.
+
+    A mixture of occupational bands; salaries are quoted in round figures
+    (multiples of $10 and frequently $1000), so ties are very heavy — the
+    paper's Labor attribute shows the lowest RPOI growth of its datasets.
+    """
+    rng = np.random.default_rng(seed)
+    bands = rng.choice(3, size=num_rows, p=(0.6, 0.3, 0.1))
+    raw = np.where(
+        bands == 0,
+        rng.normal(38_000, 9_000, size=num_rows),
+        np.where(
+            bands == 1,
+            rng.normal(72_000, 18_000, size=num_rows),
+            rng.lognormal(mean=11.8, sigma=0.5, size=num_rows),
+        ),
+    )
+    salaries = np.clip(np.rint(raw).astype(np.int64), 15_000, 5_000_000)
+    snap1000 = rng.random(num_rows) < 0.7
+    salaries[snap1000] = (salaries[snap1000] // 1000) * 1000
+    salaries = (salaries // 10) * 10
+    salaries = np.maximum(salaries, 15_000)
+    schema = Schema.of(AttributeSpec("salary", 10_000, 5_000_000))
+    return PlainTable("labor", schema, {"salary": salaries})
+
+
+def us_buildings(num_rows: int, seed: int | None = None) -> PlainTable:
+    """Stand-in for the GeoNames US buildings dataset (lat/lon).
+
+    80 % of buildings cluster around metro centres (anisotropic Gaussian
+    blobs), 20 % scatter across the CONUS bounding box.  Coordinates are
+    stored in integer microdegrees; nearly every value is distinct, like
+    the real Latitude/Longitude attributes (RPOI's denominator ≈ n).
+    """
+    rng = np.random.default_rng(seed)
+    clustered = rng.random(num_rows) < 0.8
+    num_clustered = int(clustered.sum())
+    centres = np.asarray(_CITY_CENTRES)
+    picks = rng.integers(len(centres), size=num_clustered)
+    lat = np.empty(num_rows)
+    lon = np.empty(num_rows)
+    lat[clustered] = centres[picks, 0] + rng.normal(
+        0.0, 0.25, size=num_clustered)
+    lon[clustered] = centres[picks, 1] + rng.normal(
+        0.0, 0.30, size=num_clustered)
+    num_scattered = num_rows - num_clustered
+    lat[~clustered] = rng.uniform(24.5, 49.4, size=num_scattered)
+    lon[~clustered] = rng.uniform(-124.8, -66.9, size=num_scattered)
+    lat_micro = np.clip(
+        np.rint(lat * MICRODEGREES).astype(np.int64), *GEO_DOMAIN_LAT)
+    lon_micro = np.clip(
+        np.rint(lon * MICRODEGREES).astype(np.int64), *GEO_DOMAIN_LON)
+    schema = Schema.of(
+        AttributeSpec("latitude", *GEO_DOMAIN_LAT),
+        AttributeSpec("longitude", *GEO_DOMAIN_LON),
+    )
+    return PlainTable("buildings", schema,
+                      {"latitude": lat_micro, "longitude": lon_micro})

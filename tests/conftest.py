@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.workloads import uniform_table
+
+
+@pytest.fixture
+def small_testbed() -> Testbed:
+    """A 200-row, 2-attribute testbed with PRKB on both attributes."""
+    table = uniform_table("t", 200, ["X", "Y"], domain=(1, 1000), seed=11)
+    return Testbed(table, ["X", "Y"], seed=11)
+
+
+@pytest.fixture
+def tiny_testbed() -> Testbed:
+    """A 40-row single-attribute testbed for fine-grained assertions."""
+    table = uniform_table("t", 40, ["X"], domain=(1, 100), seed=3)
+    return Testbed(table, ["X"], seed=3)
+
+
+def plain_lookup(testbed: Testbed, attribute: str):
+    """uid -> plaintext value mapping function for invariant checks."""
+    values = {
+        int(u): int(v)
+        for u, v in zip(testbed.plain.uids,
+                        testbed.plain.columns[attribute])
+    }
+    return lambda uid: values[uid]
+
+
+def ground_truth_range(testbed: Testbed, attribute: str, low: int,
+                       high: int) -> np.ndarray:
+    """Sorted uids with ``low < value < high`` from the plaintext."""
+    values = testbed.plain.columns[attribute]
+    mask = (values > low) & (values < high)
+    return np.sort(testbed.plain.uids[mask])

@@ -1,0 +1,86 @@
+"""Unit tests for MIN/MAX/TOP-k candidate pruning (future work, Sec. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.core import AggregateResolver
+from repro.workloads import uniform_table
+
+
+def make_bed(n=300, seed=0, warm=0):
+    table = uniform_table("t", n, ["X"], domain=(1, 100_000), seed=seed)
+    bed = Testbed(table, ["X"], seed=seed)
+    if warm:
+        bed.warm_up("X", warm, seed=seed)
+    return bed
+
+
+class TestMinMax:
+    def test_min_max_match_plaintext(self):
+        bed = make_bed(seed=1, warm=30)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        __, min_value = resolver.minimum()
+        __, max_value = resolver.maximum()
+        assert min_value == int(bed.plain.columns["X"].min())
+        assert max_value == int(bed.plain.columns["X"].max())
+
+    def test_cold_index_degenerates_to_full_scan(self):
+        bed = make_bed(seed=2)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        assert resolver.min_max_candidates().size == 300
+        __, min_value = resolver.minimum()
+        assert min_value == int(bed.plain.columns["X"].min())
+
+    def test_warm_index_prunes_candidates(self):
+        bed = make_bed(seed=3, warm=50)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        candidates = resolver.min_max_candidates()
+        assert candidates.size < 300 / 3
+
+    def test_candidate_cost_is_charged(self):
+        bed = make_bed(seed=4, warm=30)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        before = bed.counter.qpf_uses
+        resolver.minimum()
+        assert bed.counter.qpf_uses > before
+
+    def test_empty_table_rejected(self):
+        bed = make_bed(n=1, seed=5)
+        bed.prkb["X"].delete(int(bed.plain.uids[0]))
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        with pytest.raises(ValueError):
+            resolver.minimum()
+
+
+class TestTopK:
+    def test_top_k_matches_plaintext(self):
+        bed = make_bed(seed=6, warm=40)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        values = bed.plain.columns["X"]
+        got_large = [v for __, v in resolver.top_k(5, largest=True)]
+        assert got_large == sorted(values, reverse=True)[:5]
+        got_small = [v for __, v in resolver.top_k(5, largest=False)]
+        assert got_small == sorted(values)[:5]
+
+    def test_top_k_larger_than_table(self):
+        bed = make_bed(n=10, seed=7)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        got = resolver.top_k(50)
+        assert len(got) == 10
+
+    def test_top_k_candidates_cover_both_ends(self):
+        bed = make_bed(seed=8, warm=40)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        candidates = set(map(int, resolver.top_k_candidates(3)))
+        values = {int(u): int(v) for u, v in
+                  zip(bed.plain.uids, bed.plain.columns["X"])}
+        ordered = sorted(values, key=values.get)
+        for uid in ordered[:3] + ordered[-3:]:
+            assert uid in candidates
+
+    def test_invalid_k_rejected(self):
+        bed = make_bed(seed=9)
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        with pytest.raises(ValueError):
+            resolver.top_k_candidates(0)

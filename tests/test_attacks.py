@@ -1,0 +1,133 @@
+"""Unit and property tests for the order-reconstruction attack study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    OrderReconstructionAttack,
+    rpoi_trajectory,
+    simulate_rpoi,
+)
+
+
+class TestGenericAttacker:
+    def test_initial_state(self):
+        attack = OrderReconstructionAttack(range(5))
+        assert attack.num_partitions == 1
+        assert attack.rpoi(5) == pytest.approx(0.2)
+
+    def test_observe_splits(self):
+        attack = OrderReconstructionAttack(range(4))
+        grew = attack.observe({0, 1})
+        assert grew
+        assert attack.num_partitions == 2
+
+    def test_equivalent_result_no_growth(self):
+        attack = OrderReconstructionAttack(range(4))
+        attack.observe({0, 1})
+        assert not attack.observe({0, 1})
+        assert not attack.observe({2, 3})  # complement: same partitioning
+        assert attack.num_partitions == 2
+
+    def test_trivial_results_no_growth(self):
+        attack = OrderReconstructionAttack(range(4))
+        assert not attack.observe(set())
+        assert not attack.observe({0, 1, 2, 3})
+
+    def test_unknown_ids_rejected(self):
+        attack = OrderReconstructionAttack(range(4))
+        with pytest.raises(ValueError):
+            attack.observe({99})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            OrderReconstructionAttack([1, 1])
+
+    def test_non_comparison_result_rejected(self):
+        attack = OrderReconstructionAttack(range(6))
+        attack.observe({0, 1})        # chain: {0,1} | {2..5}
+        attack.observe({0, 1, 2, 3})  # refines second partition
+        with pytest.raises(ValueError):
+            # {1, 4} straddles two partitions -> not a comparison result.
+            attack.observe({1, 4})
+
+    def test_chain_recovers_true_order(self):
+        """Observing all prefix-cuts recovers the total order of distinct
+        values (the Kellaris et al. end state)."""
+        values = [30, 10, 20, 10]
+        ids = list(range(4))
+        attack = OrderReconstructionAttack(ids)
+        for threshold in (15, 25):
+            result = {i for i in ids if values[i] < threshold}
+            attack.observe(result)
+        assert attack.num_partitions == 3
+        assert attack.rpoi(3) == pytest.approx(1.0)
+        # Chain order must match value order up to reversal.
+        chain_values = [
+            sorted({values[i] for i in part}) for part in attack.chain
+        ]
+        flat = [v for group in chain_values for v in group]
+        assert flat in ([10, 20, 30], [30, 20, 10])
+
+
+class TestClosedForm:
+    def test_matches_generic_attacker(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, size=40)
+        thresholds = rng.integers(0, 51, size=30)
+        attack = OrderReconstructionAttack(range(40))
+        for c in thresholds:
+            attack.observe({i for i in range(40) if values[i] < c})
+        fast = simulate_rpoi(values, thresholds)
+        distinct = len(np.unique(values))
+        assert attack.rpoi(distinct) == pytest.approx(fast)
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=30),
+                           min_size=1, max_size=25),
+           thresholds=st.lists(st.integers(min_value=-1, max_value=32),
+                               max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_generic_attacker_property(self, values, thresholds):
+        n = len(values)
+        attack = OrderReconstructionAttack(range(n))
+        for c in thresholds:
+            attack.observe({i for i in range(n) if values[i] < c})
+        distinct = len(set(values))
+        assert attack.rpoi(distinct) == pytest.approx(
+            simulate_rpoi(np.asarray(values), np.asarray(thresholds)))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_rpoi(np.asarray([]), np.asarray([1]))
+
+    def test_rpoi_bounded_by_one(self):
+        values = np.asarray([1, 2, 3])
+        thresholds = np.arange(0, 10)
+        assert simulate_rpoi(values, thresholds) <= 1.0
+
+
+class TestTrajectory:
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 10_000, size=2_000)
+        series = rpoi_trajectory(values, [10, 100, 1000, 5000],
+                                 domain=(0, 10_000), seed=3)
+        assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_sublinear_growth(self):
+        """Sec. 8.1's observation: RPOI grows at decreasing speed."""
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1_000_000, size=5_000)
+        series = rpoi_trajectory(values, [100, 1_000, 10_000],
+                                 domain=(0, 1_000_000), seed=5)
+        gain_1 = series[1] - series[0]
+        gain_2 = series[2] - series[1]
+        # Ten times the queries must yield far less than 10x the gain
+        # in the second decade relative to per-query efficiency.
+        assert gain_2 < 10 * gain_1
+
+    def test_unsorted_counts_rejected(self):
+        with pytest.raises(ValueError):
+            rpoi_trajectory(np.asarray([1, 2]), [10, 5], domain=(0, 10))

@@ -1,0 +1,166 @@
+"""Unit and property tests for BETWEEN processing (Appendix A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import Testbed
+from repro.core import BetweenProcessor
+from repro.crypto import BetweenPredicate
+from repro.edbms import AttributeSpec, PlainTable, Schema
+
+from conftest import plain_lookup
+
+
+def bed_with_values(values, seed=0):
+    values = np.asarray(values, dtype=np.int64)
+    lo, hi = int(values.min()), int(values.max())
+    schema = Schema.of(AttributeSpec("X", lo - 10, hi + 10))
+    table = PlainTable("t", schema, {"X": values})
+    return Testbed(table, ["X"], seed=seed)
+
+
+def check(bed, low, high):
+    processor = BetweenProcessor(bed.prkb["X"])
+    trapdoor = bed.owner.between_trapdoor("X", low, high)
+    got = np.sort(processor.select(trapdoor))
+    want = bed.owner.expected_result("t", BetweenPredicate("X", low, high))
+    assert np.array_equal(got, want), (low, high)
+
+
+class TestBetweenCorrectness:
+    def test_cold_index(self):
+        bed = bed_with_values(range(0, 100, 3))
+        check(bed, 10, 50)
+
+    def test_after_warmup(self):
+        bed = bed_with_values(range(0, 100, 3), seed=5)
+        bed.warm_up("X", 10, seed=5)
+        for low, high in ((0, 99), (30, 40), (95, 99), (0, 5), (50, 50)):
+            check(bed, low, high)
+
+    def test_band_covering_everything(self):
+        bed = bed_with_values(range(0, 50), seed=1)
+        bed.warm_up("X", 5, seed=1)
+        check(bed, -5, 100)
+
+    def test_empty_band(self):
+        bed = bed_with_values(range(0, 100, 10), seed=2)
+        bed.warm_up("X", 5, seed=2)
+        check(bed, 41, 49)  # falls between data points
+
+    def test_narrow_band_inside_one_partition(self):
+        """The appendix's exceptional case: band inside one partition."""
+        bed = bed_with_values(range(0, 100), seed=3)
+        index = bed.prkb["X"]
+        # Two queries create three partitions: [<30], [30..69], [70..].
+        index.select(bed.owner.comparison_trapdoor("X", "<", 30))
+        index.select(bed.owner.comparison_trapdoor("X", "<", 70))
+        k = index.num_partitions
+        check(bed, 40, 45)  # strictly inside the middle partition
+        # The exceptional case must not produce an (unsound) split.
+        assert index.num_partitions == k
+        index.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_band_spanning_partitions_splits_twice(self):
+        bed = bed_with_values(range(0, 100), seed=4)
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 50))
+        k = index.num_partitions
+        check(bed, 20, 80)  # straddles both partitions
+        assert index.num_partitions == k + 2
+        index.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_wrong_kind_rejected(self):
+        bed = bed_with_values(range(10), seed=0)
+        processor = BetweenProcessor(bed.prkb["X"])
+        with pytest.raises(ValueError):
+            processor.select(bed.owner.comparison_trapdoor("X", "<", 5))
+
+    def test_wrong_attribute_rejected(self):
+        table = PlainTable(
+            "t",
+            Schema.of(AttributeSpec("X", 0, 10), AttributeSpec("Y", 0, 10)),
+            {"X": np.arange(5, dtype=np.int64),
+             "Y": np.arange(5, dtype=np.int64)},
+        )
+        bed = Testbed(table, ["X"], seed=0)
+        processor = BetweenProcessor(bed.prkb["X"])
+        with pytest.raises(ValueError):
+            processor.select(bed.owner.between_trapdoor("Y", 1, 2))
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                        max_size=30),
+        warm=st.lists(st.integers(min_value=1, max_value=59), max_size=6),
+        bands=st.lists(
+            st.tuples(st.integers(min_value=-2, max_value=62),
+                      st.integers(min_value=0, max_value=20)),
+            min_size=1, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_between_matches_plaintext_property(self, values, warm, bands):
+        bed = bed_with_values(values)
+        index = bed.prkb["X"]
+        for threshold in warm:
+            index.select(bed.owner.comparison_trapdoor("X", "<", threshold))
+        processor = BetweenProcessor(index)
+        for low, width in bands:
+            trapdoor = bed.owner.between_trapdoor("X", low, low + width)
+            got = np.sort(processor.select(trapdoor))
+            want = bed.owner.expected_result(
+                "t", BetweenPredicate("X", low, low + width))
+            assert np.array_equal(got, want)
+            index.pop.check_invariants(plain_lookup(bed, "X"))
+
+
+class TestBetweenCost:
+    def test_cheaper_than_full_scan_when_warm(self):
+        from repro.workloads import uniform_table
+        table = uniform_table("t", 2000, ["X"], domain=(1, 100_000), seed=7)
+        bed = Testbed(table, ["X"], seed=7)
+        bed.warm_up("X", 50)
+        processor = BetweenProcessor(bed.prkb["X"])
+        trapdoor = bed.owner.between_trapdoor("X", 40_000, 45_000)
+        measurement = bed.measure(
+            "between", lambda: processor.select(trapdoor))
+        assert measurement.qpf_uses < 2000 / 3
+
+    def test_anchor_samples_reduce_fallbacks(self):
+        """Extra anchor samples rescue narrow bands from the full-scan
+        worst case (the multi-sample probing optimisation)."""
+        from repro.workloads import uniform_table
+
+        def run(anchor_samples):
+            table = uniform_table("t", 2000, ["X"], domain=(1, 1_000_000),
+                                  seed=21)
+            bed = Testbed(table, ["X"], seed=21)
+            bed.warm_up("X", 25, seed=21)
+            processor = BetweenProcessor(bed.prkb["X"],
+                                         anchor_samples=anchor_samples)
+            rng = np.random.default_rng(22)
+            before = bed.counter.qpf_uses
+            for __ in range(15):
+                low = int(rng.integers(1, 960_000))
+                trapdoor = bed.owner.between_trapdoor("X", low,
+                                                      low + 20_000)
+                processor.select(trapdoor, update=False)
+            return bed.counter.qpf_uses - before
+
+        assert run(4) < run(1)
+
+    def test_anchor_samples_validated(self):
+        bed = bed_with_values(range(10), seed=1)
+        with pytest.raises(ValueError):
+            BetweenProcessor(bed.prkb["X"], anchor_samples=0)
+
+    def test_updates_can_be_disabled(self):
+        bed = bed_with_values(range(0, 100), seed=9)
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 50))
+        k = index.num_partitions
+        processor = BetweenProcessor(index)
+        processor.select(bed.owner.between_trapdoor("X", 20, 80),
+                         update=False)
+        assert index.num_partitions == k

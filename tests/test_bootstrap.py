@@ -1,0 +1,142 @@
+"""Tests for DO-driven index priming (Sec. 8.2.6's warm-up)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.core import generate_thresholds, prime_index
+from repro.workloads import uniform_table
+
+from conftest import plain_lookup
+
+
+DOMAIN = (1, 100_000)
+
+
+def make_bed(n=1000, seed=0, max_partitions=None):
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=seed)
+    return Testbed(table, ["X"], seed=seed, max_partitions=max_partitions)
+
+
+class TestGenerateThresholds:
+    def test_equal_width_grid(self):
+        thresholds = generate_thresholds((0, 100), 9, "equal-width")
+        assert sorted(thresholds) == [10, 20, 30, 40, 50, 60, 70, 80, 90]
+        # Bisection order: the grid midpoint is issued first.
+        assert thresholds[0] == 50
+
+    def test_equal_width_excludes_ends(self):
+        thresholds = generate_thresholds((0, 100), 3, "equal-width")
+        assert 0 not in thresholds
+        assert 100 not in thresholds
+
+    def test_random_count_and_range(self):
+        thresholds = generate_thresholds((0, 1000), 50, "random", seed=1)
+        assert len(thresholds) == 50
+        assert thresholds.min() > 0
+        assert thresholds.max() <= 1000
+
+    def test_random_deterministic_by_seed(self):
+        a = generate_thresholds((0, 1000), 20, "random", seed=5)
+        b = generate_thresholds((0, 1000), 20, "random", seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_thresholds((5, 5), 3)
+        with pytest.raises(ValueError):
+            generate_thresholds((0, 10), 0)
+        with pytest.raises(ValueError):
+            generate_thresholds((0, 10), 3, "zipf")
+
+
+class TestPrimeIndex:
+    def test_equal_width_grows_one_per_query(self):
+        bed = make_bed(seed=1)
+        report = prime_index(bed.owner, bed.prkb["X"], DOMAIN, 50,
+                             strategy="equal-width")
+        # Dense uniform data: every grid threshold splits something.
+        assert report.partitions_after >= 45
+        assert report.partitions_before == 1
+        assert report.queries_issued == 50
+        bed.prkb["X"].pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_primed_index_is_fast(self):
+        bed = make_bed(n=2000, seed=2)
+        prime_index(bed.owner, bed.prkb["X"], DOMAIN, 60)
+        m = bed.run_sd("X", (40_000, 42_000), update=False)
+        assert m.qpf_uses < 2000 / 8
+
+    def test_equal_width_balances_better_than_random(self):
+        """Balanced partitions give tighter worst-case NS scans."""
+        outcomes = {}
+        for strategy in ("equal-width", "random"):
+            bed = make_bed(n=3000, seed=3)
+            prime_index(bed.owner, bed.prkb["X"], DOMAIN, 40,
+                        strategy=strategy, seed=7)
+            outcomes[strategy] = max(bed.prkb["X"].pop.sizes())
+        assert outcomes["equal-width"] <= outcomes["random"]
+
+    def test_report_accounts_qpf(self):
+        bed = make_bed(seed=4)
+        report = prime_index(bed.owner, bed.prkb["X"], DOMAIN, 10)
+        assert report.qpf_spent > 0
+        assert report.strategy == "equal-width"
+
+
+class TestRotateCapPolicy:
+    def test_rotate_keeps_k_at_cap(self):
+        bed = make_bed(n=2000, seed=5)
+        from repro.core import PRKBIndex
+        index = PRKBIndex(bed.table, bed.qpf, "X", max_partitions=12,
+                          cap_policy="rotate", seed=5)
+        bed.prkb["X"] = index
+        prime_index(bed.owner, index, DOMAIN, 40, strategy="random",
+                    seed=6)
+        assert index.num_partitions <= 12
+        assert index.num_separators == index.num_partitions - 1
+        index.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_rotate_answers_stay_exact(self):
+        bed = make_bed(n=1500, seed=6)
+        from repro.core import PRKBIndex, SingleDimensionProcessor
+        index = PRKBIndex(bed.table, bed.qpf, "X", max_partitions=8,
+                          cap_policy="rotate", seed=6)
+        processor = SingleDimensionProcessor(index)
+        rng = np.random.default_rng(6)
+        plain = bed.plain.columns["X"]
+        for __ in range(60):
+            constant = int(rng.integers(*DOMAIN))
+            trapdoor = bed.owner.comparison_trapdoor("X", "<", constant)
+            got = np.sort(processor.select(trapdoor))
+            want = np.sort(bed.plain.uids[plain < constant])
+            assert np.array_equal(got, want)
+        index.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_rotate_adapts_to_hot_region(self):
+        """Under a drifting hot region, rotation concentrates the budget
+        where queries live and beats the frozen index."""
+        def run(policy):
+            bed = make_bed(n=4000, seed=7)
+            from repro.core import PRKBIndex
+            index = PRKBIndex(bed.table, bed.qpf, "X", max_partitions=20,
+                              cap_policy=policy, seed=7)
+            bed.prkb["X"] = index
+            # Phase 1: queries spread over the whole domain (fill cap).
+            prime_index(bed.owner, index, DOMAIN, 25, strategy="random",
+                        seed=8)
+            # Phase 2: hot region [80k, 90k] only.
+            total = 0
+            for i in range(30):
+                low = 80_000 + (i * 293) % 9_000
+                m = bed.run_sd("X", (low, low + 500), update=True)
+                total += m.qpf_uses
+            return total
+
+        assert run("rotate") < run("freeze")
+
+    def test_invalid_policy_rejected(self):
+        bed = make_bed(seed=8)
+        from repro.core import PRKBIndex
+        with pytest.raises(ValueError):
+            PRKBIndex(bed.table, bed.qpf, "X", cap_policy="lru")

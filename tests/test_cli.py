@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    rng = np.random.default_rng(0)
+    path = tmp_path / "data.csv"
+    lines = ["price,stock"]
+    for __ in range(200):
+        lines.append(f"{rng.integers(1, 1000)},{rng.integers(0, 50)}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.rows == 10_000
+
+    def test_query_requires_sql(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--csv", "x.csv"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--rows", "500", "--queries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "encrypted 500 rows" in out
+        assert "final chain length" in out
+
+
+class TestQuery:
+    def test_select_count(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file),
+            "--sql", "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count=" in out
+        assert "qpf=" in out
+
+    def test_multiple_statements(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file),
+            "--sql", "SELECT MIN(price) FROM data",
+            "--sql", "SELECT * FROM data WHERE stock > 25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "value=" in out
+        assert "count=" in out
+
+    def test_explain_mode(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file), "--explain",
+            "--sql", "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+        assert "QPF" in capsys.readouterr().out
+
+    def test_index_subset(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file), "--index", "price",
+            "--sql", "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+
+    def test_prime_flag(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file), "--index", "price",
+            "--prime", "15",
+            "--sql", "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "primed 'price'" in out
+        # The primed index answers the statement cheaply.
+        qpf = int(out.split("qpf=")[1].split()[0])
+        assert qpf < 200
+
+    def test_stats_flag(self, csv_file, capsys):
+        code = main([
+            "query", "--csv", str(csv_file), "--index", "price",
+            "--stats",
+            "--sql", "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "index 'price'" in out
+        assert "k=" in out
+
+    def test_unknown_index_column(self, csv_file):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--csv", str(csv_file), "--index", "nope",
+                "--sql", "SELECT * FROM data WHERE price < 500",
+            ])
+
+    def test_bad_csv_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\n1\nfoo\n")
+        with pytest.raises(SystemExit):
+            main(["query", "--csv", str(path),
+                  "--sql", "SELECT * FROM data"])
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a\n")
+        with pytest.raises(SystemExit):
+            main(["query", "--csv", str(path),
+                  "--sql", "SELECT * FROM data"])
+
+
+class TestRpoi:
+    def test_rpoi_runs(self, csv_file, capsys):
+        code = main([
+            "rpoi", "--csv", str(csv_file), "--column", "price",
+            "--queries", "10", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RPOI" in out
+        assert "100.000% with 0 queries" in out
+
+    def test_unknown_column(self, csv_file):
+        with pytest.raises(SystemExit):
+            main(["rpoi", "--csv", str(csv_file), "--column", "nope"])

@@ -1,0 +1,106 @@
+"""Unit tests for the PRF / stream-cipher primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import primitives as prim
+
+
+class TestSecretKey:
+    def test_generate_is_deterministic_with_seed(self):
+        assert prim.generate_key(1) == prim.generate_key(1)
+        assert prim.generate_key(1) != prim.generate_key(2)
+
+    def test_generate_without_seed_is_random(self):
+        assert prim.generate_key() != prim.generate_key()
+
+    def test_key_requires_exact_length(self):
+        with pytest.raises(ValueError):
+            prim.SecretKey(b"short")
+        with pytest.raises(TypeError):
+            prim.SecretKey("not-bytes")  # type: ignore[arg-type]
+
+    def test_subkeys_are_independent_per_label(self):
+        key = prim.generate_key(5)
+        assert key.subkey("a") != key.subkey("b")
+        assert key.subkey("a") == key.subkey("a")
+
+    def test_repr_hides_material(self):
+        key = prim.generate_key(5)
+        assert key.raw.hex() not in repr(key)
+
+
+class TestPrf:
+    def test_prf_word_deterministic(self):
+        key = prim.generate_key(9)
+        assert prim.prf_word(key, 42) == prim.prf_word(key, 42)
+        assert prim.prf_word(key, 42) != prim.prf_word(key, 43)
+
+    def test_prf_words_matches_shape(self):
+        key = prim.generate_key(9)
+        nonces = np.arange(100, dtype=np.uint64)
+        words = prim.prf_words(key, nonces)
+        assert words.shape == (100,)
+        assert words.dtype == np.uint64
+
+    def test_prf_words_key_separation(self):
+        nonces = np.arange(64, dtype=np.uint64)
+        a = prim.prf_words(prim.generate_key(1), nonces)
+        b = prim.prf_words(prim.generate_key(2), nonces)
+        assert not np.array_equal(a, b)
+
+    def test_prf_words_spread(self):
+        """Keystream words should look uniform, not constant/linear."""
+        key = prim.generate_key(3)
+        words = prim.prf_words(key, np.arange(4096, dtype=np.uint64))
+        assert len(np.unique(words)) == 4096
+        # Top bit should be ~50/50.
+        top = (words >> np.uint64(63)).astype(int)
+        assert 1500 < top.sum() < 2600
+
+
+class TestWordEncryption:
+    def test_roundtrip(self):
+        key = prim.generate_key(4)
+        for value in (0, 1, 2**63, 2**64 - 1):
+            ct = prim.encrypt_word(key, value, nonce=7)
+            assert prim.decrypt_word(key, ct, nonce=7) == value
+
+    def test_out_of_range_rejected(self):
+        key = prim.generate_key(4)
+        with pytest.raises(ValueError):
+            prim.encrypt_word(key, 2**64, nonce=0)
+        with pytest.raises(ValueError):
+            prim.encrypt_word(key, -1, nonce=0)
+
+    def test_nonce_matters(self):
+        key = prim.generate_key(4)
+        assert prim.encrypt_word(key, 10, 1) != prim.encrypt_word(key, 10, 2)
+
+    def test_vectorised_matches_scalar(self):
+        key = prim.generate_key(8)
+        values = np.asarray([5, 6, 7], dtype=np.uint64)
+        nonces = np.asarray([10, 11, 12], dtype=np.uint64)
+        ct = prim.encrypt_words(key, values, nonces)
+        for i in range(3):
+            assert int(ct[i]) == prim.encrypt_word(key, int(values[i]),
+                                                   int(nonces[i]))
+        back = prim.decrypt_words(key, ct, nonces)
+        assert np.array_equal(back, values)
+
+    @given(value=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           nonce=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_signed_value_roundtrip(self, value, nonce):
+        key = prim.generate_key(123)
+        ct = prim.encrypt_value(key, value, nonce)
+        assert prim.decrypt_value(key, ct, nonce) == value
+
+    def test_ciphertext_differs_from_plaintext(self):
+        """The stream cipher must actually mask values."""
+        key = prim.generate_key(77)
+        values = np.arange(1000, dtype=np.uint64)
+        ct = prim.encrypt_words(key, values, values)
+        assert (ct == values).sum() <= 2  # chance collisions only

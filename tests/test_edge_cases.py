@@ -1,0 +1,158 @@
+"""Edge-case hardening across the stack: degenerate tables and queries."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.core import (
+    AggregateResolver,
+    BetweenProcessor,
+    MultiDimensionProcessor,
+    SingleDimensionProcessor,
+    TableUpdater,
+)
+from repro.edbms import AttributeSpec, PlainTable, Schema
+
+
+def bed_for(values, domain=None, seed=0, attrs=("X",)):
+    values = {a: np.asarray(v, dtype=np.int64)
+              for a, v in (values.items() if isinstance(values, dict)
+                           else {"X": values}.items())}
+    if domain is None:
+        all_vals = np.concatenate([v for v in values.values()
+                                   if v.size]) if any(
+            v.size for v in values.values()) else np.asarray([0])
+        domain = (int(all_vals.min()) - 5, int(all_vals.max()) + 5)
+    schema = Schema.of(*(AttributeSpec(a, *domain) for a in values))
+    table = PlainTable("t", schema, values)
+    return Testbed(table, list(values), seed=seed)
+
+
+class TestEmptyTable:
+    def test_select_on_empty(self):
+        bed = bed_for([], domain=(0, 10))
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        got = processor.select(bed.owner.comparison_trapdoor("X", "<", 5))
+        assert got.size == 0
+
+    def test_between_on_empty(self):
+        bed = bed_for([], domain=(0, 10))
+        processor = BetweenProcessor(bed.prkb["X"])
+        got = processor.select(bed.owner.between_trapdoor("X", 1, 9))
+        assert got.size == 0
+
+    def test_insert_into_empty(self):
+        bed = bed_for([], domain=(0, 10))
+        updater = TableUpdater(bed.table, bed.prkb)
+        receipt = updater.insert_plain(
+            bed.owner.key, {"X": np.asarray([5], dtype=np.int64)})
+        assert bed.prkb["X"].pop.num_tuples >= 1
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        got = processor.select(bed.owner.comparison_trapdoor("X", "<", 6))
+        assert int(receipt.uids[0]) in set(map(int, got))
+
+
+class TestSingleTuple:
+    def test_all_operations(self):
+        bed = bed_for([5], domain=(0, 10))
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        assert processor.select(
+            bed.owner.comparison_trapdoor("X", "<", 6)).size == 1
+        assert processor.select(
+            bed.owner.comparison_trapdoor("X", ">", 6)).size == 0
+        between = BetweenProcessor(bed.prkb["X"])
+        assert between.select(
+            bed.owner.between_trapdoor("X", 5, 5)).size == 1
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        assert resolver.minimum()[1] == 5
+        assert resolver.maximum()[1] == 5
+
+
+class TestAllDuplicates:
+    def test_chain_never_splits(self):
+        bed = bed_for([5] * 20, domain=(0, 10))
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        for constant in range(0, 11):
+            got = processor.select(
+                bed.owner.comparison_trapdoor("X", "<", constant))
+            assert got.size in (0, 20)
+        assert bed.prkb["X"].num_partitions == 1  # nothing separable
+
+    def test_rpoi_cannot_exceed_one_distinct(self):
+        bed = bed_for([5] * 10, domain=(0, 10))
+        stats = bed.prkb["X"].describe()
+        assert stats["partitions"] == 1
+
+
+class TestDegenerateDomains:
+    def test_width_one_domain(self):
+        values = np.asarray([7, 7, 7], dtype=np.int64)
+        schema = Schema.of(AttributeSpec("X", 7, 7))
+        table = PlainTable("t", schema, {"X": values})
+        bed = Testbed(table, ["X"], seed=0)
+        between = BetweenProcessor(bed.prkb["X"])
+        assert between.select(
+            bed.owner.between_trapdoor("X", 7, 7)).size == 3
+
+    def test_negative_domain(self):
+        bed = bed_for([-10, -5, 0, 5, 10], domain=(-20, 20))
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        got = processor.select(
+            bed.owner.comparison_trapdoor("X", "<", 0))
+        assert got.size == 2
+
+    def test_extreme_constants(self):
+        bed = bed_for([1, 2, 3], domain=(0, 10))
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        assert processor.select(bed.owner.comparison_trapdoor(
+            "X", "<", 10**15)).size == 3
+        assert processor.select(bed.owner.comparison_trapdoor(
+            "X", ">", 10**15)).size == 0
+        assert processor.select(bed.owner.comparison_trapdoor(
+            "X", "<", -(10**15))).size == 0
+
+
+class TestTinyMultiDimensional:
+    def test_md_on_two_tuples(self):
+        bed = bed_for({"X": [1, 9], "Y": [9, 1]}, domain=(0, 10))
+        processor = MultiDimensionProcessor(
+            {a: bed.prkb[a] for a in ("X", "Y")})
+        query = [bed.dimension_range("X", (0, 10)),
+                 bed.dimension_range("Y", (0, 10))]
+        assert processor.select(query).size == 2
+        query = [bed.dimension_range("X", (0, 5)),
+                 bed.dimension_range("Y", (0, 5))]
+        assert processor.select(query).size == 0
+
+    def test_md_after_delete_to_empty(self):
+        bed = bed_for({"X": [1, 2], "Y": [3, 4]}, domain=(0, 10))
+        updater = TableUpdater(bed.table, bed.prkb)
+        updater.delete(bed.plain.uids)
+        processor = MultiDimensionProcessor(
+            {a: bed.prkb[a] for a in ("X", "Y")})
+        query = [bed.dimension_range("X", (0, 10)),
+                 bed.dimension_range("Y", (0, 10))]
+        assert processor.select(query).size == 0
+
+
+class TestAggregateEdges:
+    def test_min_max_all_equal(self):
+        bed = bed_for([4, 4, 4, 4], domain=(0, 10))
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        assert resolver.minimum()[1] == 4
+        assert resolver.maximum()[1] == 4
+        assert len(resolver.top_k(2)) == 2
+
+    def test_filtered_aggregate_single_winner(self):
+        bed = bed_for([1, 5, 9], domain=(0, 10))
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        winners = processor.select(
+            bed.owner.comparison_trapdoor("X", ">=", 9))
+        assert resolver.minimum_among(winners)[1] == 9
+
+    def test_filtered_aggregate_empty_rejected(self):
+        bed = bed_for([1, 2], domain=(0, 10))
+        resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
+        with pytest.raises(ValueError):
+            resolver.minimum_among(np.zeros(0, dtype=np.uint64))

@@ -1,0 +1,141 @@
+"""End-to-end tests for the EncryptedDatabase SQL facade."""
+
+import numpy as np
+import pytest
+
+from repro import EncryptedDatabase
+
+
+@pytest.fixture
+def db():
+    database = EncryptedDatabase(seed=0)
+    rng = np.random.default_rng(0)
+    database.create_table("t", {"X": (1, 10_000), "Y": (1, 10_000)}, {
+        "X": rng.integers(1, 10_001, size=400, dtype=np.int64),
+        "Y": rng.integers(1, 10_001, size=400, dtype=np.int64),
+    })
+    database.enable_prkb("t", ["X", "Y"])
+    return database
+
+
+def truth(db, predicate):
+    plain = db.owner.plain_table("t")
+    mask = np.ones(plain.num_rows, dtype=bool)
+    for attr, low, high in predicate:
+        col = plain.columns[attr]
+        mask &= (col > low) & (col < high)
+    return np.sort(plain.uids[mask])
+
+
+class TestQueries:
+    def test_select_star(self, db):
+        answer = db.query("SELECT * FROM t")
+        assert answer.count == 400
+        assert answer.qpf_uses == 0
+
+    def test_single_comparison(self, db):
+        answer = db.query("SELECT * FROM t WHERE X < 5000")
+        plain = db.owner.plain_table("t")
+        want = np.sort(plain.uids[plain.columns["X"] < 5000])
+        assert np.array_equal(answer.uids, want)
+
+    def test_range_query(self, db):
+        answer = db.query("SELECT * FROM t WHERE 1000 < X AND X < 4000")
+        assert np.array_equal(answer.uids,
+                              truth(db, [("X", 1000, 4000)]))
+
+    def test_2d_query_strategies_agree(self, db):
+        sql = ("SELECT * FROM t WHERE 1000 < X AND X < 6000 "
+               "AND 2000 < Y AND Y < 9000")
+        want = truth(db, [("X", 1000, 6000), ("Y", 2000, 9000)])
+        for strategy in ("auto", "md", "sd+", "baseline"):
+            answer = db.query(sql, strategy=strategy)
+            assert np.array_equal(answer.uids, want), strategy
+
+    def test_between(self, db):
+        answer = db.query("SELECT * FROM t WHERE X BETWEEN 100 AND 900")
+        plain = db.owner.plain_table("t")
+        col = plain.columns["X"]
+        want = np.sort(plain.uids[(col >= 100) & (col <= 900)])
+        assert np.array_equal(answer.uids, want)
+
+    def test_count_projection(self, db):
+        answer = db.query("SELECT COUNT(*) FROM t WHERE X < 5000")
+        plain = db.owner.plain_table("t")
+        assert answer.count == int((plain.columns["X"] < 5000).sum())
+
+    def test_min_max(self, db):
+        plain = db.owner.plain_table("t")
+        assert db.query("SELECT MIN(X) FROM t").value == \
+            int(plain.columns["X"].min())
+        assert db.query("SELECT MAX(Y) FROM t").value == \
+            int(plain.columns["Y"].max())
+
+    def test_filtered_min_max(self, db):
+        plain = db.owner.plain_table("t")
+        col = plain.columns["X"]
+        answer = db.query(
+            "SELECT MIN(X) FROM t WHERE 3000 < X AND X < 7000")
+        assert answer.value == int(col[(col > 3000) & (col < 7000)].min())
+        answer = db.query(
+            "SELECT MAX(X) FROM t WHERE 3000 < X AND X < 7000")
+        assert answer.value == int(col[(col > 3000) & (col < 7000)].max())
+
+    def test_filtered_aggregate_on_empty_selection(self, db):
+        with pytest.raises(ValueError):
+            db.query("SELECT MIN(X) FROM t WHERE X > 999999")
+
+    def test_costs_reported_and_shrinking(self, db):
+        first = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
+        second = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
+        assert first.qpf_uses > second.qpf_uses > 0
+        assert second.simulated_ms < first.simulated_ms
+
+    def test_baseline_strategy_ignores_index(self, db):
+        db.query("SELECT * FROM t WHERE X < 5000")  # warm a little
+        answer = db.query("SELECT * FROM t WHERE X < 5000",
+                          strategy="baseline")
+        assert answer.qpf_uses >= 400
+
+
+class TestUpdatesViaEngine:
+    def test_insert_visible(self, db):
+        uids = db.insert("t", {"X": np.asarray([9_999]),
+                               "Y": np.asarray([1])})
+        answer = db.query("SELECT * FROM t WHERE X > 9000")
+        assert int(uids[0]) in set(map(int, answer.uids))
+
+    def test_delete_hides(self, db):
+        answer = db.query("SELECT * FROM t WHERE X < 10001")
+        victim = answer.uids[:3]
+        db.delete("t", victim)
+        after = db.query("SELECT * FROM t WHERE X < 10001")
+        assert after.count == answer.count - 3
+        assert set(map(int, victim)).isdisjoint(set(map(int, after.uids)))
+
+
+class TestFetchRows:
+    def test_fetch_rows_materialises_plaintext(self, db):
+        answer = db.query("SELECT * FROM t WHERE 1000 < X AND X < 1500")
+        rows = db.fetch_rows("t", answer.uids)
+        assert len(rows["X"]) == answer.count
+        assert all(1000 < x < 1500 for x in rows["X"])
+
+
+class TestEngineErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(KeyError):
+            db.query("SELECT * FROM nope WHERE X < 5")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("t", {"X": (1, 10)},
+                            {"X": np.asarray([1], dtype=np.int64)})
+
+    def test_unindexed_attribute_falls_back_to_baseline(self):
+        database = EncryptedDatabase(seed=1)
+        database.create_table("u", {"Z": (1, 100)}, {
+            "Z": np.arange(1, 51, dtype=np.int64)})
+        answer = database.query("SELECT * FROM u WHERE Z < 25")
+        assert answer.count == 24
+        assert answer.qpf_uses == 50  # full scan; no PRKB built

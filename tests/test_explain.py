@@ -1,0 +1,89 @@
+"""Tests for the engine's EXPLAIN support."""
+
+import numpy as np
+import pytest
+
+from repro import EncryptedDatabase
+
+
+@pytest.fixture
+def db():
+    database = EncryptedDatabase(seed=1)
+    rng = np.random.default_rng(1)
+    database.create_table("t", {"X": (1, 10_000), "Y": (1, 10_000),
+                                "Z": (1, 10_000)}, {
+        "X": rng.integers(1, 10_001, size=500, dtype=np.int64),
+        "Y": rng.integers(1, 10_001, size=500, dtype=np.int64),
+        "Z": rng.integers(1, 10_001, size=500, dtype=np.int64),
+    })
+    database.enable_prkb("t", ["X", "Y"])  # Z deliberately unindexed
+    return database
+
+
+class TestExplain:
+    def test_md_plan_for_two_indexed_dims(self, db):
+        plan = db.explain("SELECT * FROM t WHERE 1 < X AND X < 9 "
+                          "AND 1 < Y AND Y < 9")
+        assert len(plan.steps) == 1
+        assert plan.steps[0].kind == "md-grid"
+        assert plan.steps[0].attributes == ("X", "Y")
+        assert plan.steps[0].indexed
+
+    def test_sd_plan_for_single_dim(self, db):
+        plan = db.explain("SELECT * FROM t WHERE X < 9")
+        assert [s.kind for s in plan.steps] == ["prkb-sd"]
+
+    def test_unindexed_attribute_scans(self, db):
+        plan = db.explain("SELECT * FROM t WHERE Z < 9")
+        assert [s.kind for s in plan.steps] == ["baseline-scan"]
+        assert plan.steps[0].estimated_qpf == 500
+
+    def test_between_step(self, db):
+        plan = db.explain("SELECT * FROM t WHERE X BETWEEN 2 AND 8")
+        assert [s.kind for s in plan.steps] == ["prkb-between"]
+
+    def test_baseline_strategy_ignores_indexes(self, db):
+        plan = db.explain("SELECT * FROM t WHERE X < 9",
+                          strategy="baseline")
+        assert [s.kind for s in plan.steps] == ["baseline-scan"]
+
+    def test_aggregate_plan(self, db):
+        plan = db.explain("SELECT MIN(X) FROM t")
+        assert [s.kind for s in plan.steps] == ["aggregate-ends"]
+
+    def test_estimates_track_index_growth(self, db):
+        cold = db.explain("SELECT * FROM t WHERE X < 9")
+        for c in range(1000, 9000, 1000):
+            db.query(f"SELECT * FROM t WHERE X < {c}")
+        warm = db.explain("SELECT * FROM t WHERE X < 9")
+        assert warm.estimated_qpf < cold.estimated_qpf
+
+    def test_estimate_in_right_ballpark(self, db):
+        """The estimate should land within ~5x of the actual cost for a
+        warm index (it is a planning heuristic, not an oracle)."""
+        for c in range(500, 9_500, 500):
+            db.query(f"SELECT * FROM t WHERE X < {c}")
+        sql = "SELECT * FROM t WHERE 3000 < X AND X < 4000"
+        plan = db.explain(sql)
+        answer = db.query(sql)
+        assert plan.estimated_qpf < 5 * max(1, answer.qpf_uses) + 100
+        assert answer.qpf_uses < 5 * plan.estimated_qpf + 100
+
+    def test_render_is_readable(self, db):
+        plan = db.explain("SELECT * FROM t WHERE 1 < X AND X < 9 "
+                          "AND Z < 5")
+        text = plan.render()
+        assert "FROM t" in text
+        assert "QPF" in text
+        assert "no index" in text  # the Z scan
+
+    def test_mixed_plan(self, db):
+        plan = db.explain("SELECT * FROM t WHERE 1 < X AND X < 9 "
+                          "AND 1 < Y AND Y < 9 AND Z < 5")
+        kinds = sorted(s.kind for s in plan.steps)
+        assert kinds == ["baseline-scan", "md-grid"]
+
+    def test_explain_does_not_execute(self, db):
+        before = db.counter.qpf_uses
+        db.explain("SELECT * FROM t WHERE X < 9")
+        assert db.counter.qpf_uses == before

@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark harness and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Testbed,
+    bench_scale,
+    build_testbed,
+    format_count,
+    format_ms,
+    format_table,
+    speedup,
+)
+from repro.workloads import uniform_table
+
+
+class TestTestbed:
+    def test_measure_captures_costs(self, small_testbed):
+        bed = small_testbed
+        m = bed.run_baseline("X", (100, 500))
+        assert m.qpf_uses >= 200
+        assert m.simulated_ms > 0
+        assert m.wall_ms >= 0
+        assert m.label == "Baseline"
+
+    def test_warm_up_grows_index(self, small_testbed):
+        bed = small_testbed
+        bed.warm_up("X", 12)
+        assert bed.prkb["X"].num_partitions > 5
+
+    def test_build_testbed_with_warmup(self):
+        table = uniform_table("t", 150, ["X"], domain=(1, 10_000), seed=0)
+        bed = build_testbed(table, ["X"], warm_up_queries=10)
+        assert bed.prkb["X"].num_partitions > 5
+
+    def test_log_src_i_optional(self):
+        table = uniform_table("t", 50, ["X"], domain=(1, 1000), seed=0)
+        without = Testbed(table, ["X"], seed=0)
+        assert without.log_src_i == {}
+        with_it = Testbed(table, ["X"], with_log_src_i=True, seed=0)
+        assert "X" in with_it.log_src_i
+
+    def test_md_runners_agree(self):
+        table = uniform_table("t", 200, ["X", "Y"], domain=(1, 1000),
+                              seed=2)
+        bed = Testbed(table, ["X", "Y"], with_log_src_i=True, seed=2)
+        bounds = {"X": (100, 700), "Y": (50, 900)}
+        want = bed.owner.expected_range_result("t", bounds)
+        for runner in (
+            lambda: bed.run_md(bounds, strategy="md"),
+            lambda: bed.run_md(bounds, strategy="sd+"),
+            lambda: bed.run_md(bounds, strategy="baseline"),
+            lambda: bed.run_log_src_i_md(bounds),
+        ):
+            assert runner().result_count == want.size
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        assert bench_scale(2.5) == 2.5
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3.0")
+        assert bench_scale() == 3.0
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestReporting:
+    def test_format_count(self):
+        assert format_count(950) == "950"
+        assert format_count(1200) == "1.20k"
+        assert format_count(3_400_000) == "3.40M"
+        assert format_count(2_100_000_000) == "2.10G"
+        assert format_count(0.5) == "0.50"
+
+    def test_format_ms(self):
+        assert format_ms(0.5) == "0.500ms"
+        assert format_ms(12.3) == "12.3ms"
+        assert format_ms(2500) == "2.50s"
+
+    def test_speedup(self):
+        assert speedup(100, 10) == "10.0x"
+        assert speedup(100, 0) == "inf"
+
+    def test_format_table_alignment(self):
+        rendered = format_table(["name", "value"],
+                                [["a", 1], ["long-name", 22]])
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("name")
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")

@@ -1,0 +1,117 @@
+"""Cross-module integration tests reproducing the paper's headline claims
+at test scale."""
+
+import numpy as np
+
+from repro.attacks import rpoi_trajectory
+from repro.bench import Testbed
+from repro.core import SingleDimensionProcessor
+from repro.workloads import (
+    hospital_charges,
+    uniform_table,
+    us_buildings,
+    distinct_comparison_thresholds,
+    geo_square_bounds,
+)
+
+
+class TestGrowingPrkbStory:
+    """Fig. 8's shape: query cost collapses as PRKB accumulates results."""
+
+    def test_cost_drops_by_an_order_of_magnitude(self):
+        table = uniform_table("t", 3000, ["X"], domain=(1, 1_000_000),
+                              seed=0)
+        bed = Testbed(table, ["X"], seed=0)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        thresholds = distinct_comparison_thresholds((1, 1_000_000), 120,
+                                                    seed=1)
+        costs = []
+        for threshold in thresholds:
+            trapdoor = bed.owner.comparison_trapdoor("X", "<",
+                                                     int(threshold))
+            before = bed.counter.qpf_uses
+            processor.select(trapdoor)
+            costs.append(bed.counter.qpf_uses - before)
+        early = np.mean(costs[:5])
+        late = np.mean(costs[-20:])
+        assert early > 10 * late
+        assert costs[0] >= 3000  # cold start = full scan
+
+    def test_results_remain_exact_throughout(self):
+        table = uniform_table("t", 800, ["X"], domain=(1, 50_000), seed=2)
+        bed = Testbed(table, ["X"], seed=2)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        rng = np.random.default_rng(3)
+        for __ in range(60):
+            constant = int(rng.integers(1, 50_001))
+            trapdoor = bed.owner.comparison_trapdoor("X", "<", constant)
+            got = np.sort(processor.select(trapdoor))
+            plain = bed.plain.columns["X"]
+            want = np.sort(bed.plain.uids[plain < constant])
+            assert np.array_equal(got, want)
+
+
+class TestStorageStory:
+    """Sec. 8.2.6: PRKB is tiny next to SRC-i and the data itself."""
+
+    def test_prkb_much_smaller_than_log_src_i(self):
+        table = uniform_table("t", 2000, ["X"], domain=(1, 1_000_000),
+                              seed=4)
+        bed = Testbed(table, ["X"], with_log_src_i=True, seed=4)
+        bed.warm_up("X", 50)
+        prkb_bytes = bed.prkb["X"].storage_bytes()
+        src_bytes = bed.log_src_i["X"].storage_bytes()
+        assert src_bytes > 10 * prkb_bytes
+
+    def test_prkb_smaller_than_encrypted_data(self):
+        table = uniform_table("t", 2000, ["X", "Y"],
+                              domain=(1, 1_000_000), seed=5)
+        bed = Testbed(table, ["X"], seed=5)
+        bed.warm_up("X", 50)
+        assert bed.prkb["X"].storage_bytes() < bed.table.storage_bytes()
+
+
+class TestTouristUseCase:
+    """Sec. 8.2.6's scenario: 1km x 1km windows over the buildings data."""
+
+    def test_geo_queries_get_cheap_after_warmup(self):
+        table = us_buildings(3000, seed=6)
+        bed = Testbed(table, ["latitude", "longitude"], seed=6)
+        queries = geo_square_bounds(40, side_km=200.0, seed=7)
+        costs = []
+        for bounds in queries:
+            m = bed.run_md(bounds, strategy="md")
+            costs.append(m.qpf_uses)
+        assert np.mean(costs[-10:]) < np.mean(costs[:3]) / 3
+
+    def test_geo_results_match_plaintext(self):
+        table = us_buildings(1500, seed=8)
+        bed = Testbed(table, ["latitude", "longitude"], seed=8)
+        for bounds in geo_square_bounds(10, side_km=300.0, seed=9):
+            m_truth = bed.owner.expected_range_result("buildings", bounds)
+            got = bed.run_md(bounds, strategy="md")
+            assert got.result_count == m_truth.size
+
+
+class TestSecurityStory:
+    """Sec. 8.1: partial order recovery stays far from total order."""
+
+    def test_rpoi_small_for_large_domains(self):
+        table = hospital_charges(30_000, seed=10)
+        charges = table.columns["charge"]
+        series = rpoi_trajectory(charges, [250, 1_000, 10_000],
+                                 domain=(25, 3_000_000), seed=11)
+        assert series[-1] < 0.25  # far from full recovery
+        assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_prkb_chain_never_exceeds_distinct_values(self):
+        values = np.asarray([1, 1, 2, 2, 3, 3], dtype=np.int64)
+        from repro.edbms import AttributeSpec, PlainTable, Schema
+        table = PlainTable(
+            "t", Schema.of(AttributeSpec("X", 0, 10)), {"X": values})
+        bed = Testbed(table, ["X"], seed=12)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        for constant in range(0, 11):
+            processor.select(
+                bed.owner.comparison_trapdoor("X", "<", constant))
+        assert bed.prkb["X"].num_partitions <= 3

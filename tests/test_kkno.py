@@ -1,0 +1,149 @@
+"""Tests for the KKNO value-reconstruction attack (paper's ref [24])."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    OrderReconstructionAttack,
+    estimate_values,
+    kkno_attack,
+    observe_cooccurrence,
+    observe_match_counts,
+)
+
+
+DOMAIN = (1, 1_000)
+
+
+def make_victim(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(DOMAIN[0], DOMAIN[1] + 1, size=n)
+
+
+class TestObservables:
+    def test_match_counts_shape_and_bounds(self):
+        values = make_victim()
+        counts = observe_match_counts(values, 500, DOMAIN, seed=1)
+        assert counts.shape == values.shape
+        assert counts.min() >= 0
+        assert counts.max() <= 500
+
+    def test_midpoint_values_match_most(self):
+        values = np.asarray([1, 500, 1000])
+        counts = observe_match_counts(values, 20_000, DOMAIN, seed=2)
+        assert counts[1] > counts[0]
+        assert counts[1] > counts[2]
+
+    def test_extremes_match_least_symmetrically(self):
+        values = np.asarray([1, 1000])
+        counts = observe_match_counts(values, 50_000, DOMAIN, seed=3)
+        assert abs(int(counts[0]) - int(counts[1])) < 50_000 * 0.02
+
+    def test_cooccurrence_bounded_by_marginals(self):
+        values = make_victim(50)
+        counts = observe_match_counts(values, 2_000, DOMAIN, seed=4)
+        co = observe_cooccurrence(values, 2_000, DOMAIN, reference=0,
+                                  seed=4)
+        assert (co <= counts).all()
+        assert co[0] == counts[0]  # reference co-occurs with itself
+
+    def test_same_side_cooccurs_more(self):
+        # reference at 100; same-side 200 vs mirror-side 800 have similar
+        # marginals but different co-occurrence with the reference.
+        values = np.asarray([100, 200, 802])
+        co = observe_cooccurrence(values, 50_000, DOMAIN, reference=0,
+                                  seed=5)
+        assert co[1] > co[2] * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observe_match_counts(np.asarray([1]), 0, DOMAIN)
+        with pytest.raises(ValueError):
+            observe_match_counts(np.asarray([1]), 10, (5, 4))
+
+
+class TestEstimation:
+    def test_recovers_with_enough_queries(self):
+        values = make_victim(150, seed=6)
+        outcome = kkno_attack(values, 60_000, DOMAIN, seed=7)
+        width = DOMAIN[1] - DOMAIN[0]
+        assert outcome.mean_absolute_error < width * 0.01
+
+    def test_error_shrinks_with_query_volume(self):
+        values = make_victim(150, seed=8)
+        errors = [
+            kkno_attack(values, q, DOMAIN, seed=9).mean_absolute_error
+            for q in (200, 2_000, 20_000)
+        ]
+        assert errors[2] < errors[1] < errors[0]
+
+    def test_large_domain_resists_realistic_volumes(self):
+        """The paper's Sec. 3.3 argument: with a large domain, realistic
+        query counts leave the attacker far from the plaintext."""
+        rng = np.random.default_rng(10)
+        big_domain = (1, 10_000_000)
+        values = rng.integers(*big_domain, size=150)
+        outcome = kkno_attack(values, 2_000, big_domain, seed=11)
+        width = big_domain[1] - big_domain[0]
+        assert outcome.mean_absolute_error > width * 0.005
+
+    def test_mirror_worlds_equally_vulnerable(self):
+        """Reflecting every value must not change the attack's power
+        materially (the query stream itself is not mirrored, so only
+        approximate symmetry is expected)."""
+        values = make_victim(80, seed=12)
+        mirrored = DOMAIN[0] + DOMAIN[1] - values
+        width = DOMAIN[1] - DOMAIN[0]
+        a = kkno_attack(values, 5_000, DOMAIN, seed=13)
+        b = kkno_attack(mirrored, 5_000, DOMAIN, seed=13)
+        assert a.mean_absolute_error < width * 0.05
+        assert b.mean_absolute_error < width * 0.05
+
+    def test_estimate_values_validation(self):
+        with pytest.raises(ValueError):
+            estimate_values(np.asarray([1, 2]), np.asarray([1]), 0, 10,
+                            DOMAIN)
+        with pytest.raises(ValueError):
+            estimate_values(np.asarray([1]), np.asarray([1]), 0, 0,
+                            DOMAIN)
+
+    def test_empty_victim_rejected(self):
+        with pytest.raises(ValueError):
+            kkno_attack(np.asarray([], dtype=np.int64), 10, DOMAIN)
+
+
+class TestBandOrderReconstruction:
+    """The band-aware observe_band used by attackers on range workloads."""
+
+    def test_band_splits_straddlers(self):
+        attack = OrderReconstructionAttack(range(6))
+        values = [10, 20, 30, 40, 50, 60]
+        # Comparison bootstraps the chain, band refines it.
+        attack.observe({i for i, v in enumerate(values) if v < 35})
+        grew = attack.observe_band(
+            {i for i, v in enumerate(values) if 25 <= v <= 45})
+        assert grew
+        assert attack.num_partitions == 4
+
+    def test_band_confined_to_one_partition_is_ambiguous(self):
+        attack = OrderReconstructionAttack(range(5))
+        assert not attack.observe_band({2})  # k=1: nothing to anchor on
+        assert attack.num_partitions == 1
+
+    def test_band_with_three_mixed_rejected(self):
+        attack = OrderReconstructionAttack(range(9))
+        attack.observe({0, 1, 2})
+        attack.observe({0, 1, 2, 3, 4, 5})
+        # {1, 4, 7} is mixed in all three partitions: not a band.
+        with pytest.raises(ValueError):
+            attack.observe_band({1, 4, 7})
+
+    def test_positions_of(self):
+        attack = OrderReconstructionAttack(range(4))
+        attack.observe({0, 1})
+        positions = attack.positions_of([0, 1, 2, 3])
+        assert len(set(positions[:2])) == 1
+        assert len(set(positions[2:])) == 1
+        assert positions[0] != positions[2]
+        with pytest.raises(KeyError):
+            attack.position_of(99)

@@ -1,0 +1,48 @@
+"""Unit tests for the baseline linear-scan processor."""
+
+import numpy as np
+
+from repro.baselines import LinearScanProcessor
+from repro.crypto import ComparisonPredicate
+
+from conftest import ground_truth_range
+
+
+class TestLinearScan:
+    def test_single_predicate_correct(self, small_testbed):
+        bed = small_testbed
+        processor = LinearScanProcessor(bed.table, bed.qpf)
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 400)
+        got = processor.select(trapdoor)
+        want = bed.owner.expected_result(
+            "t", ComparisonPredicate("X", "<", 400))
+        assert np.array_equal(got, want)
+
+    def test_costs_exactly_n_per_predicate(self, small_testbed):
+        bed = small_testbed
+        processor = LinearScanProcessor(bed.table, bed.qpf)
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 400)
+        before = bed.counter.qpf_uses
+        processor.select(trapdoor)
+        assert bed.counter.qpf_uses - before == bed.table.num_rows
+
+    def test_range_short_circuits(self, small_testbed):
+        bed = small_testbed
+        dim = bed.dimension_range("X", (100, 300))
+        processor = LinearScanProcessor(bed.table, bed.qpf)
+        before = bed.counter.qpf_uses
+        got = processor.select_range([dim])
+        spent = bed.counter.qpf_uses - before
+        n = bed.table.num_rows
+        # First predicate over everything, second only over survivors.
+        assert n < spent < 2 * n
+        assert np.array_equal(got, ground_truth_range(bed, "X", 100, 300))
+
+    def test_md_range_correct(self, small_testbed):
+        bed = small_testbed
+        bounds = {"X": (100, 600), "Y": (200, 900)}
+        query = [bed.dimension_range(a, b) for a, b in bounds.items()]
+        processor = LinearScanProcessor(bed.table, bed.qpf)
+        got = processor.select_range(query)
+        want = bed.owner.expected_range_result("t", bounds)
+        assert np.array_equal(got, want)

@@ -1,0 +1,141 @@
+"""Unit tests for the Logarithmic-SRC-i competitor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LogSRCiIndex
+from repro.baselines.log_src_i import multi_dimensional_query
+from repro.crypto import generate_key
+from repro.edbms import CostCounter
+
+
+def make_index(values, domain=(0, 1000), seed=0):
+    values = np.asarray(values, dtype=np.int64)
+    uids = np.arange(values.size, dtype=np.uint64)
+    counter = CostCounter()
+    index = LogSRCiIndex(generate_key(seed), counter, "X", domain, uids,
+                         values)
+    return index, counter, {int(u): int(v) for u, v in zip(uids, values)}
+
+
+def expect(lookup, low, high):
+    return sorted(u for u, v in lookup.items() if low <= v <= high)
+
+
+class TestQueries:
+    def test_basic_ranges(self):
+        index, __, lookup = make_index(range(0, 1000, 7))
+        for low, high in ((0, 1000), (10, 20), (500, 500), (993, 1000),
+                          (3, 6)):
+            got = sorted(map(int, index.query_inclusive(low, high)))
+            assert got == expect(lookup, low, high), (low, high)
+
+    def test_open_interval_form(self):
+        index, __, lookup = make_index(range(0, 100))
+        got = sorted(map(int, index.query_open(10, 20)))
+        assert got == expect(lookup, 11, 19)
+
+    def test_duplicates(self):
+        index, __, lookup = make_index([5] * 8 + [10] * 4 + [20])
+        assert sorted(map(int, index.query_inclusive(5, 5))) == \
+            expect(lookup, 5, 5)
+        assert sorted(map(int, index.query_inclusive(6, 25))) == \
+            expect(lookup, 6, 25)
+
+    def test_out_of_domain_clamped(self):
+        index, __, lookup = make_index(range(0, 50), domain=(0, 100))
+        got = sorted(map(int, index.query_inclusive(-100, 1000)))
+        assert got == expect(lookup, 0, 49)
+
+    def test_empty_index(self):
+        index, __, __ = make_index([], domain=(0, 10))
+        assert index.query_inclusive(0, 10).size == 0
+
+    def test_negative_domain(self):
+        """Signed values (e.g. longitudes) must round-trip the records."""
+        values = list(range(-500, 500, 7))
+        index, __, lookup = make_index(values, domain=(-1000, 1000))
+        for low, high in ((-1000, 1000), (-100, -50), (-3, 3), (400, 600)):
+            got = sorted(map(int, index.query_inclusive(low, high)))
+            assert got == expect(lookup, low, high), (low, high)
+        index.insert(uid=9_999, value=-77)
+        lookup[9_999] = -77
+        got = sorted(map(int, index.query_inclusive(-80, -70)))
+        assert got == expect(lookup, -80, -70)
+
+    def test_query_costs_are_metered(self):
+        index, counter, __ = make_index(range(0, 500))
+        counter.reset()
+        index.query_inclusive(100, 200)
+        assert counter.sse_lookups == 2  # one per level
+        assert counter.qpf_uses > 0  # TM confirmations
+
+
+class TestStorage:
+    def test_storage_much_larger_than_prkb_shape(self):
+        """Table 3's shape: SRC-i stores O(log D) entries per tuple."""
+        index, __, __ = make_index(range(0, 2000), domain=(0, 30_000))
+        per_tuple = index.storage_bytes() / index.num_tuples
+        assert per_tuple > 200  # many replicated encrypted postings
+
+    def test_storage_scales_linearly(self):
+        small, __, __ = make_index(range(0, 200), domain=(0, 30_000))
+        large, __, __ = make_index(range(0, 2000), domain=(0, 30_000))
+        ratio = large.storage_bytes() / small.storage_bytes()
+        assert 6 <= ratio <= 14
+
+
+class TestUpdates:
+    def test_insert_visible_in_queries(self):
+        index, __, lookup = make_index(range(0, 100, 10))
+        index.insert(uid=500, value=55)
+        lookup[500] = 55
+        got = sorted(map(int, index.query_inclusive(50, 60)))
+        assert got == expect(lookup, 50, 60)
+
+    def test_many_inserts_at_same_value_trigger_rebuild_path(self):
+        index, __, lookup = make_index([50], domain=(0, 100))
+        for i in range(50):
+            index.insert(uid=1000 + i, value=50)
+            lookup[1000 + i] = 50
+        got = sorted(map(int, index.query_inclusive(50, 50)))
+        assert got == expect(lookup, 50, 50)
+
+    def test_delete(self):
+        index, __, lookup = make_index(range(0, 100, 10))
+        index.delete(uid=3, value=30)
+        del lookup[3]
+        got = sorted(map(int, index.query_inclusive(0, 100)))
+        assert got == expect(lookup, 0, 100)
+
+    def test_delete_missing_rejected(self):
+        index, __, __ = make_index(range(0, 100, 10))
+        with pytest.raises(KeyError):
+            index.delete(uid=999, value=555)
+
+    def test_insert_out_of_domain_rejected(self):
+        index, __, __ = make_index(range(10), domain=(0, 10))
+        with pytest.raises(ValueError):
+            index.insert(uid=100, value=11)
+
+
+class TestMultiDimensional:
+    def test_intersection(self):
+        rng = np.random.default_rng(0)
+        n = 200
+        x = rng.integers(0, 1000, size=n, dtype=np.int64)
+        y = rng.integers(0, 1000, size=n, dtype=np.int64)
+        uids = np.arange(n, dtype=np.uint64)
+        counter = CostCounter()
+        key = generate_key(1)
+        indexes = {
+            "X": LogSRCiIndex(key, counter, "X", (0, 1000), uids, x),
+            "Y": LogSRCiIndex(key, counter, "Y", (0, 1000), uids, y),
+        }
+        bounds = {"X": (100, 600), "Y": (200, 800)}
+        got = sorted(map(int, multi_dimensional_query(indexes, bounds)))
+        want = sorted(
+            int(u) for u, vx, vy in zip(uids, x, y)
+            if 100 < vx < 600 and 200 < vy < 800
+        )
+        assert got == want

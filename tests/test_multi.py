@@ -1,0 +1,208 @@
+"""Unit and randomized tests for multi-dimensional range processing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.core import MultiDimensionProcessor
+from repro.workloads import uniform_table
+
+from conftest import plain_lookup
+
+
+def make_bed(n=300, attrs=("X", "Y"), domain=(1, 1000), seed=0,
+             max_partitions=None):
+    table = uniform_table("t", n, list(attrs), domain=domain, seed=seed)
+    return Testbed(table, list(attrs), seed=seed,
+                   max_partitions=max_partitions)
+
+
+def run_query(bed, bounds, strategy="md", update=True):
+    query = [bed.dimension_range(a, b) for a, b in bounds.items()]
+    processor = MultiDimensionProcessor(
+        {a: bed.prkb[a] for a in bounds},
+        update_policy="complete-partition" if update else "none")
+    if strategy == "md":
+        return np.sort(processor.select(query, update=update))
+    return np.sort(processor.select_naive(query, update=update))
+
+
+class TestMdCorrectness:
+    def test_cold_2d(self):
+        bed = make_bed()
+        bounds = {"X": (100, 500), "Y": (200, 800)}
+        got = run_query(bed, bounds)
+        assert np.array_equal(got, bed.owner.expected_range_result(
+            "t", bounds))
+
+    def test_warm_2d_md_equals_sdplus_equals_truth(self):
+        bed = make_bed(seed=2)
+        for attr in ("X", "Y"):
+            bed.warm_up(attr, 15, seed=3)
+        for qseed in range(6):
+            rng = np.random.default_rng(qseed)
+            bounds = {}
+            for attr in ("X", "Y"):
+                lo = int(rng.integers(0, 900))
+                bounds[attr] = (lo, lo + int(rng.integers(2, 100)))
+            want = bed.owner.expected_range_result("t", bounds)
+            assert np.array_equal(run_query(bed, bounds, "md"), want)
+            assert np.array_equal(run_query(bed, bounds, "sd+"), want)
+            for attr in ("X", "Y"):
+                bed.prkb[attr].pop.check_invariants(plain_lookup(bed, attr))
+
+    def test_3d(self):
+        bed = make_bed(n=400, attrs=("A", "B", "C"), seed=5)
+        for attr in ("A", "B", "C"):
+            bed.warm_up(attr, 10, seed=6)
+        bounds = {"A": (100, 700), "B": (50, 500), "C": (300, 999)}
+        want = bed.owner.expected_range_result("t", bounds)
+        assert np.array_equal(run_query(bed, bounds, "md"), want)
+
+    def test_empty_result(self):
+        bed = make_bed(seed=7)
+        bed.warm_up("X", 10, seed=7)
+        bounds = {"X": (500, 501), "Y": (1, 1000)}
+        got = run_query(bed, bounds)
+        assert np.array_equal(got, bed.owner.expected_range_result(
+            "t", bounds))
+
+    def test_full_domain_query(self):
+        bed = make_bed(seed=8)
+        bounds = {"X": (0, 1001), "Y": (0, 1001)}
+        got = run_query(bed, bounds)
+        assert got.size == 300
+
+    def test_randomized_sweep(self):
+        bed = make_bed(n=250, seed=9)
+        rng = np.random.default_rng(9)
+        for __ in range(20):
+            bounds = {}
+            for attr in ("X", "Y"):
+                lo = int(rng.integers(0, 950))
+                bounds[attr] = (lo, lo + int(rng.integers(2, 400)))
+            want = bed.owner.expected_range_result("t", bounds)
+            strategy = "md" if rng.integers(2) else "sd+"
+            assert np.array_equal(run_query(bed, bounds, strategy), want)
+        for attr in ("X", "Y"):
+            bed.prkb[attr].pop.check_invariants(plain_lookup(bed, attr))
+
+
+class TestMdCosts:
+    def test_md_beats_sdplus_on_warm_high_dim(self):
+        attrs = ("A", "B", "C", "D")
+        bed = make_bed(n=1500, attrs=attrs, domain=(1, 100_000), seed=11,
+                       max_partitions=60)
+        for attr in attrs:
+            bed.warm_up(attr, 60, seed=12)
+        rng = np.random.default_rng(13)
+        md_total = sdp_total = 0
+        for __ in range(5):
+            bounds = {}
+            for attr in attrs:
+                lo = int(rng.integers(0, 90_000))
+                bounds[attr] = (lo, lo + 4_000)
+            md = bed.run_md(bounds, strategy="md", update=False)
+            sdp = bed.run_md(bounds, strategy="sd+", update=False)
+            md_total += md.qpf_uses
+            sdp_total += sdp.qpf_uses
+        assert md_total < sdp_total
+
+    def test_central_region_is_free(self):
+        """A query whose interior covers warm partitions should accept the
+        central region without testing its tuples."""
+        bed = make_bed(n=1000, domain=(1, 100_000), seed=14)
+        for attr in ("X", "Y"):
+            bed.warm_up(attr, 80, seed=15)
+        bounds = {"X": (10_000, 90_000), "Y": (10_000, 90_000)}
+        measurement = bed.run_md(bounds, strategy="md", update=False)
+        # ~64% of tuples match; QPF must touch far fewer than that.
+        assert measurement.result_count > 500
+        assert measurement.qpf_uses < measurement.result_count / 2
+
+
+class TestDimensionOrdering:
+    def _setup(self, dim_order):
+        # A coarse chain (few warm-up queries) leaves large NS regions,
+        # which is where the candidate-testing order matters: with a warm
+        # chain the grid pruning alone removes nearly everything.
+        bed = make_bed(n=3000, attrs=("A", "B"), domain=(1, 100_000),
+                       seed=30)
+        for attr in ("A", "B"):
+            bed.warm_up(attr, 3, seed=31)
+        processor = MultiDimensionProcessor(
+            {a: bed.prkb[a] for a in ("A", "B")},
+            update_policy="none", dim_order=dim_order)
+        # A is broad (passes almost everything), B is very selective;
+        # the query lists the broad dimension FIRST.
+        bounds = {"A": (1_000, 99_000), "B": (50_000, 51_500)}
+        query = [bed.dimension_range(a, b) for a, b in bounds.items()]
+        return bed, processor, query, bounds
+
+    def test_orders_agree_on_answers(self):
+        results = {}
+        for order in ("given", "selective-first"):
+            bed, processor, query, bounds = self._setup(order)
+            results[order] = np.sort(processor.select(query, update=False))
+            want = bed.owner.expected_range_result("t", bounds)
+            assert np.array_equal(results[order], want)
+
+    def test_selective_first_saves_qpf(self):
+        costs = {}
+        for order in ("given", "selective-first"):
+            bed, processor, query, __ = self._setup(order)
+            before = bed.counter.qpf_uses
+            processor.select(query, update=False)
+            costs[order] = bed.counter.qpf_uses - before
+        assert costs["selective-first"] < costs["given"]
+
+    def test_unknown_order_rejected(self):
+        bed = make_bed(seed=32)
+        with pytest.raises(ValueError):
+            MultiDimensionProcessor({"X": bed.prkb["X"]},
+                                    dim_order="random")
+
+
+class TestUpdatePolicies:
+    def test_none_policy_keeps_chain(self):
+        bed = make_bed(seed=16)
+        bounds = {"X": (100, 500), "Y": (200, 800)}
+        query = [bed.dimension_range(a, b) for a, b in bounds.items()]
+        processor = MultiDimensionProcessor(
+            {a: bed.prkb[a] for a in bounds}, update_policy="none")
+        processor.select(query)
+        assert bed.prkb["X"].num_partitions == 1
+        assert bed.prkb["Y"].num_partitions == 1
+
+    def test_complete_partition_policy_grows_chain(self):
+        bed = make_bed(seed=17)
+        bounds = {"X": (100, 500), "Y": (200, 800)}
+        run_query(bed, bounds, "md", update=True)
+        assert bed.prkb["X"].num_partitions > 1
+        assert bed.prkb["Y"].num_partitions > 1
+        for attr in ("X", "Y"):
+            bed.prkb[attr].pop.check_invariants(plain_lookup(bed, attr))
+
+    def test_unknown_policy_rejected(self):
+        bed = make_bed(seed=18)
+        with pytest.raises(ValueError):
+            MultiDimensionProcessor({"X": bed.prkb["X"]},
+                                    update_policy="bogus")
+
+
+class TestMdErrors:
+    def test_requires_indexes(self):
+        with pytest.raises(ValueError):
+            MultiDimensionProcessor({})
+
+    def test_mixed_tables_rejected(self):
+        bed_a = make_bed(seed=19)
+        bed_b = make_bed(seed=20)
+        with pytest.raises(ValueError):
+            MultiDimensionProcessor({"X": bed_a.prkb["X"],
+                                     "Y": bed_b.prkb["Y"]})
+
+    def test_empty_query_returns_empty(self):
+        bed = make_bed(seed=21)
+        processor = MultiDimensionProcessor({"X": bed.prkb["X"]})
+        assert processor.select([]).size == 0

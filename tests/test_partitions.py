@@ -1,0 +1,161 @@
+"""Unit and property tests for the POP data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PartialOrderPartitions
+from repro.core.partitions import Partition
+
+
+class TestPartition:
+    def test_len_and_uids(self):
+        partition = Partition([3, 1, 2])
+        assert len(partition) == 3
+        assert sorted(partition.uids.tolist()) == [1, 2, 3]
+
+    def test_uids_cache_invalidation(self):
+        partition = Partition([1])
+        first = partition.uids
+        partition.add(2)
+        assert sorted(partition.uids.tolist()) == [1, 2]
+        assert len(first) == 1  # old snapshot untouched
+
+    def test_sample_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([]).sample(np.random.default_rng(0))
+
+    def test_sample_is_member(self):
+        partition = Partition([5, 6, 7])
+        rng = np.random.default_rng(0)
+        assert all(partition.sample(rng) in (5, 6, 7) for __ in range(20))
+
+    def test_remove(self):
+        partition = Partition([1, 2])
+        partition.remove(1)
+        assert partition.uids.tolist() == [2]
+        with pytest.raises(ValueError):
+            partition.remove(99)
+
+
+class TestPop:
+    def test_initial_chain(self):
+        pop = PartialOrderPartitions(np.arange(10, dtype=np.uint64))
+        assert pop.num_partitions == 1
+        assert pop.num_tuples == 10
+        pop.check_invariants()
+
+    def test_split_structure(self):
+        pop = PartialOrderPartitions(np.arange(10, dtype=np.uint64))
+        first, second = pop.split(0, np.arange(4, dtype=np.uint64),
+                                  np.arange(4, 10, dtype=np.uint64))
+        assert pop.num_partitions == 2
+        assert pop.index_of(first) == 0
+        assert pop.index_of(second) == 1
+        assert pop.index_of_uid(2) == 0
+        assert pop.index_of_uid(7) == 1
+        pop.check_invariants()
+
+    def test_split_rejects_bad_halves(self):
+        pop = PartialOrderPartitions(np.arange(4, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            pop.split(0, np.asarray([], dtype=np.uint64),
+                      np.arange(4, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            pop.split(0, np.asarray([0], dtype=np.uint64),
+                      np.asarray([1], dtype=np.uint64))
+
+    def test_indices_of_uids(self):
+        pop = PartialOrderPartitions(np.arange(6, dtype=np.uint64))
+        pop.split(0, np.asarray([0, 1], dtype=np.uint64),
+                  np.asarray([2, 3, 4, 5], dtype=np.uint64))
+        got = pop.indices_of_uids(np.asarray([0, 5, 1, 3],
+                                             dtype=np.uint64))
+        assert got.tolist() == [0, 1, 0, 1]
+
+    def test_insert(self):
+        pop = PartialOrderPartitions(np.arange(4, dtype=np.uint64))
+        pop.insert(100, 0)
+        assert pop.num_tuples == 5
+        assert pop.index_of_uid(100) == 0
+        with pytest.raises(ValueError):
+            pop.insert(100, 0)
+
+    def test_delete_keeps_partition(self):
+        pop = PartialOrderPartitions(np.arange(4, dtype=np.uint64))
+        assert pop.delete(2) is None
+        assert pop.num_tuples == 3
+        pop.check_invariants()
+
+    def test_delete_drops_empty_partition(self):
+        pop = PartialOrderPartitions(np.arange(3, dtype=np.uint64))
+        pop.split(0, np.asarray([0], dtype=np.uint64),
+                  np.asarray([1, 2], dtype=np.uint64))
+        assert pop.delete(0) == 0
+        assert pop.num_partitions == 1
+        pop.check_invariants()
+
+    def test_merge_range(self):
+        pop = PartialOrderPartitions(np.arange(6, dtype=np.uint64))
+        pop.split(0, np.asarray([0, 1], dtype=np.uint64),
+                  np.asarray([2, 3, 4, 5], dtype=np.uint64))
+        pop.split(1, np.asarray([2, 3], dtype=np.uint64),
+                  np.asarray([4, 5], dtype=np.uint64))
+        assert pop.num_partitions == 3
+        merged = pop.merge_range(0, 1)
+        assert pop.num_partitions == 2
+        assert pop.index_of(merged) == 0
+        assert sorted(merged.uids.tolist()) == [0, 1, 2, 3]
+        pop.check_invariants()
+
+    def test_merge_range_bounds_checked(self):
+        pop = PartialOrderPartitions(np.arange(3, dtype=np.uint64))
+        with pytest.raises(IndexError):
+            pop.merge_range(0, 1)
+
+    def test_invariant_checker_detects_wrong_order(self):
+        pop = PartialOrderPartitions(np.arange(4, dtype=np.uint64))
+        # Split mixing values across partitions: 0,2 | 1,3 is not monotone.
+        pop.split(0, np.asarray([0, 2], dtype=np.uint64),
+                  np.asarray([1, 3], dtype=np.uint64))
+        with pytest.raises(AssertionError):
+            pop.check_invariants(lambda uid: uid)
+
+    def test_invariant_checker_accepts_either_direction(self):
+        for order in ([0, 1], [1, 0]):
+            pop = PartialOrderPartitions(np.arange(4, dtype=np.uint64))
+            halves = [np.asarray([0, 1], dtype=np.uint64),
+                      np.asarray([2, 3], dtype=np.uint64)]
+            pop.split(0, halves[order[0]], halves[order[1]])
+            pop.check_invariants(lambda uid: uid)
+
+
+class TestPopProperties:
+    @given(st.integers(min_value=2, max_value=60),
+           st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_value_splits_keep_invariants(self, n, cut_seeds):
+        """Splitting along any sequence of value thresholds keeps a valid
+        monotone chain (the structural core of updatePRKB)."""
+        rng = np.random.default_rng(0)
+        values = {i: int(v) for i, v in
+                  enumerate(rng.integers(0, 1000, size=n))}
+        pop = PartialOrderPartitions(np.arange(n, dtype=np.uint64))
+        for seed in cut_seeds:
+            threshold = seed % 1000
+            # Find the partition this threshold would straddle (ascending
+            # orientation) and split it like updatePRKB would.
+            for index in range(pop.num_partitions):
+                members = pop[index].uids
+                lower = [int(u) for u in members if values[int(u)]
+                         < threshold]
+                upper = [int(u) for u in members if values[int(u)]
+                         >= threshold]
+                if lower and upper:
+                    pop.split(index, np.asarray(lower, dtype=np.uint64),
+                              np.asarray(upper, dtype=np.uint64))
+                    break
+            pop.check_invariants(lambda uid: values[uid])
+        assert pop.num_tuples == n

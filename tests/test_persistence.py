@@ -1,0 +1,134 @@
+"""Tests for encrypted-table and PRKB persistence."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Testbed
+from repro.core import BetweenProcessor, SingleDimensionProcessor
+from repro.edbms.persistence import (
+    load_index,
+    load_table,
+    save_index,
+    save_table,
+)
+from repro.workloads import uniform_table
+
+from conftest import plain_lookup
+
+
+def make_bed(seed=0, warm=20):
+    table = uniform_table("t", 300, ["X", "Y"], domain=(1, 10_000),
+                          seed=seed)
+    bed = Testbed(table, ["X"], seed=seed)
+    if warm:
+        bed.warm_up("X", warm, seed=seed)
+    return bed
+
+
+class TestTablePersistence:
+    def test_roundtrip(self, tmp_path):
+        bed = make_bed()
+        save_table(bed.table, tmp_path / "t")
+        restored = load_table(tmp_path / "t")
+        assert restored.name == bed.table.name
+        assert restored.attribute_names == bed.table.attribute_names
+        assert np.array_equal(restored.uids, bed.table.uids)
+        for attr in bed.table.attribute_names:
+            a, __ = bed.table.ciphertexts_for(attr, bed.table.uids)
+            b, __ = restored.ciphertexts_for(attr, restored.uids)
+            assert np.array_equal(a, b)
+
+    def test_restored_table_still_queryable(self, tmp_path):
+        bed = make_bed()
+        save_table(bed.table, tmp_path / "t")
+        restored = load_table(tmp_path / "t")
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 5000)
+        original = bed.qpf.batch(trapdoor, bed.table, bed.table.uids)
+        again = bed.qpf.batch(trapdoor, restored, restored.uids)
+        assert np.array_equal(original, again)
+
+    def test_kind_check(self, tmp_path):
+        bed = make_bed()
+        save_index(bed.prkb["X"], tmp_path / "ix")
+        with pytest.raises(ValueError):
+            load_table(tmp_path / "ix")
+
+
+class TestIndexPersistence:
+    def test_roundtrip_preserves_chain(self, tmp_path):
+        bed = make_bed(seed=1)
+        index = bed.prkb["X"]
+        save_index(index, tmp_path / "ix")
+        restored = load_index(tmp_path / "ix", bed.table, bed.qpf, seed=9)
+        assert restored.num_partitions == index.num_partitions
+        assert restored.num_separators == index.num_separators
+        assert restored.pop.sizes() == index.pop.sizes()
+        restored.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_restored_index_answers_queries(self, tmp_path):
+        bed = make_bed(seed=2)
+        save_index(bed.prkb["X"], tmp_path / "ix")
+        restored = load_index(tmp_path / "ix", bed.table, bed.qpf, seed=4)
+        processor = SingleDimensionProcessor(restored)
+        for constant in (100, 5_000, 9_900):
+            trapdoor = bed.owner.comparison_trapdoor("X", "<", constant)
+            got = np.sort(processor.select(trapdoor))
+            plain = bed.plain.columns["X"]
+            want = np.sort(bed.plain.uids[plain < constant])
+            assert np.array_equal(got, want)
+
+    def test_restored_index_keeps_growing(self, tmp_path):
+        bed = make_bed(seed=3)
+        save_index(bed.prkb["X"], tmp_path / "ix")
+        restored = load_index(tmp_path / "ix", bed.table, bed.qpf, seed=4)
+        k = restored.num_partitions
+        processor = SingleDimensionProcessor(restored)
+        processor.select(bed.owner.comparison_trapdoor("X", "<", 4_321))
+        assert restored.num_partitions >= k
+        restored.pop.check_invariants(plain_lookup(bed, "X"))
+
+    def test_restored_separators_support_insert(self, tmp_path):
+        """The stored trapdoors must still drive the O(log k) insert."""
+        bed = make_bed(seed=4)
+        save_index(bed.prkb["X"], tmp_path / "ix")
+        restored = load_index(tmp_path / "ix", bed.table, bed.qpf, seed=4)
+        from repro.core import TableUpdater
+        updater = TableUpdater(bed.table, {"X": restored})
+        receipt = updater.insert_plain(bed.owner.key, {
+            "X": np.asarray([7_777], dtype=np.int64),
+            "Y": np.asarray([1], dtype=np.int64),
+        })
+        lookup = {int(u): int(v) for u, v in
+                  zip(bed.plain.uids, bed.plain.columns["X"])}
+        lookup[int(receipt.uids[0])] = 7_777
+        restored.pop.check_invariants(lambda uid: lookup[uid])
+
+    def test_between_partner_links_survive(self, tmp_path):
+        bed = make_bed(seed=5, warm=0)
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 5_000))
+        BetweenProcessor(index).select(
+            bed.owner.between_trapdoor("X", 2_000, 8_000))
+        linked_before = sum(
+            1 for s in index._separators if s.partner is not None)
+        save_index(index, tmp_path / "ix")
+        restored = load_index(tmp_path / "ix", bed.table, bed.qpf)
+        linked_after = sum(
+            1 for s in restored._separators if s.partner is not None)
+        assert linked_after == linked_before
+
+    def test_table_mismatch_rejected(self, tmp_path):
+        bed = make_bed(seed=6)
+        other = make_bed(seed=7)
+        save_index(bed.prkb["X"], tmp_path / "ix")
+        other_table = other.table
+        other_table.name = "t"  # same name, different tuples
+        other_table.delete_rows(other_table.uids[:10])
+        with pytest.raises(ValueError):
+            load_index(tmp_path / "ix", other_table, other.qpf)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        bed = make_bed(seed=8)
+        save_table(bed.table, tmp_path / "t")
+        with pytest.raises(ValueError):
+            load_index(tmp_path / "t", bed.table, bed.qpf)

@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.bench import ascii_bars, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart(["1", "2", "3"],
+                            {"a": [1.0, 10.0, 100.0]},
+                            height=5, title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert any("*" in line for line in lines)
+        assert "a" in chart
+        assert "log y" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        chart = ascii_chart(["a", "b", "c"], {"s": [1.0, 10.0, 100.0]},
+                            height=7)
+        grid_lines = [line for line in chart.splitlines() if "|" in line]
+        rows_with_marker = [
+            (row_index, line.index("*"))
+            for row_index, line in enumerate(grid_lines)
+            if "*" in line
+        ]
+        # Later x positions appear on higher rows (smaller row index).
+        rows_with_marker.sort(key=lambda rc: rc[1])
+        row_indexes = [r for r, __ in rows_with_marker]
+        assert row_indexes == sorted(row_indexes, reverse=True)
+
+    def test_multiple_series_legend(self):
+        chart = ascii_chart(["1", "2"], {"alpha": [1, 2],
+                                         "beta": [2, 1]})
+        assert "* alpha" in chart
+        assert "o beta" in chart
+
+    def test_flat_series(self):
+        chart = ascii_chart(["1", "2"], {"flat": [5.0, 5.0]})
+        grid = "\n".join(line for line in chart.splitlines()
+                         if "|" in line)
+        assert grid.count("*") == 2
+
+    def test_series_share_one_scale(self):
+        """A constant high series must sit above a low series at every
+        column (global, not per-series, normalisation)."""
+        chart = ascii_chart(
+            ["1", "2"],
+            {"low": [1.0, 1.0], "high": [1000.0, 1000.0]},
+        )
+        grid_lines = [line for line in chart.splitlines() if "|" in line]
+        high_row = next(i for i, line in enumerate(grid_lines)
+                        if "o" in line)
+        low_row = next(i for i, line in enumerate(grid_lines)
+                       if "*" in line)
+        assert high_row < low_row  # 'o' (high) rendered above '*' (low)
+
+    def test_linear_scale(self):
+        chart = ascii_chart(["1", "2"], {"s": [0.0, 10.0]},
+                            log_scale=False)
+        assert "log y" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["1"], {})
+        with pytest.raises(ValueError):
+            ascii_chart(["1", "2"], {"s": [1.0]})
+
+
+class TestAsciiBars:
+    def test_basic(self):
+        bars = ascii_bars(["prkb", "baseline"], [10.0, 1000.0],
+                          title="cost", unit="ms")
+        lines = bars.splitlines()
+        assert lines[0] == "cost"
+        assert lines[2].count("#") > lines[1].count("#")
+        assert "ms" in lines[1]
+
+    def test_zero_values(self):
+        bars = ascii_bars(["a"], [0.0])
+        assert "0" in bars
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars([], [])

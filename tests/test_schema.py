@@ -1,0 +1,101 @@
+"""Unit tests for the schema and plaintext table model."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import ComparisonPredicate
+from repro.edbms import AttributeSpec, PlainTable, Schema
+
+
+def make_table(n=10):
+    schema = Schema.of(AttributeSpec("X", 0, 100),
+                       AttributeSpec("Y", -50, 50))
+    return PlainTable("t", schema, {
+        "X": np.arange(n, dtype=np.int64),
+        "Y": np.arange(n, dtype=np.int64) - 5,
+    })
+
+
+class TestAttributeSpec:
+    def test_domain_size(self):
+        assert AttributeSpec("X", 1, 10).domain_size == 10
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("X", 10, 1)
+
+    def test_validate(self):
+        spec = AttributeSpec("X", 0, 10)
+        spec.validate(np.asarray([0, 5, 10]))
+        spec.validate(np.asarray([]))
+        with pytest.raises(ValueError):
+            spec.validate(np.asarray([11]))
+        with pytest.raises(ValueError):
+            spec.validate(np.asarray([-1]))
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of(AttributeSpec("X", 0, 1), AttributeSpec("X", 0, 1))
+
+    def test_lookup(self):
+        schema = Schema.of(AttributeSpec("X", 0, 1),
+                           AttributeSpec("Y", 0, 1))
+        assert schema["Y"].name == "Y"
+        assert "X" in schema
+        assert "Z" not in schema
+        with pytest.raises(KeyError):
+            schema["Z"]
+
+    def test_names_ordered(self):
+        schema = Schema.of(AttributeSpec("B", 0, 1),
+                           AttributeSpec("A", 0, 1))
+        assert schema.names == ("B", "A")
+
+
+class TestPlainTable:
+    def test_basic_shape(self):
+        table = make_table(7)
+        assert table.num_rows == 7
+        assert np.array_equal(table.uids, np.arange(7, dtype=np.uint64))
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema.of(AttributeSpec("X", 0, 10),
+                           AttributeSpec("Y", 0, 10))
+        with pytest.raises(ValueError):
+            PlainTable("t", schema, {
+                "X": np.asarray([1, 2]),
+                "Y": np.asarray([1]),
+            })
+
+    def test_column_schema_mismatch_rejected(self):
+        schema = Schema.of(AttributeSpec("X", 0, 10))
+        with pytest.raises(ValueError):
+            PlainTable("t", schema, {"Z": np.asarray([1])})
+
+    def test_domain_enforced(self):
+        schema = Schema.of(AttributeSpec("X", 0, 10))
+        with pytest.raises(ValueError):
+            PlainTable("t", schema, {"X": np.asarray([11])})
+
+    def test_custom_uids_validated(self):
+        schema = Schema.of(AttributeSpec("X", 0, 10))
+        with pytest.raises(ValueError):
+            PlainTable("t", schema, {"X": np.asarray([1, 2])},
+                       uids=np.asarray([5, 5]))
+        with pytest.raises(ValueError):
+            PlainTable("t", schema, {"X": np.asarray([1, 2])},
+                       uids=np.asarray([5]))
+
+    def test_value_of(self):
+        table = make_table()
+        assert table.value_of(3, "X") == 3
+        assert table.value_of(3, "Y") == -2
+        with pytest.raises(KeyError):
+            table.value_of(99, "X")
+
+    def test_rows_matching(self):
+        table = make_table()
+        got = table.rows_matching("X", ComparisonPredicate("X", "<", 3))
+        assert sorted(int(u) for u in got) == [0, 1, 2]

@@ -1,0 +1,70 @@
+"""Unit tests for the SDB-style secret-sharing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import SecretSharingScheme, generate_key
+from repro.crypto.secret_sharing import DEFAULT_MODULUS
+
+
+def make_scheme(seed=0):
+    return SecretSharingScheme(generate_key(seed))
+
+
+class TestSecretSharing:
+    def test_roundtrip(self):
+        scheme = make_scheme()
+        for value in (1, 2, 12345, DEFAULT_MODULUS - 1):
+            pair = scheme.share(value, nonce=7)
+            assert scheme.reconstruct(pair) == value
+
+    def test_sp_share_alone_hides_value(self):
+        """Two different values can map to the same-looking SP shares under
+        different randomness; at minimum the SP share must differ from the
+        plaintext almost always."""
+        scheme = make_scheme()
+        hits = sum(
+            scheme.share(v, nonce=v).sp_share == v
+            for v in range(1, 2000)
+        )
+        assert hits <= 2
+
+    def test_nonce_changes_share(self):
+        scheme = make_scheme()
+        assert scheme.share(5, 1).sp_share != scheme.share(5, 2).sp_share
+
+    def test_range_enforced(self):
+        scheme = make_scheme()
+        with pytest.raises(ValueError):
+            scheme.share(0, 1)
+        with pytest.raises(ValueError):
+            scheme.share(DEFAULT_MODULUS, 1)
+
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            SecretSharingScheme(generate_key(0), modulus=2)
+
+    def test_share_many_roundtrip(self):
+        scheme = make_scheme(3)
+        values = np.asarray([1, 10, 100, 1000], dtype=np.int64)
+        nonces = np.arange(4, dtype=np.uint64)
+        owner, sp = scheme.share_many(values, nonces)
+        from repro.crypto import SharePair
+        for i in range(4):
+            pair = SharePair(int(owner[i]), int(sp[i]))
+            assert scheme.reconstruct(pair) == int(values[i])
+
+    def test_share_many_alignment_checked(self):
+        scheme = make_scheme()
+        with pytest.raises(ValueError):
+            scheme.share_many(np.asarray([1, 2]), np.asarray([1],
+                                                             dtype=np.uint64))
+
+    @given(value=st.integers(min_value=1, max_value=DEFAULT_MODULUS - 1),
+           nonce=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value, nonce):
+        scheme = make_scheme(9)
+        assert scheme.reconstruct(scheme.share(value, nonce)) == value

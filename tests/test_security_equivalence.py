@@ -1,0 +1,136 @@
+"""The paper's central security claim, tested end to end (Sec. 3.3).
+
+"Any information that can be derived by SP from PRKB can also be
+obtained by SP in EDBMS without PRKB.  There is no additional leakage
+caused by PRKB."
+
+We verify the *strong form*: an independent attacker who sees only the
+selection results an unindexed EDBMS would reveal reconstructs exactly
+the partition structure PRKB holds — same partitions, same chain, up to
+the global direction neither party can know.  If PRKB ever encoded more
+than the observable results, these tests would catch the divergence.
+"""
+
+import numpy as np
+
+from repro.attacks import OrderReconstructionAttack
+from repro.bench import Testbed
+from repro.core import SingleDimensionProcessor
+from repro.workloads import distinct_comparison_thresholds, uniform_table
+
+
+def chains_equal_up_to_reversal(chain_a: list[frozenset],
+                                chain_b: list[frozenset]) -> bool:
+    """Whether two partition chains are identical or exact mirrors."""
+    plain_a = [frozenset(p) for p in chain_a]
+    plain_b = [frozenset(p) for p in chain_b]
+    return plain_a == plain_b or plain_a == plain_b[::-1]
+
+
+def prkb_chain(index) -> list[frozenset]:
+    return [frozenset(int(u) for u in partition.uids)
+            for partition in index.pop]
+
+
+class TestNoAdditionalLeakage:
+    def test_attacker_reconstructs_prkb_exactly(self):
+        """Replay the exact winner sets PRKB returned into the generic
+        attacker: the two partition chains must coincide."""
+        table = uniform_table("t", 400, ["X"], domain=(1, 100_000),
+                              seed=90)
+        bed = Testbed(table, ["X"], seed=90)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        attacker = OrderReconstructionAttack(
+            int(u) for u in bed.table.uids)
+        thresholds = distinct_comparison_thresholds((1, 100_000), 60,
+                                                    seed=91)
+        for threshold in thresholds:
+            trapdoor = bed.owner.comparison_trapdoor("X", "<",
+                                                     int(threshold))
+            winners = processor.select(trapdoor)
+            # The attacker sees exactly what the DO's answer channel
+            # reveals: the set of matching encrypted tuples.
+            attacker.observe(int(u) for u in winners)
+        assert attacker.num_partitions == bed.prkb["X"].num_partitions
+        assert chains_equal_up_to_reversal(attacker.chain,
+                                           prkb_chain(bed.prkb["X"]))
+
+    def test_equivalence_holds_under_mixed_operators(self):
+        table = uniform_table("t", 250, ["X"], domain=(1, 1_000),
+                              seed=92)
+        bed = Testbed(table, ["X"], seed=92)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        attacker = OrderReconstructionAttack(
+            int(u) for u in bed.table.uids)
+        rng = np.random.default_rng(93)
+        for __ in range(50):
+            op = ("<", "<=", ">", ">=")[int(rng.integers(4))]
+            constant = int(rng.integers(1, 1_001))
+            trapdoor = bed.owner.comparison_trapdoor("X", op, constant)
+            winners = processor.select(trapdoor)
+            attacker.observe(int(u) for u in winners)
+        assert chains_equal_up_to_reversal(attacker.chain,
+                                           prkb_chain(bed.prkb["X"]))
+
+    def test_partition_cap_only_reduces_knowledge(self):
+        """A capped PRKB may know strictly LESS than the attacker — the
+        cap discards knowledge — but never more: every PRKB partition
+        must be a union of attacker partitions."""
+        table = uniform_table("t", 300, ["X"], domain=(1, 50_000),
+                              seed=94)
+        bed = Testbed(table, ["X"], max_partitions=6, seed=94)
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        attacker = OrderReconstructionAttack(
+            int(u) for u in bed.table.uids)
+        for threshold in distinct_comparison_thresholds((1, 50_000), 30,
+                                                        seed=95):
+            trapdoor = bed.owner.comparison_trapdoor("X", "<",
+                                                     int(threshold))
+            winners = processor.select(trapdoor)
+            attacker.observe(int(u) for u in winners)
+        assert bed.prkb["X"].num_partitions <= attacker.num_partitions
+        attacker_parts = attacker.chain
+        for prkb_partition in prkb_chain(bed.prkb["X"]):
+            covering = [p for p in attacker_parts if p <= prkb_partition]
+            assert frozenset().union(*covering) == prkb_partition
+
+    def test_between_leaks_no_more_than_its_results(self):
+        """BETWEEN processing must also stay within the observable: the
+        attacker fed the BETWEEN result as the pair of virtual
+        comparison results (Appendix A's equivalence) matches or
+        exceeds PRKB's knowledge."""
+        from repro.core import BetweenProcessor
+        table = uniform_table("t", 200, ["X"], domain=(1, 10_000),
+                              seed=96)
+        bed = Testbed(table, ["X"], seed=96)
+        index = bed.prkb["X"]
+        sd = SingleDimensionProcessor(index)
+        between = BetweenProcessor(index)
+        attacker = OrderReconstructionAttack(
+            int(u) for u in bed.table.uids)
+        plain = {int(u): int(v) for u, v in
+                 zip(bed.plain.uids, bed.plain.columns["X"])}
+        rng = np.random.default_rng(97)
+        for step in range(40):
+            if step % 3 == 0:
+                low = int(rng.integers(1, 9_000))
+                high = low + int(rng.integers(1, 1_000))
+                between.select(bed.owner.between_trapdoor("X", low, high))
+                # Appendix A: the BETWEEN observable equals the two
+                # comparison observables in the generic case.
+                attacker.observe(
+                    {u for u, v in plain.items() if v >= low})
+                attacker.observe(
+                    {u for u, v in plain.items() if v <= high})
+            else:
+                constant = int(rng.integers(1, 10_001))
+                winners = sd.select(
+                    bed.owner.comparison_trapdoor("X", "<", constant))
+                attacker.observe(int(u) for u in winners)
+        # PRKB may know less (the exceptional narrow-band case skips
+        # updates) but never more.
+        assert index.num_partitions <= attacker.num_partitions
+        attacker_parts = attacker.chain
+        for prkb_partition in prkb_chain(index):
+            covering = [p for p in attacker_parts if p <= prkb_partition]
+            assert frozenset().union(*covering) == prkb_partition

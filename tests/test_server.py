@@ -1,0 +1,118 @@
+"""Unit tests for the service-provider engine."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import generate_key
+from repro.edbms import (
+    CostCounter,
+    QueryProcessingFunction,
+    TrustedMachine,
+)
+from repro.edbms.owner import DataOwner
+from repro.edbms.server import ServiceProvider
+from repro.workloads import uniform_table
+
+
+@pytest.fixture
+def setup():
+    owner = DataOwner(key=generate_key(4))
+    counter = CostCounter()
+    qpf = QueryProcessingFunction(TrustedMachine(owner.key, counter))
+    sp = ServiceProvider(qpf)
+    table = uniform_table("t", 300, ["X", "Y"], domain=(1, 1000), seed=4)
+    sp.register_table(owner.encrypt_table(table))
+    return owner, sp, table
+
+
+class TestStorageManagement:
+    def test_register_and_lookup(self, setup):
+        __, sp, __ = setup
+        assert sp.table("t").name == "t"
+        with pytest.raises(KeyError):
+            sp.table("nope")
+
+    def test_duplicate_registration_rejected(self, setup):
+        owner, sp, table = setup
+        with pytest.raises(ValueError):
+            sp.register_table(owner.encrypt_table(table))
+
+
+class TestIndexManagement:
+    def test_build_and_lookup(self, setup):
+        __, sp, __ = setup
+        index = sp.build_index("t", "X", max_partitions=50)
+        assert sp.has_index("t", "X")
+        assert not sp.has_index("t", "Y")
+        assert sp.index("t", "X") is index
+        with pytest.raises(KeyError):
+            sp.index("t", "Y")
+
+    def test_indexes_for(self, setup):
+        __, sp, __ = setup
+        sp.build_index("t", "X")
+        sp.build_index("t", "Y")
+        assert set(sp.indexes_for("t")) == {"X", "Y"}
+
+
+class TestSelectionDispatch:
+    def test_indexed_matches_baseline(self, setup):
+        owner, sp, __ = setup
+        sp.build_index("t", "X")
+        trapdoor_a = owner.comparison_trapdoor("X", "<", 400)
+        trapdoor_b = owner.comparison_trapdoor("X", "<", 400)
+        with_index = np.sort(sp.select("t", trapdoor_a))
+        baseline = np.sort(sp.select_baseline("t", trapdoor_b))
+        assert np.array_equal(with_index, baseline)
+
+    def test_unindexed_attribute_uses_baseline(self, setup):
+        owner, sp, __ = setup
+        before = sp.counter.qpf_uses
+        sp.select("t", owner.comparison_trapdoor("Y", "<", 400))
+        assert sp.counter.qpf_uses - before == 300
+
+    def test_between_dispatch(self, setup):
+        owner, sp, table = setup
+        sp.build_index("t", "X")
+        got = np.sort(sp.select("t", owner.between_trapdoor("X", 100, 300)))
+        col = table.columns["X"]
+        want = np.sort(table.uids[(col >= 100) & (col <= 300)])
+        assert np.array_equal(got, want)
+
+    def test_select_range_strategies(self, setup):
+        owner, sp, table = setup
+        sp.build_index("t", "X")
+        sp.build_index("t", "Y")
+        bounds = {"X": (100, 600), "Y": (200, 800)}
+        query = owner.range_query(bounds)
+        want = owner.expected_range_result("t", bounds)
+        for strategy in ("md", "sd+", "baseline"):
+            got = sp.select_range("t", query, strategy=strategy)
+            assert np.array_equal(np.sort(got), want), strategy
+
+    def test_select_range_requires_index(self, setup):
+        owner, sp, __ = setup
+        query = owner.range_query({"X": (1, 10)})
+        with pytest.raises(KeyError):
+            sp.select_range("t", query, strategy="md")
+
+    def test_unknown_strategy_rejected(self, setup):
+        owner, sp, __ = setup
+        sp.build_index("t", "X")
+        query = owner.range_query({"X": (1, 10)})
+        with pytest.raises(ValueError):
+            sp.select_range("t", query, strategy="quantum")
+
+
+class TestUpdaterAccess:
+    def test_updater_covers_indexes(self, setup):
+        owner, sp, __ = setup
+        sp.build_index("t", "X")
+        updater = sp.updater("t")
+        receipt = updater.insert_plain(owner.key, {
+            "X": np.asarray([555], dtype=np.int64),
+            "Y": np.asarray([555], dtype=np.int64),
+        })
+        assert sp.table("t").num_rows == 301
+        got = sp.select("t", owner.comparison_trapdoor("X", ">=", 555))
+        assert int(receipt.uids[0]) in set(map(int, got))

@@ -1,0 +1,73 @@
+"""Unit tests for the PRKB(SD) single-dimension processor."""
+
+import numpy as np
+import pytest
+
+from repro.core import SingleDimensionProcessor
+
+from conftest import ground_truth_range
+
+
+class TestSelectRange:
+    def test_range_matches_plaintext(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        for low, high in ((100, 300), (1, 999), (500, 501), (900, 1000)):
+            dim = bed.dimension_range("X", (low, high))
+            got = np.sort(processor.select_range(dim.low, dim.high))
+            assert np.array_equal(got,
+                                  ground_truth_range(bed, "X", low, high))
+
+    def test_empty_range(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        dim = bed.dimension_range("X", (400, 401))
+        got = processor.select_range(dim.low, dim.high)
+        assert np.array_equal(np.sort(got),
+                              ground_truth_range(bed, "X", 400, 401))
+
+    def test_update_flag_respected(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        dim = bed.dimension_range("X", (100, 300))
+        processor.select_range(dim.low, dim.high, update=False)
+        assert bed.prkb["X"].num_partitions == 1
+
+    def test_rejects_between_trapdoor(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        trapdoor = bed.owner.between_trapdoor("X", 1, 2)
+        with pytest.raises(ValueError):
+            processor.select(trapdoor)
+
+    def test_attribute_property(self, small_testbed):
+        processor = SingleDimensionProcessor(small_testbed.prkb["X"])
+        assert processor.attribute == "X"
+
+
+class TestMeasure:
+    def test_measure_reports_qpf(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        trapdoors = [bed.owner.comparison_trapdoor("X", ">", 100),
+                     bed.owner.comparison_trapdoor("X", "<", 300)]
+        winners, cost = processor.measure(trapdoors)
+        assert cost.qpf_uses > 0
+        assert np.array_equal(np.sort(winners),
+                              ground_truth_range(bed, "X", 100, 300))
+
+    def test_measure_requires_trapdoors(self, small_testbed):
+        processor = SingleDimensionProcessor(small_testbed.prkb["X"])
+        with pytest.raises(AssertionError):
+            processor.measure([])
+
+    def test_repeated_queries_get_cheaper(self, small_testbed):
+        bed = small_testbed
+        processor = SingleDimensionProcessor(bed.prkb["X"])
+        dim = bed.dimension_range("X", (200, 600))
+        first = bed.measure("first", lambda: processor.select_range(
+            dim.low, dim.high))
+        dim2 = bed.dimension_range("X", (200, 600))
+        second = bed.measure("second", lambda: processor.select_range(
+            dim2.low, dim2.high))
+        assert second.qpf_uses < first.qpf_uses

@@ -1,0 +1,98 @@
+"""Unit tests for the mini-SQL parser."""
+
+import pytest
+
+from repro.edbms import (
+    BetweenCondition,
+    ComparisonCondition,
+    SqlError,
+    parse_select,
+)
+
+
+class TestValidStatements:
+    def test_select_star_no_where(self):
+        statement = parse_select("SELECT * FROM people")
+        assert statement.table == "people"
+        assert statement.projection == "*"
+        assert statement.conditions == ()
+
+    def test_single_comparison(self):
+        statement = parse_select("SELECT * FROM t WHERE X < 10")
+        assert statement.conditions == (
+            ComparisonCondition("X", "<", 10),)
+
+    def test_all_operators(self):
+        for op in ("<", "<=", ">", ">="):
+            statement = parse_select(f"SELECT * FROM t WHERE X {op} 5")
+            assert statement.conditions[0].operator == op
+
+    def test_constant_first_normalised(self):
+        statement = parse_select("SELECT * FROM t WHERE 5 < X")
+        assert statement.conditions == (
+            ComparisonCondition("X", ">", 5),)
+        statement = parse_select("SELECT * FROM t WHERE 5 >= X")
+        assert statement.conditions == (
+            ComparisonCondition("X", "<=", 5),)
+
+    def test_conjunction(self):
+        statement = parse_select(
+            "SELECT * FROM t WHERE 1 < X AND X < 9 AND Y > 3")
+        assert len(statement.conditions) == 3
+
+    def test_between(self):
+        statement = parse_select(
+            "SELECT * FROM t WHERE X BETWEEN 3 AND 9")
+        assert statement.conditions == (BetweenCondition("X", 3, 9),)
+
+    def test_negative_numbers(self):
+        statement = parse_select("SELECT * FROM t WHERE X > -5")
+        assert statement.conditions[0].constant == -5
+
+    def test_case_insensitive_keywords(self):
+        statement = parse_select("select * from t where x between 1 and 2")
+        assert isinstance(statement.conditions[0], BetweenCondition)
+
+    def test_min_max_projection(self):
+        assert parse_select("SELECT MIN(X) FROM t").projection == \
+            ("min", "X")
+        assert parse_select("SELECT MAX(X) FROM t").projection == \
+            ("max", "X")
+
+    def test_count_projection(self):
+        assert parse_select("SELECT COUNT(*) FROM t").projection == \
+            ("count",)
+
+    def test_trailing_semicolon(self):
+        statement = parse_select("SELECT * FROM t;")
+        assert statement.table == "t"
+
+
+class TestInvalidStatements:
+    @pytest.mark.parametrize("sql", [
+        "",
+        ";",
+        "SELECT",
+        "SELECT * FROM",
+        "SELECT FROM t",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t WHERE X",
+        "SELECT * FROM t WHERE X < ",
+        "SELECT * FROM t WHERE X = 5",
+        "SELECT * FROM t WHERE X <> 5",
+        "SELECT * FROM t WHERE X BETWEEN 9 AND 3",
+        "SELECT * FROM t WHERE X BETWEEN 1 2",
+        "SELECT * FROM t WHERE X < 5 OR Y < 2",
+        "SELECT * FROM t trailing",
+        "SELECT SUM(X) FROM t",
+        "SELECT COUNT(X) FROM t",
+        "DELETE FROM t",
+        "SELECT * FROM t WHERE 1 < 2",
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(SqlError):
+            parse_select(sql)
+
+    def test_error_messages_are_informative(self):
+        with pytest.raises(SqlError, match="expected"):
+            parse_select("SELECT * WHERE X < 5")

@@ -1,0 +1,90 @@
+"""Unit tests for the SSE substrate."""
+
+import pytest
+
+from repro.baselines import SSEIndex
+from repro.crypto import generate_key
+from repro.edbms import CostCounter
+
+
+def make_index(seed=0):
+    counter = CostCounter()
+    return SSEIndex(generate_key(seed), counter), counter
+
+
+class TestSSE:
+    def test_add_and_search_roundtrip(self):
+        index, __ = make_index()
+        index.add(b"kw1", (1, 2, 3))
+        index.add(b"kw1", (4, 5, 6))
+        index.add(b"kw2", (7, 8, 9))
+        records = index.search(index.token(b"kw1"))
+        opened = index.open_records(records)
+        assert sorted(opened) == [(1, 2, 3), (4, 5, 6)]
+
+    def test_search_unknown_token_empty(self):
+        index, __ = make_index()
+        assert index.search(index.token(b"nope")) == []
+
+    def test_tokens_hide_keywords(self):
+        index, __ = make_index()
+        token = index.token(b"secret-keyword")
+        assert b"secret-keyword" not in token
+        assert index.token(b"a") != index.token(b"b")
+
+    def test_tokens_key_dependent(self):
+        a, __ = make_index(1)
+        b, __ = make_index(2)
+        assert a.token(b"kw") != b.token(b"kw")
+
+    def test_postings_are_encrypted(self):
+        index, __ = make_index()
+        index.add(b"kw", (123456789, 0, 0))
+        record = index.search(index.token(b"kw"))[0]
+        # The payload words (after the serial) must not leak plaintext.
+        assert 123456789 not in record[1:].tolist()
+
+    def test_remove_by_first_word(self):
+        index, __ = make_index()
+        index.add(b"kw", (1, 0, 0))
+        index.add(b"kw", (2, 0, 0))
+        assert index.remove(b"kw", 1) == 1
+        opened = index.open_records(index.search(index.token(b"kw")))
+        assert opened == [(2, 0, 0)]
+        assert index.remove(b"kw", 99) == 0
+
+    def test_remove_last_record_drops_token(self):
+        index, __ = make_index()
+        index.add(b"kw", (1, 0, 0))
+        index.remove(b"kw", 1)
+        assert index.num_records == 0
+        assert index.storage_bytes() == 0
+
+    def test_cost_accounting(self):
+        index, counter = make_index()
+        index.add(b"kw", (1, 0, 0))
+        assert counter.index_updates == 1
+        counter.reset()
+        records = index.search(index.token(b"kw"))
+        assert counter.sse_lookups == 1
+        assert counter.tuples_retrieved == 1
+        index.open_records(records)
+        assert counter.qpf_uses == 1
+
+    def test_storage_accounting(self):
+        index, __ = make_index()
+        empty = index.storage_bytes()
+        assert empty == 0
+        index.add(b"kw", (1, 0, 0))
+        one = index.storage_bytes()
+        index.add(b"kw", (2, 0, 0))
+        two = index.storage_bytes()
+        assert one > 0
+        assert two > one
+
+    def test_large_words_roundtrip(self):
+        index, __ = make_index()
+        words = (2**64 - 1, 2**63, 0)
+        index.add(b"kw", words)
+        opened = index.open_records(index.search(index.token(b"kw")))
+        assert opened == [words]

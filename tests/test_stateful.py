@@ -1,0 +1,147 @@
+"""Stateful property test: PRKB vs a plaintext model under a mixed
+workload of queries, BETWEENs, inserts and deletes.
+
+Hypothesis drives an arbitrary interleaving of operations against one
+PRKB-indexed encrypted table; a plain dict is the reference model.  The
+machine checks after every step that
+
+* every selection result equals the model's answer, and
+* the POP chain invariants hold against the model's values.
+
+This is the strongest single guarantee in the suite: any unsound split,
+separator drift, or update mishandling shows up as a minimal failing
+operation sequence.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.bench import Testbed
+from repro.core import BetweenProcessor, SingleDimensionProcessor, \
+    TableUpdater
+from repro.edbms import AttributeSpec, PlainTable, Schema
+
+DOMAIN = (0, 60)
+
+values_strategy = st.lists(
+    st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1]),
+    min_size=2, max_size=15,
+)
+
+
+class PrkbMachine(RuleBasedStateMachine):
+    """Model-based testing of the full PRKB lifecycle."""
+
+    @initialize(values=values_strategy, y_seed=st.integers(0, 2**16))
+    def setup(self, values, y_seed):
+        rng = np.random.default_rng(y_seed)
+        schema = Schema.of(
+            AttributeSpec("X", DOMAIN[0] - 5, DOMAIN[1] + 5),
+            AttributeSpec("Y", DOMAIN[0] - 5, DOMAIN[1] + 5),
+        )
+        table = PlainTable("t", schema, {
+            "X": np.asarray(values, dtype=np.int64),
+            "Y": rng.integers(DOMAIN[0], DOMAIN[1] + 1,
+                              size=len(values)).astype(np.int64),
+        })
+        self.bed = Testbed(table, ["X", "Y"], seed=42)
+        self.updater = TableUpdater(self.bed.table, self.bed.prkb)
+        self.processor = SingleDimensionProcessor(self.bed.prkb["X"])
+        self.between = BetweenProcessor(self.bed.prkb["X"])
+        self.model = {
+            int(u): (int(x), int(y))
+            for u, x, y in zip(table.uids, table.columns["X"],
+                               table.columns["Y"])
+        }
+
+    # ------------------------------------------------------------------ #
+    # operations                                                          #
+    # ------------------------------------------------------------------ #
+
+    @rule(op=st.sampled_from(("<", "<=", ">", ">=")),
+          constant=st.integers(min_value=DOMAIN[0] - 3,
+                               max_value=DOMAIN[1] + 3))
+    def comparison_query(self, op, constant):
+        trapdoor = self.bed.owner.comparison_trapdoor("X", op, constant)
+        got = {int(u) for u in self.processor.select(trapdoor)}
+        compare = {"<": lambda v: v < constant,
+                   "<=": lambda v: v <= constant,
+                   ">": lambda v: v > constant,
+                   ">=": lambda v: v >= constant}[op]
+        want = {u for u, (x, __) in self.model.items() if compare(x)}
+        assert got == want
+
+    @rule(low=st.integers(min_value=DOMAIN[0] - 3,
+                          max_value=DOMAIN[1] + 3),
+          width=st.integers(min_value=0, max_value=20))
+    def between_query(self, low, width):
+        high = low + width
+        trapdoor = self.bed.owner.between_trapdoor("X", low, high)
+        got = {int(u) for u in self.between.select(trapdoor)}
+        want = {u for u, (x, __) in self.model.items()
+                if low <= x <= high}
+        assert got == want
+
+    @rule(x_low=st.integers(min_value=DOMAIN[0] - 2,
+                            max_value=DOMAIN[1] - 1),
+          x_width=st.integers(min_value=2, max_value=30),
+          y_low=st.integers(min_value=DOMAIN[0] - 2,
+                            max_value=DOMAIN[1] - 1),
+          y_width=st.integers(min_value=2, max_value=30),
+          strategy=st.sampled_from(("md", "sd+")))
+    def md_query(self, x_low, x_width, y_low, y_width, strategy):
+        bounds = {"X": (x_low, x_low + x_width),
+                  "Y": (y_low, y_low + y_width)}
+        m = self.bed.run_md(bounds, strategy=strategy, update=True)
+        want = {
+            u for u, (x, y) in self.model.items()
+            if bounds["X"][0] < x < bounds["X"][1]
+            and bounds["Y"][0] < y < bounds["Y"][1]
+        }
+        assert m.result_count == len(want)
+
+    @rule(value=st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1]),
+          y_value=st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1]))
+    def insert(self, value, y_value):
+        receipt = self.updater.insert_plain(
+            self.bed.owner.key,
+            {"X": np.asarray([value], dtype=np.int64),
+             "Y": np.asarray([y_value], dtype=np.int64)})
+        self.model[int(receipt.uids[0])] = (value, y_value)
+
+    @precondition(lambda self: len(self.model) > 1)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        victim = pick.choice(sorted(self.model))
+        self.updater.delete(np.asarray([victim], dtype=np.uint64))
+        del self.model[victim]
+
+    # ------------------------------------------------------------------ #
+    # invariants                                                          #
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def chain_is_sound(self):
+        if not hasattr(self, "bed"):
+            return
+        for position, attribute in enumerate(("X", "Y")):
+            index = self.bed.prkb[attribute]
+            index.pop.check_invariants(
+                lambda uid, p=position: self.model[uid][p])
+            assert index.pop.num_tuples == len(self.model)
+            if index.pop.num_partitions > 0:
+                assert index.num_separators == \
+                    index.pop.num_partitions - 1
+
+
+PrkbMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+TestPrkbStateMachine = PrkbMachine.TestCase

