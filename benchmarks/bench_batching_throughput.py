@@ -1,0 +1,143 @@
+"""Batched QPF execution — roundtrip throughput on the Fig. 8 workload.
+
+Not a paper figure: this measures the batching layer added on top of the
+reproduction.  Setting: a uniform single-attribute table, PRKB warmed by
+a Fig. 8-style schedule of distinct comparison queries, then a burst of
+fresh distinct queries executed (a) serially via ``query()`` and (b) in
+coalesced windows via ``execute_many()`` at batch sizes 4/16/64.
+
+Checks: batched winner sets are byte-identical to serial, serial
+physical QPF totals are untouched by the new layer, and batch size 16
+cuts enclave roundtrips per query by >= 3x (it is typically well over
+10x warm).  Results also land in ``BENCH_batching.json`` at the repo
+root for machine consumption.
+
+Run standalone with ``python benchmarks/bench_batching_throughput.py
+--tiny`` for a seconds-scale smoke run without pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.edbms.engine import EncryptedDatabase
+from repro.workloads import distinct_comparison_thresholds
+
+from _common import emit, scaled
+
+DOMAIN = (1, 30_000_000)
+BATCH_SIZES = [4, 16, 64]
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+
+def _build(n: int, warm_queries: int) -> EncryptedDatabase:
+    """One warmed testbed; twins built with the same arguments match."""
+    db = EncryptedDatabase(seed=11)
+    rng = np.random.default_rng(0)
+    values = rng.integers(DOMAIN[0], DOMAIN[1], size=n)
+    db.create_table("t", {"X": DOMAIN}, {"X": values})
+    db.enable_prkb("t", ["X"])
+    for threshold in distinct_comparison_thresholds(
+            DOMAIN, warm_queries, seed=1):
+        db.query(f"SELECT * FROM t WHERE X < {int(threshold)}")
+    db.counter.reset()
+    return db
+
+
+def _workload(size: int) -> list[str]:
+    return [f"SELECT * FROM t WHERE X < {int(threshold)}"
+            for threshold in distinct_comparison_thresholds(
+                DOMAIN, size, seed=2)]
+
+
+def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
+    sqls = _workload(workload_size)
+    results: dict[str, dict] = {}
+
+    db = _build(n, warm_queries)
+    start = time.perf_counter()
+    serial_answers = [db.query(sql) for sql in sqls]
+    elapsed = time.perf_counter() - start
+    results["serial"] = {
+        "queries_per_sec": workload_size / max(elapsed, 1e-9),
+        "roundtrips_per_query": db.counter.qpf_roundtrips / workload_size,
+        "qpf_per_query": db.counter.qpf_uses / workload_size,
+    }
+
+    for batch_size in BATCH_SIZES:
+        twin = _build(n, warm_queries)
+        answers = []
+        start = time.perf_counter()
+        for lo in range(0, workload_size, batch_size):
+            answers.extend(twin.execute_many(sqls[lo:lo + batch_size]))
+        elapsed = time.perf_counter() - start
+        for serial_answer, batch_answer in zip(serial_answers, answers):
+            assert np.array_equal(serial_answer.uids, batch_answer.uids), \
+                "batched winners differ from serial"
+        results[f"batch{batch_size}"] = {
+            "queries_per_sec": workload_size / max(elapsed, 1e-9),
+            "roundtrips_per_query":
+                twin.counter.qpf_roundtrips / workload_size,
+            "qpf_per_query": twin.counter.qpf_uses / workload_size,
+        }
+    return results
+
+
+def _report(results: dict, n: int) -> None:
+    rows = [[mode,
+             f"{stats['queries_per_sec']:.0f}",
+             f"{stats['roundtrips_per_query']:.2f}",
+             f"{stats['qpf_per_query']:.1f}"]
+            for mode, stats in results.items()]
+    emit(
+        "batching_throughput",
+        f"Batched QPF execution: serial vs coalesced windows (n={n})",
+        ["mode", "queries/s", "roundtrips/query", "QPF/query"],
+        rows,
+    )
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_batching_throughput(benchmark):
+    n = scaled(6_000)
+    results = _measure(n, warm_queries=100, workload_size=64)
+    _report(results, n)
+    serial_rt = results["serial"]["roundtrips_per_query"]
+    batched_rt = results["batch16"]["roundtrips_per_query"]
+    assert serial_rt >= 3 * batched_rt, \
+        f"batch16 must cut roundtrips 3x: {serial_rt} vs {batched_rt}"
+    # Every larger window does at least as well as serial.
+    for batch_size in BATCH_SIZES:
+        assert (results[f"batch{batch_size}"]["roundtrips_per_query"]
+                < serial_rt)
+    # Benchmark one warm coalesced window.
+    db = _build(n, warm_queries=100)
+    sqls = _workload(16)
+    benchmark(lambda: db.execute_many(sqls))
+
+
+def main(argv: list[str]) -> int:
+    tiny = "--tiny" in argv
+    n = 1_500 if tiny else scaled(6_000)
+    warm = 30 if tiny else 100
+    workload = 16 if tiny else 64
+    results = _measure(n, warm_queries=warm, workload_size=workload)
+    _report(results, n)
+    serial_rt = results["serial"]["roundtrips_per_query"]
+    batched_rt = results["batch16"]["roundtrips_per_query"]
+    if workload >= 16 and serial_rt < 3 * batched_rt:
+        print(f"FAIL: batch16 roundtrip reduction below 3x "
+              f"({serial_rt:.2f} vs {batched_rt:.2f})")
+        return 1
+    print(f"OK: batch16 roundtrips/query {batched_rt:.2f} vs serial "
+          f"{serial_rt:.2f} ({serial_rt / max(batched_rt, 1e-9):.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -242,16 +242,27 @@ class MultiDimensionProcessor:
     def _central_region(self, query: list[DimensionRange],
                         contexts: dict[int, list[_PredicateContext]]
                         ) -> np.ndarray:
-        """Tuples inside IN partitions of *every* dimension: free winners."""
+        """Tuples inside IN partitions of *every* dimension: free winners.
+
+        IN partitions form at most two contiguous runs along the chain
+        (a prefix and/or a suffix of the NS band), so each dimension's
+        union comes out of the prefix-sum buffer as whole-run slices
+        instead of one concatenation per partition.
+        """
         current: np.ndarray | None = None
         for position in range(len(query)):
             ctxs = contexts[position]
             index = ctxs[0].index
-            in_chunks = [
-                index.pop[i].uids
-                for i in range(index.pop.num_partitions)
-                if self._dimension_status(ctxs, i) is True
-            ]
+            k = index.pop.num_partitions
+            in_chunks = []
+            run_start: int | None = None
+            for i in range(k + 1):
+                is_in = i < k and self._dimension_status(ctxs, i) is True
+                if is_in and run_start is None:
+                    run_start = i
+                elif not is_in and run_start is not None:
+                    in_chunks.append(index.pop.range_uids(run_start, i - 1))
+                    run_start = None
             dim_in = np.sort(np.concatenate(in_chunks)) if in_chunks \
                 else _EMPTY
             if current is None:

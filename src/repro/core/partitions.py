@@ -10,13 +10,39 @@ The implementation keeps, per partition, a list-backed uid store (cheap
 append for inserts, lazily materialised numpy view for batched QPF calls)
 and a global ``uid -> partition`` map so multi-dimensional processing can
 classify tuples in O(1).
+
+Zero-copy winner materialisation
+--------------------------------
+Selection answers are always a *prefix* or *suffix* of the chain (the
+winners of ``X < c`` are partitions ``P1..Pj`` plus part of ``P_{j+1}``).
+Rebuilding that union with ``np.concatenate`` costs O(result size) per
+query.  Instead the chain lazily maintains one contiguous uid buffer in
+chain order plus prefix-sum ``offsets`` (``offsets[i]`` = first buffer
+position of ``P_i``), so :meth:`PartialOrderPartitions.prefix_uids` /
+``suffix_uids`` / ``range_uids`` answer with a single read-only slice.
+
+Maintenance is in-place and cheap: a split permutes only its own
+partition's segment of the buffer (O(segment)) and inserts one offset; a
+merge deletes offsets and leaves the buffer untouched.  Because splits
+never move uids *across* pre-existing segment boundaries, any boundary
+captured earlier remains a boundary, which is what makes
+:meth:`PartialOrderPartitions.freeze` snapshots (:class:`ChainView`)
+set-stable while later queries keep refining the chain.  Tuple inserts
+and deletes discard the buffer (rebuilt lazily as a *new* array, so
+outstanding views are never corrupted).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Partition", "PartialOrderPartitions"]
+__all__ = ["Partition", "PartialOrderPartitions", "ChainView"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
 
 
 class Partition:
@@ -75,6 +101,8 @@ class PartialOrderPartitions:
             int(u): first for u in first.uids
         }
         self._index_cache: dict[int, int] | None = None
+        self._buffer: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -132,6 +160,71 @@ class PartialOrderPartitions:
         return [len(p) for p in self._chain]
 
     # ------------------------------------------------------------------ #
+    # zero-copy winner slices                                             #
+    # ------------------------------------------------------------------ #
+
+    def _ensure_offsets(self) -> None:
+        """(Re)build the contiguous uid buffer and its prefix sums."""
+        if self._buffer is not None:
+            return
+        total = self.num_tuples
+        buffer = np.empty(total, dtype=np.uint64)
+        offsets = np.empty(len(self._chain) + 1, dtype=np.int64)
+        offsets[0] = 0
+        cursor = 0
+        for i, partition in enumerate(self._chain):
+            members = partition.uids
+            buffer[cursor:cursor + members.size] = members
+            cursor += members.size
+            offsets[i + 1] = cursor
+        self._buffer = buffer
+        self._offsets = offsets
+
+    def _drop_buffer(self) -> None:
+        """Discard the buffer (tuple-set changed); rebuilt lazily anew."""
+        self._buffer = None
+        self._offsets = None
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Prefix sums: ``offsets[i]`` is P_i's start in the uid buffer."""
+        self._ensure_offsets()
+        return _readonly(self._offsets)
+
+    def prefix_uids(self, count: int) -> np.ndarray:
+        """Members of ``P1..P_count`` as one read-only slice — zero copies.
+
+        The returned view is *set-stable*: later splits may permute uids
+        within it but never change which uids it contains.  Callers that
+        outlive further tuple inserts/deletes must copy.
+        """
+        self._ensure_offsets()
+        return _readonly(self._buffer[:self._offsets[count]])
+
+    def suffix_uids(self, start: int) -> np.ndarray:
+        """Members of ``P_{start+1}..P_k`` as one read-only slice."""
+        self._ensure_offsets()
+        return _readonly(self._buffer[self._offsets[start]:])
+
+    def range_uids(self, first: int, last: int) -> np.ndarray:
+        """Members of ``P_{first+1}..P_{last+1}`` (inclusive indices) as
+        one read-only contiguous slice."""
+        self._ensure_offsets()
+        return _readonly(
+            self._buffer[self._offsets[first]:self._offsets[last + 1]])
+
+    def freeze(self) -> "ChainView":
+        """Snapshot the chain for one batched execution window.
+
+        The view pins the current partition list, buffer and offsets;
+        concurrent *splits* on the live chain keep the snapshot's slices
+        set-stable (see module docstring).  Tuple inserts/deletes are not
+        permitted inside a batch window.
+        """
+        self._ensure_offsets()
+        return ChainView(list(self._chain), self._buffer, self._offsets)
+
+    # ------------------------------------------------------------------ #
     # refinement                                                          #
     # ------------------------------------------------------------------ #
 
@@ -163,6 +256,16 @@ class PartialOrderPartitions:
             self._partition_of[int(u)] = first
         for u in second_uids:
             self._partition_of[int(u)] = second
+        if self._buffer is not None:
+            # Reorder the split partition's own segment in place (the two
+            # halves are copies, so overlapping writes are safe) and grow
+            # the offset list by the new boundary.  Positions outside the
+            # segment are untouched, which keeps frozen views set-stable.
+            lo = int(self._offsets[index])
+            cut = lo + first_uids.size
+            self._buffer[lo:cut] = first_uids
+            self._buffer[cut:lo + len(old)] = second_uids
+            self._offsets = np.insert(self._offsets, index + 1, cut)
         self._invalidate()
         return first, second
 
@@ -185,6 +288,11 @@ class PartialOrderPartitions:
         self._chain[first:last + 1] = [merged]
         for u in merged_uids:
             self._partition_of[int(u)] = merged
+        if self._offsets is not None:
+            # The buffer already stores the merged members contiguously;
+            # only the interior boundaries disappear.
+            self._offsets = np.delete(self._offsets,
+                                      np.arange(first + 1, last + 1))
         self._invalidate()
         return merged
 
@@ -200,6 +308,7 @@ class PartialOrderPartitions:
         partition = self._chain[index]
         partition.add(uid)
         self._partition_of[uid] = partition
+        self._drop_buffer()
 
     def delete(self, uid: int) -> int | None:
         """Remove a tuple; returns the chain index of a partition that
@@ -212,6 +321,7 @@ class PartialOrderPartitions:
         uid = int(uid)
         partition = self._partition_of.pop(uid)
         partition.remove(uid)
+        self._drop_buffer()
         if len(partition) > 0:
             return None
         index = self.index_of(partition)
@@ -259,3 +369,63 @@ class PartialOrderPartitions:
             raise AssertionError(
                 f"chain is not monotone in either direction: {ranges}"
             )
+
+
+class ChainView:
+    """An immutable snapshot of the POP chain for one execution window.
+
+    Produced by :meth:`PartialOrderPartitions.freeze`.  Pipelines in a
+    batched window walk the *snapshot* — its partition list and offsets
+    never move under them even while completed queries in the same window
+    split the live chain.  Soundness rests on two facts:
+
+    * a split replaces one partition with two holding exactly the same
+      uids, so every snapshot partition's member *set* is unchanged (the
+      old :class:`Partition` object is simply no longer in the live
+      chain, but its uid list is never mutated by splits), and
+    * buffer rewrites stay inside pre-existing segment boundaries, so
+      the snapshot's prefix/suffix/range slices remain set-equal.
+
+    Tuple inserts/deletes invalidate snapshots; the batching layer never
+    interleaves them with a window.
+    """
+
+    __slots__ = ("_chain", "_buffer", "_offsets")
+
+    def __init__(self, chain: list[Partition], buffer: np.ndarray,
+                 offsets: np.ndarray):
+        self._chain = chain
+        self._buffer = buffer
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def __iter__(self):
+        return iter(self._chain)
+
+    def __getitem__(self, index: int) -> Partition:
+        return self._chain[index]
+
+    @property
+    def num_partitions(self) -> int:
+        """k at snapshot time."""
+        return len(self._chain)
+
+    @property
+    def num_tuples(self) -> int:
+        """Total tuples covered by the snapshot."""
+        return int(self._offsets[-1])
+
+    def prefix_uids(self, count: int) -> np.ndarray:
+        """Snapshot members of ``P1..P_count`` — one read-only slice."""
+        return _readonly(self._buffer[:self._offsets[count]])
+
+    def suffix_uids(self, start: int) -> np.ndarray:
+        """Snapshot members of ``P_{start+1}..P_k`` — one slice."""
+        return _readonly(self._buffer[self._offsets[start]:])
+
+    def range_uids(self, first: int, last: int) -> np.ndarray:
+        """Snapshot members of partitions ``first..last`` inclusive."""
+        return _readonly(
+            self._buffer[self._offsets[first]:self._offsets[last + 1]])

@@ -12,20 +12,39 @@ insert handling, and implements the paper's four algorithms:
 
 Everything here runs server-side only: the index consumes nothing but QPF
 outputs, which is the paper's central security argument (Sec. 3.3).
+
+Batched execution
+-----------------
+The pipeline is written as *generators of QPF requests*
+(:meth:`PRKBIndex.select_steps`): each step yields one
+:class:`~repro.edbms.qpf.QPFRequest` and receives the label array back.
+Run serially (:meth:`PRKBIndex.select`) this is exactly the paper's
+pipeline — same sample draws, same ``qpf_uses``.  The batching layer
+(:mod:`repro.edbms.batching`) instead advances many queries' generators
+in lock step and ships one coalesced payload per step, so concurrent
+queries share enclave roundtrips.  Pipelines read only a frozen
+:class:`~repro.core.partitions.ChainView`; refinements are returned as
+:class:`DeferredSplit` plans and committed when each query completes,
+skipped harmlessly if a sibling query already split the same partition.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..crypto.trapdoor import EncryptedPredicate
 from ..edbms.encryption import EncryptedTable
-from ..edbms.qpf import QueryProcessingFunction
-from .partitions import PartialOrderPartitions, Partition
+from ..edbms.qpf import QPFRequest, QueryProcessingFunction
+from .partitions import ChainView, PartialOrderPartitions, Partition
 
-__all__ = ["PRKBIndex", "QFilterOutcome", "QScanOutcome", "SelectionResult"]
+__all__ = ["PRKBIndex", "QFilterOutcome", "QScanOutcome", "SelectionResult",
+           "DeferredSplit", "EQUIVALENCE_CACHE_SIZE"]
+
+#: Bound on the serial → separator equivalence cache (Case 1 fast path).
+EQUIVALENCE_CACHE_SIZE = 256
 
 
 @dataclass(eq=False)  # identity semantics: partners reference each other
@@ -115,6 +134,25 @@ class SelectionResult:
     phase_qpf: dict[str, int] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class DeferredSplit:
+    """A refinement planned by a pipeline, to be committed later.
+
+    Identifies the partition to split by *object* (not chain index):
+    batched queries plan against a frozen snapshot while earlier queries
+    in the same window may have already reshaped the live chain.
+    :meth:`PRKBIndex._commit_split` resolves the live position at commit
+    time and skips silently when the partition is gone — losing only an
+    optional refinement, never correctness.
+    """
+
+    trapdoor: EncryptedPredicate
+    partition: Partition
+    true_uids: np.ndarray
+    false_uids: np.ndarray
+    first_label: bool
+
+
 _EMPTY = np.zeros(0, dtype=np.uint64)
 
 
@@ -122,7 +160,26 @@ def _concat(parts: list[np.ndarray]) -> np.ndarray:
     chunks = [p for p in parts if p.size]
     if not chunks:
         return _EMPTY
+    if len(chunks) == 1:
+        return chunks[0]
     return np.concatenate(chunks)
+
+
+def _metered(sub, meter: dict, phase: str):
+    """Delegate to a request generator while tallying per-phase QPF uses.
+
+    Generator-local accounting (rather than diffing the shared counter)
+    is what lets many interleaved queries each report their own logical
+    ``qpf_uses`` in batch mode.
+    """
+    try:
+        request = next(sub)
+        while True:
+            meter[phase] += int(request.uids.size)
+            labels = yield request
+            request = sub.send(labels)
+    except StopIteration as stop:
+        return stop.value
 
 
 class PRKBIndex:
@@ -179,6 +236,8 @@ class PRKBIndex:
         # initPRKB: all tuples in one big partition (Sec. 4, last paragraph).
         self.pop = PartialOrderPartitions(table.uids)
         self._separators: list[_Separator] = []
+        # serial -> cached Case-1 answer; see _remember_equivalence.
+        self._equiv_cache: OrderedDict[int, tuple] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -253,30 +312,33 @@ class PRKBIndex:
     # Algorithm 1: QFilter                                                #
     # ------------------------------------------------------------------ #
 
-    def _theta_sample(self, trapdoor: EncryptedPredicate,
-                      partition: Partition) -> bool:
-        """Θ on one random sample of ``partition`` — one QPF use."""
-        uid = partition.sample(self._rng)
-        return self.qpf(trapdoor, self.table, uid)
+    def _qfilter_gen(self, trapdoor: EncryptedPredicate, view: ChainView):
+        """Algorithm 1 as a request generator over a chain snapshot.
 
-    def qfilter(self, trapdoor: EncryptedPredicate) -> QFilterOutcome:
-        """Locate the NS-pair and the free Winner group (Algorithm 1)."""
-        self._check_attribute(trapdoor)
-        k = self.pop.num_partitions
+        Yields :class:`QPFRequest` payloads, receives label arrays, and
+        returns the :class:`QFilterOutcome`.  The two endpoint samples
+        are drawn in the same RNG order as the paper's sequential
+        algorithm (P1 then Pk) but shipped as one fused request, so a
+        serial drive reproduces the exact sample sequence and
+        ``qpf_uses`` of the original implementation with one fewer
+        roundtrip.  Winner groups come out of the chain's prefix-sum
+        buffer as single slices — no per-partition concatenation.
+        """
+        k = view.num_partitions
         if k == 0:
             return QFilterOutcome(_EMPTY, (), False, None, None)
         if k == 1:
             # No samples needed: the single partition is the NS "pair".
             return QFilterOutcome(_EMPTY, (0,), False, None, None)
-        label_first = self._theta_sample(trapdoor, self.pop[0])
-        label_last = self._theta_sample(trapdoor, self.pop[k - 1])
+        endpoints = np.asarray(
+            [view[0].sample(self._rng), view[k - 1].sample(self._rng)],
+            dtype=np.uint64)
+        labels = yield QPFRequest(trapdoor, self.table, endpoints)
+        label_first, label_last = bool(labels[0]), bool(labels[1])
         if label_first == label_last:
             # Boundary case: separating point is at one of the two ends;
             # every middle partition shares the sampled label.
-            if label_first:
-                winners = _concat([self.pop[j].uids for j in range(1, k - 1)])
-            else:
-                winners = _EMPTY
+            winners = view.range_uids(1, k - 2) if label_first else _EMPTY
             return QFilterOutcome(
                 winners=winners,
                 ns_indices=(0, k - 1),
@@ -288,15 +350,14 @@ class PRKBIndex:
         a, b = 0, k - 1
         while b - a > 1:
             m = (a + b) // 2
-            label_m = self._theta_sample(trapdoor, self.pop[m])
-            if label_m == label_first:
+            probe = np.asarray([view[m].sample(self._rng)], dtype=np.uint64)
+            labels = yield QPFRequest(trapdoor, self.table, probe)
+            if bool(labels[0]) == label_first:
                 a = m
             else:
                 b = m
-        if label_first:
-            winners = _concat([self.pop[j].uids for j in range(a)])
-        else:
-            winners = _concat([self.pop[j].uids for j in range(b + 1, k)])
+        winners = (view.prefix_uids(a) if label_first
+                   else view.suffix_uids(b + 1))
         return QFilterOutcome(
             winners=winners,
             ns_indices=(a, b),
@@ -305,45 +366,46 @@ class PRKBIndex:
             label_suffix=label_last,
         )
 
+    def qfilter(self, trapdoor: EncryptedPredicate) -> QFilterOutcome:
+        """Locate the NS-pair and the free Winner group (Algorithm 1)."""
+        self._check_attribute(trapdoor)
+        return self._drive(self._qfilter_gen(trapdoor, self.pop.freeze()))
+
     # ------------------------------------------------------------------ #
     # Algorithm 2: QScan                                                  #
     # ------------------------------------------------------------------ #
 
-    def _scan_partition(self, trapdoor: EncryptedPredicate,
-                        partition: Partition
-                        ) -> tuple[np.ndarray, np.ndarray]:
-        """Θ on every tuple of ``partition``; returns (true, false) uids."""
-        uids = partition.uids
-        labels = self.qpf.batch(trapdoor, self.table, uids)
-        return uids[labels], uids[~labels]
-
-    def qscan(self, trapdoor: EncryptedPredicate,
-              filtered: QFilterOutcome) -> QScanOutcome:
-        """Resolve the exact result within the NS partitions (Algorithm 2)."""
-        self._check_attribute(trapdoor)
+    def _qscan_gen(self, trapdoor: EncryptedPredicate, view: ChainView,
+                   filtered: QFilterOutcome):
+        """Algorithm 2 as a request generator over a chain snapshot."""
         if not filtered.ns_indices:
             return QScanOutcome(winners=_EMPTY, split_index=None)
         if len(filtered.ns_indices) == 1:
             # Single-partition chain: a full scan is both QScan and the
             # first opportunity to split.
             index = filtered.ns_indices[0]
-            true_uids, false_uids = self._scan_partition(
-                trapdoor, self.pop[index])
+            uids = view[index].uids
+            labels = yield QPFRequest(trapdoor, self.table, uids)
+            true_uids, false_uids = uids[labels], uids[~labels]
             if true_uids.size and false_uids.size:
                 return QScanOutcome(true_uids, index, true_uids, false_uids)
             return QScanOutcome(true_uids, None)
 
         a, b = filtered.ns_indices
-        true_a, false_a = self._scan_partition(trapdoor, self.pop[a])
+        uids_a = view[a].uids
+        labels_a = yield QPFRequest(trapdoor, self.table, uids_a)
+        true_a, false_a = uids_a[labels_a], uids_a[~labels_a]
         if true_a.size and false_a.size:
             # Pa is non-homogeneous: the separating point is a.  With early
             # stop, Pb's label is already known from QFilter's samples.
             if self.early_stop:
                 winners_b = (
-                    self.pop[b].uids if filtered.label_suffix else _EMPTY
+                    view[b].uids if filtered.label_suffix else _EMPTY
                 )
             else:
-                winners_b, _ = self._scan_partition(trapdoor, self.pop[b])
+                uids_b = view[b].uids
+                labels_b = yield QPFRequest(trapdoor, self.table, uids_b)
+                winners_b = uids_b[labels_b]
             return QScanOutcome(
                 winners=_concat([true_a, winners_b]),
                 split_index=a,
@@ -351,12 +413,36 @@ class PRKBIndex:
                 false_uids=false_a,
             )
         # Pa is homogeneous; Pb must be scanned to settle the case.
-        true_b, false_b = self._scan_partition(trapdoor, self.pop[b])
+        uids_b = view[b].uids
+        labels_b = yield QPFRequest(trapdoor, self.table, uids_b)
+        true_b, false_b = uids_b[labels_b], uids_b[~labels_b]
         winners = _concat([true_a, true_b])
         if true_b.size and false_b.size:
             return QScanOutcome(winners, b, true_b, false_b)
         # Case 1 of Lemma 4.5: the predicate is equivalent to a stored one.
         return QScanOutcome(winners, None)
+
+    def qscan(self, trapdoor: EncryptedPredicate,
+              filtered: QFilterOutcome) -> QScanOutcome:
+        """Resolve the exact result within the NS partitions (Algorithm 2)."""
+        self._check_attribute(trapdoor)
+        return self._drive(
+            self._qscan_gen(trapdoor, self.pop.freeze(), filtered))
+
+    def _drive(self, steps):
+        """Run a request generator serially against this index's QPF.
+
+        Every yielded request becomes one ``qpf.batch`` call (one
+        roundtrip); the generator's return value is passed through.
+        """
+        try:
+            request = next(steps)
+            while True:
+                labels = self.qpf.batch(request.trapdoor, request.table,
+                                        request.uids)
+                request = steps.send(labels)
+        except StopIteration as stop:
+            return stop.value
 
     # ------------------------------------------------------------------ #
     # updatePRKB                                                          #
@@ -373,9 +459,20 @@ class PRKBIndex:
         self._check_attribute(trapdoor)
         if scanned.split_index is None:
             return False
+        deferred = self._plan_split(
+            trapdoor, self.pop[scanned.split_index], filtered, scanned)
+        return self._commit_split(deferred)
+
+    def _plan_split(self, trapdoor: EncryptedPredicate,
+                    partition: Partition, filtered: QFilterOutcome,
+                    scanned: QScanOutcome) -> DeferredSplit:
+        """Decide the split's orientation; defer the structural change.
+
+        Orientation is decided against the chain snapshot the
+        QFilter/QScan outcomes refer to; the partition is pinned by
+        object so the commit survives chain reshaping by sibling queries.
+        """
         s = scanned.split_index
-        # Orientation is decided against the pre-rotation chain snapshot
-        # the QFilter/QScan outcomes refer to.
         if len(filtered.ns_indices) == 1:
             # First split of a virgin chain: the direction is genuinely
             # unknowable (either orientation is consistent); fix one.
@@ -387,16 +484,32 @@ class PRKBIndex:
         else:
             # Split at the upper NS index: the half matching the prefix
             # group's label sits adjacent to the prefix side (first).
-            first_label = filtered.label_prefix
+            first_label = bool(filtered.label_prefix)
+        return DeferredSplit(trapdoor=trapdoor, partition=partition,
+                             true_uids=scanned.true_uids,
+                             false_uids=scanned.false_uids,
+                             first_label=first_label)
+
+    def _commit_split(self, deferred: DeferredSplit) -> bool:
+        """Apply a planned split to the live chain; False when skipped.
+
+        Skips when the target partition is no longer in the chain (a
+        sibling query in the same batch window split it first) or when
+        the partition cap forbids growth.
+        """
+        try:
+            index = self.pop.index_of(deferred.partition)
+        except KeyError:
+            return False  # refinement superseded; knowledge not lost long
         if not self.can_grow:
             if self.cap_policy != "rotate":
                 return False
-            rotated = self._make_room(protect=s)
+            rotated = self._make_room(protect=index)
             if rotated is None:
                 return False
-            s = rotated
-        self.apply_split(trapdoor, s, scanned.true_uids, scanned.false_uids,
-                         first_label)
+            index = rotated
+        self.apply_split(deferred.trapdoor, index, deferred.true_uids,
+                         deferred.false_uids, deferred.first_label)
         return True
 
     def apply_split(self, trapdoor: EncryptedPredicate, index: int,
@@ -423,11 +536,62 @@ class PRKBIndex:
             separator.partner = partner
             partner.partner = separator
         self._separators.insert(index, separator)
+        if edge is None and trapdoor.kind == "comparison":
+            # The fresh separator pins exactly where this trapdoor cuts:
+            # its Θ=1 half sits on the prefix side iff first_label, so a
+            # resubmission of the same trapdoor is one cached slice.
+            self._equiv_put(trapdoor.serial,
+                            ("sep", separator, bool(first_label)))
         self.qpf.counter.index_updates += 1
 
     # ------------------------------------------------------------------ #
     # full pipeline                                                       #
     # ------------------------------------------------------------------ #
+
+    def select_steps(self, trapdoor: EncryptedPredicate,
+                     update: bool = True, view: ChainView | None = None):
+        """The full pipeline as a request generator (Fig. 2b).
+
+        Yields :class:`QPFRequest` payloads and returns
+        ``(SelectionResult, DeferredSplit | None)``.  The caller drives
+        the generator (serially via :meth:`select`, or interleaved with
+        other queries by the batching layer), commits the deferred split
+        and — in batch mode — charges roundtrips however it coalesced
+        the requests.  ``qpf_uses``/``phase_qpf`` in the result are
+        *logical* (what this query alone consumed), so per-query
+        accounting is exact even when payloads were shared.
+        """
+        self._check_attribute(trapdoor)
+        cached = self._equivalent_answer(trapdoor)
+        if cached is not None:
+            return (cached, None)
+        if view is None:
+            view = self.pop.freeze()
+        meter = {"qfilter": 0, "qscan": 0}
+        filtered = yield from _metered(
+            self._qfilter_gen(trapdoor, view), meter, "qfilter")
+        scanned = yield from _metered(
+            self._qscan_gen(trapdoor, view, filtered), meter, "qscan")
+        deferred = None
+        if update and scanned.split_index is not None:
+            deferred = self._plan_split(
+                trapdoor, view[scanned.split_index], filtered, scanned)
+        was_equivalent = (scanned.split_index is None
+                          and view.num_partitions > 1)
+        if was_equivalent:
+            self._remember_equivalence(trapdoor, view, filtered)
+        result = SelectionResult(
+            winners=_concat([filtered.winners, scanned.winners]),
+            qpf_uses=meter["qfilter"] + meter["qscan"],
+            partitions_after=self.pop.num_partitions,
+            was_equivalent=was_equivalent,
+            phase_qpf={
+                "qfilter": meter["qfilter"],
+                "qscan": meter["qscan"],
+                "update": 0,
+            },
+        )
+        return (result, deferred)
 
     def select(self, trapdoor: EncryptedPredicate,
                update: bool = True) -> SelectionResult:
@@ -436,27 +600,91 @@ class PRKBIndex:
         ``QFilter`` → ``QScan`` → optional ``updatePRKB``; the result is
         ``TW ∪ TWNS``.
         """
-        counter = self.qpf.counter
-        before = counter.qpf_uses
-        filtered = self.qfilter(trapdoor)
-        after_filter = counter.qpf_uses
-        scanned = self.qscan(trapdoor, filtered)
-        after_scan = counter.qpf_uses
-        if update:
-            self.update(trapdoor, filtered, scanned)
-        winners = _concat([filtered.winners, scanned.winners])
+        result, deferred = self._drive(
+            self.select_steps(trapdoor, update=update))
+        if deferred is not None:
+            self._commit_split(deferred)
+        if result.partitions_after != self.pop.num_partitions:
+            result = replace(result,
+                             partitions_after=self.pop.num_partitions)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # equivalence cache (QScan Case 1 fast path)                          #
+    # ------------------------------------------------------------------ #
+
+    def _equivalent_answer(self, trapdoor: EncryptedPredicate
+                           ) -> SelectionResult | None:
+        """Answer from the equivalence cache, or ``None`` on a miss.
+
+        A hit costs zero QPF and zero scan work: the winners are one
+        prefix/suffix slice of the chain's uid buffer, resolved against
+        the separator's *current* position (splits elsewhere may have
+        shifted it since the equivalence was learned).
+        """
+        entry = self._equiv_cache.get(trapdoor.serial)
+        if entry is None:
+            return None
+        self._equiv_cache.move_to_end(trapdoor.serial)
+        if entry[0] == "all":
+            winners = self.pop.prefix_uids(self.pop.num_partitions)
+        elif entry[0] == "none":
+            winners = _EMPTY
+        else:
+            __, separator, prefix_side = entry
+            try:
+                # _Separator has identity equality, so this is an object
+                # search; ValueError means the separator was retired.
+                position = self._separators.index(separator)
+            except ValueError:
+                del self._equiv_cache[trapdoor.serial]
+                return None
+            winners = (self.pop.prefix_uids(position + 1) if prefix_side
+                       else self.pop.suffix_uids(position + 1))
+        self.qpf.counter.comparisons += 1
         return SelectionResult(
             winners=winners,
-            qpf_uses=counter.qpf_uses - before,
+            qpf_uses=0,
             partitions_after=self.pop.num_partitions,
-            was_equivalent=(scanned.split_index is None
-                            and self.pop.num_partitions > 1),
-            phase_qpf={
-                "qfilter": after_filter - before,
-                "qscan": after_scan - after_filter,
-                "update": counter.qpf_uses - after_scan,
-            },
+            was_equivalent=True,
+            phase_qpf={"qfilter": 0, "qscan": 0, "update": 0},
         )
+
+    def _remember_equivalence(self, trapdoor: EncryptedPredicate,
+                              view: ChainView,
+                              filtered: QFilterOutcome) -> None:
+        """Record a Case-1 discovery for zero-work repeats.
+
+        Non-boundary case: both NS partitions scanned homogeneous with
+        their sampled labels, so the predicate cuts exactly at the stored
+        separator between them — remember (separator object, which side
+        wins).  Boundary case: every tuple shared one label, i.e. the
+        predicate is trivial over the current data ("all"/"none").
+        """
+        if len(filtered.ns_indices) != 2:
+            return
+        if filtered.boundary:
+            self._equiv_put(
+                trapdoor.serial,
+                ("all",) if filtered.label_prefix else ("none",))
+            return
+        a = filtered.ns_indices[0]
+        try:
+            live = self.pop.index_of(view[a])
+        except KeyError:
+            return  # partition reshaped by a sibling query: don't cache
+        if live >= len(self._separators):
+            return
+        self._equiv_put(trapdoor.serial,
+                        ("sep", self._separators[live],
+                         bool(filtered.label_prefix)))
+
+    def _equiv_put(self, serial: int, entry: tuple) -> None:
+        cache = self._equiv_cache
+        cache[serial] = entry
+        cache.move_to_end(serial)
+        while len(cache) > EQUIVALENCE_CACHE_SIZE:
+            cache.popitem(last=False)
 
     # ------------------------------------------------------------------ #
     # update handling (Sec. 7)                                            #
@@ -577,6 +805,9 @@ class PRKBIndex:
         If placement is ambiguous (BETWEEN boundaries only), the candidate
         range is merged into one partition first — sound, but coarser.
         """
+        # Two predicates equivalent on the old data may disagree on the
+        # new value, so cached equivalences cannot survive an insert.
+        self._equiv_cache.clear()
         if self.pop.num_partitions == 0:
             self.pop = PartialOrderPartitions(
                 np.asarray([uid], dtype=np.uint64))

@@ -66,6 +66,8 @@ class SingleDimensionProcessor:
     def measure(self, trapdoors: list[EncryptedPredicate],
                 update: bool = True) -> tuple[np.ndarray, QueryCost]:
         """Run a conjunctive selection and report its QPF consumption."""
+        if not trapdoors:
+            raise ValueError("measure() needs at least one trapdoor")
         counter = self.index.qpf.counter
         before = counter.qpf_uses
         winners: np.ndarray | None = None
@@ -76,5 +78,4 @@ class SingleDimensionProcessor:
             else:
                 counter.comparisons += winners.size + part.size
                 winners = np.intersect1d(winners, part, assume_unique=True)
-        assert winners is not None, "measure() needs at least one trapdoor"
         return winners, QueryCost(qpf_uses=counter.qpf_uses - before)

@@ -12,7 +12,8 @@ and :mod:`repro.edbms.engine` and are re-exported from the top-level
 from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from .schema import AttributeSpec, Schema, PlainTable
 from .encryption import EncryptedTable, encrypt_table
-from .qpf import TrustedMachine, QueryProcessingFunction
+from .qpf import TrustedMachine, QueryProcessingFunction, QPFRequest
+from .batching import QPFBatcher, BatchExecutor, BatchJob, BatchAnswer
 from .sql import (
     parse_select,
     SelectStatement,
@@ -32,6 +33,11 @@ __all__ = [
     "encrypt_table",
     "TrustedMachine",
     "QueryProcessingFunction",
+    "QPFRequest",
+    "QPFBatcher",
+    "BatchExecutor",
+    "BatchJob",
+    "BatchAnswer",
     "parse_select",
     "SelectStatement",
     "ComparisonCondition",

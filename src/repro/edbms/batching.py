@@ -1,0 +1,302 @@
+"""Cross-query batched QPF execution (the roundtrip coalescing layer).
+
+The paper optimises the *number* of QPF uses; a production service
+provider is bounded just as hard by the number of *enclave roundtrips* —
+every ``evaluate_batch`` call crosses the trusted boundary, and a warm
+PRKB issues many tiny calls (endpoint samples, binary-search probes, two
+NS-partition scans) per query.  This module amortises those crossings
+across concurrently submitted queries:
+
+* :class:`QPFBatcher` — a request accumulator.  Pending
+  :class:`~repro.edbms.qpf.QPFRequest` entries are grouped by
+  ``(trapdoor.serial, table)``, identical ``(serial, uid)`` probes are
+  deduplicated, same-trapdoor payloads are merged, and the whole pile is
+  shipped through a single :meth:`batch_many` crossing; labels are
+  fanned back out to each submitter.
+* :class:`BatchExecutor` — a cooperative lock-step scheduler.  Each
+  query's PRKB pipeline is a request generator
+  (:meth:`~repro.core.prkb.PRKBIndex.select_steps`) reading a frozen
+  chain snapshot; the executor advances all live pipelines one step at a
+  time, flushing one coalesced roundtrip per step.  A window of B warm
+  queries therefore completes in roughly ``max`` (not ``sum``) of their
+  step counts.  Completed queries commit their deferred POP splits
+  immediately, so the next *window* starts from a finer chain —
+  PRKB refinements compound across the burst.
+
+Accounting is two-level by design: the shared
+:class:`~repro.edbms.costs.CostCounter` records *physical* work (deduped
+payload sizes, actual roundtrips), while every :class:`BatchAnswer`
+carries the query's *logical* ``qpf_uses`` (what it would have paid
+alone) plus its fractional ``roundtrip_share`` of the flushes it rode
+in, so per-query cost reporting stays exact under sharing.
+
+Everything is deterministic and single-threaded — "concurrency" here is
+cooperative scheduling, not threads — so batched answers are
+reproducible and byte-identical (as sets) to serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .costs import CostCounter
+from .qpf import QPFRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layer cycle
+    from ..core.prkb import PRKBIndex
+    from ..crypto.trapdoor import EncryptedPredicate
+
+__all__ = ["QPFBatcher", "BatchExecutor", "BatchJob", "BatchAnswer"]
+
+_EMPTY = np.zeros(0, dtype=np.uint64)
+
+
+class _Group:
+    """All pending probes of one (trapdoor, table) pair, deduplicated."""
+
+    __slots__ = ("trapdoor", "table", "_uids", "_position_of", "labels")
+
+    def __init__(self, trapdoor, table):
+        self.trapdoor = trapdoor
+        self.table = table
+        self._uids: list[int] = []
+        self._position_of: dict[int, int] = {}
+        self.labels: np.ndarray | None = None
+
+    def place(self, uids: np.ndarray) -> np.ndarray:
+        """File ``uids`` into the group; return their payload positions.
+
+        A uid already filed by an earlier request of the same group is
+        *not* shipped again — its position points at the shared slot.
+        """
+        position_of = self._position_of
+        stored = self._uids
+        positions = np.empty(uids.size, dtype=np.int64)
+        for i, uid in enumerate(uids.tolist()):
+            position = position_of.get(uid)
+            if position is None:
+                position = len(stored)
+                position_of[uid] = position
+                stored.append(uid)
+            positions[i] = position
+        return positions
+
+    def payload(self) -> QPFRequest:
+        return QPFRequest(self.trapdoor, self.table,
+                          np.asarray(self._uids, dtype=np.uint64))
+
+
+class QPFBatcher:
+    """Queue QPF evaluations from many queries; flush them as one roundtrip.
+
+    ``submit`` returns a ticket; after ``flush`` the label array for each
+    ticket is available from the returned list (tickets index it).  The
+    flush dedups identical ``(trapdoor.serial, uid)`` probes and merges
+    same-trapdoor requests, then crosses the enclave boundary exactly
+    once via ``batch_many`` — the physical counter sees the deduped
+    payload, every submitter sees exactly the labels it asked for.
+    """
+
+    def __init__(self, qpf):
+        self.qpf = qpf
+        self._placements: list[tuple[_Group, np.ndarray]] = []
+        self._groups: dict[tuple[int, int], _Group] = {}
+
+    @property
+    def pending(self) -> int:
+        """Number of requests queued since the last flush."""
+        return len(self._placements)
+
+    def submit(self, request: QPFRequest) -> int:
+        """Queue one request; returns its ticket for the next flush."""
+        key = (request.trapdoor.serial, id(request.table))
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group(request.trapdoor,
+                                               request.table)
+        self._placements.append((group, group.place(request.uids)))
+        return len(self._placements) - 1
+
+    def flush(self) -> list[np.ndarray]:
+        """Ship everything queued in one crossing; fan the labels out."""
+        placements, self._placements = self._placements, []
+        groups, self._groups = self._groups, {}
+        if not placements:
+            return []
+        fused = [group.payload() for group in groups.values()]
+        for group, labels in zip(groups.values(),
+                                 self.qpf.batch_many(fused)):
+            group.labels = labels
+        return [group.labels[positions] for group, positions in placements]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One query submitted to the executor.
+
+    ``kind`` picks the path: ``"prkb"`` (indexed comparison — joins the
+    lock-step window), ``"between"`` (indexed BETWEEN — serial fallback
+    through :class:`~repro.core.between.BetweenProcessor`) or ``"scan"``
+    (unindexed — one full-table QPF scan).
+    """
+
+    kind: str
+    trapdoor: "EncryptedPredicate"
+    table: object
+    index: "PRKBIndex | None" = None
+
+
+@dataclass(frozen=True)
+class BatchAnswer:
+    """Per-query outcome of a batched execution.
+
+    ``qpf_uses`` is the query's *logical* consumption (independent of
+    sharing); ``roundtrip_share`` is its fractional share of the
+    physical roundtrips it rode in (summing shares over a window gives
+    the window's physical roundtrip count).  ``winners`` may be a
+    read-only view into the chain's uid buffer — copy before storing it
+    past subsequent table updates.
+    """
+
+    winners: np.ndarray
+    qpf_uses: int
+    roundtrip_share: float
+    was_equivalent: bool = False
+
+    @property
+    def count(self) -> int:
+        """Number of matching tuples."""
+        return int(self.winners.size)
+
+
+@dataclass
+class _QueryState:
+    """Book-keeping for one in-flight pipeline in a window."""
+
+    position: int
+    index: "PRKBIndex"
+    steps: object
+    request: QPFRequest | None = None
+    roundtrip_share: float = 0.0
+    labels: np.ndarray | None = None
+    started: bool = field(default=False)
+
+
+class BatchExecutor:
+    """Advance many PRKB pipelines in lock step, one roundtrip per step."""
+
+    def __init__(self, qpf):
+        self.qpf = qpf
+
+    def run(self, jobs: Sequence[BatchJob], update: bool = True,
+            window: int | None = None) -> list[BatchAnswer]:
+        """Execute all jobs; answers align with the job order.
+
+        ``window`` caps how many PRKB pipelines fly together (``None`` =
+        all at once).  Completed windows commit their POP splits before
+        the next window freezes its snapshot, so refinements compound
+        through the burst.  Non-PRKB jobs run serially after the
+        windows.
+        """
+        answers: list[BatchAnswer | None] = [None] * len(jobs)
+        prkb = [(i, job) for i, job in enumerate(jobs)
+                if job.kind == "prkb"]
+        rest = [(i, job) for i, job in enumerate(jobs)
+                if job.kind != "prkb"]
+        size = window if window and window > 0 else max(1, len(prkb))
+        for start in range(0, len(prkb), size):
+            self._run_window(prkb[start:start + size], update, answers)
+        for position, job in rest:
+            answers[position] = self._run_serial(job, update)
+        return answers  # type: ignore[return-value]
+
+    # -- the lock-step window ------------------------------------------- #
+
+    def _run_window(self, chunk: list[tuple[int, BatchJob]], update: bool,
+                    answers: list) -> None:
+        active: list[_QueryState] = []
+        aliases: list[tuple[int, int]] = []
+        first_of: dict[tuple[int, int], int] = {}
+        views: dict[int, object] = {}
+        for position, job in chunk:
+            key = (job.trapdoor.serial, id(job.index))
+            if key in first_of:
+                # Identical trapdoor resubmitted in the same window: run
+                # the pipeline once, alias the answer.
+                aliases.append((position, first_of[key]))
+                continue
+            first_of[key] = position
+            view = views.get(id(job.index))
+            if view is None:
+                view = views[id(job.index)] = job.index.pop.freeze()
+            steps = job.index.select_steps(job.trapdoor, update=update,
+                                           view=view)
+            state = _QueryState(position=position, index=job.index,
+                                steps=steps)
+            if self._advance(state, answers):
+                active.append(state)
+        while active:
+            batcher = QPFBatcher(self.qpf)
+            tickets = [batcher.submit(state.request) for state in active]
+            label_lists = batcher.flush()
+            share = 1.0 / len(active)
+            survivors = []
+            for state, ticket in zip(active, tickets):
+                state.roundtrip_share += share
+                state.labels = label_lists[ticket]
+                if self._advance(state, answers):
+                    survivors.append(state)
+            active = survivors
+        for position, source in aliases:
+            original = answers[source]
+            # The duplicate consumed nothing: its twin's work answers it.
+            answers[position] = BatchAnswer(
+                winners=original.winners, qpf_uses=0, roundtrip_share=0.0,
+                was_equivalent=True)
+
+    def _advance(self, state: _QueryState, answers: list) -> bool:
+        """Step one pipeline; returns False (and records) on completion."""
+        try:
+            if not state.started:
+                state.started = True
+                state.request = next(state.steps)
+            else:
+                state.request = state.steps.send(state.labels)
+            return True
+        except StopIteration as stop:
+            result, deferred = stop.value
+            if deferred is not None:
+                state.index._commit_split(deferred)
+            if result.partitions_after != state.index.pop.num_partitions:
+                result = replace(
+                    result,
+                    partitions_after=state.index.pop.num_partitions)
+            answers[state.position] = BatchAnswer(
+                winners=result.winners,
+                qpf_uses=result.qpf_uses,
+                roundtrip_share=state.roundtrip_share,
+                was_equivalent=result.was_equivalent)
+            return False
+
+    # -- serial fallbacks ----------------------------------------------- #
+
+    def _run_serial(self, job: BatchJob, update: bool) -> BatchAnswer:
+        counter: CostCounter = self.qpf.counter
+        before = counter.snapshot()
+        if job.kind == "between":
+            from ..core.between import BetweenProcessor
+
+            winners = BetweenProcessor(job.index).select(job.trapdoor,
+                                                         update=update)
+        elif job.kind == "scan":
+            labels = self.qpf.batch(job.trapdoor, job.table,
+                                    job.table.uids)
+            winners = job.table.uids[labels]
+        else:
+            raise ValueError(f"unknown job kind {job.kind!r}")
+        spent = counter.diff(before)
+        return BatchAnswer(winners=winners, qpf_uses=spent.qpf_uses,
+                           roundtrip_share=float(spent.qpf_roundtrips))

@@ -167,6 +167,59 @@ class EncryptedDatabase:
             simulated_ms=self.cost_model.simulated_millis(spent),
         )
 
+    def execute_many(self, statements: list[str], strategy: str = "auto",
+                     window: int | None = None) -> list[QueryAnswer]:
+        """Execute a burst of SELECTs, sharing enclave roundtrips.
+
+        Single-predicate comparison selections (with ``*`` or
+        ``COUNT(*)`` projections) on the same table are coalesced
+        through :meth:`ServiceProvider.answer_batch`: their PRKB
+        pipelines advance in lock step, so each step costs one roundtrip
+        for the whole burst instead of one per query, and duplicate
+        predicates are answered once.  Everything else (aggregates,
+        BETWEEN, multi-condition, ``strategy="baseline"``) runs through
+        the serial :meth:`query` path.  Answers come back in statement
+        order; ``simulated_ms`` for coalesced queries charges the
+        query's logical QPF uses plus its fractional share of the
+        shared roundtrips.
+        """
+        parsed = [parse_select(sql) for sql in statements]
+        answers: list[QueryAnswer | None] = [None] * len(statements)
+        batchable: dict[str, list[tuple[int, SelectStatement]]] = {}
+        for position, statement in enumerate(parsed):
+            if (strategy != "baseline"
+                    and statement.projection in ("*", ("count",))
+                    and len(statement.conditions) == 1
+                    and isinstance(statement.conditions[0],
+                                   ComparisonCondition)):
+                batchable.setdefault(statement.table, []).append(
+                    (position, statement))
+            else:
+                answers[position] = self.query(statements[position],
+                                               strategy=strategy)
+        for table, group in batchable.items():
+            trapdoors = []
+            for _, statement in group:
+                condition = statement.conditions[0]
+                trapdoors.append(self.owner.comparison_trapdoor(
+                    condition.attribute, condition.operator,
+                    condition.constant))
+            batch = self.server.answer_batch(table, trapdoors,
+                                             window=window)
+            for (position, _), answer in zip(group, batch):
+                logical = CostCounter(qpf_uses=answer.qpf_uses,
+                                      tuples_retrieved=answer.qpf_uses)
+                millis = (self.cost_model.simulated_millis(logical)
+                          + answer.roundtrip_share
+                          * self.cost_model.roundtrip_cost * 1e3)
+                answers[position] = QueryAnswer(
+                    uids=np.sort(np.asarray(answer.winners)),
+                    value=None,
+                    qpf_uses=answer.qpf_uses,
+                    simulated_ms=millis,
+                )
+        return answers  # type: ignore[return-value]
+
     def explain(self, sql: str, strategy: str = "auto") -> QueryPlan:
         """Describe how a statement would be planned, without running it.
 

@@ -13,9 +13,22 @@ Batched evaluation is provided (and vectorised) because the benchmark
 scales would otherwise take minutes in pure Python; the accounting is
 identical — a batch of ``n`` tuples costs ``n`` QPF uses, exactly as if the
 server had looped.
+
+Two kinds of batching exist and are metered differently:
+
+* :meth:`TrustedMachine.evaluate_batch` — one trapdoor over many uids.
+  One enclave *roundtrip* (``qpf_roundtrips += 1``), ``n`` QPF uses.
+* :meth:`TrustedMachine.evaluate_many` — a heterogeneous payload of
+  :class:`QPFRequest` entries (possibly different trapdoors and tables)
+  shipped in a single crossing.  Still one roundtrip; QPF uses equal the
+  total tuple count, exactly as if each request had been sent alone.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -29,7 +42,69 @@ from ..crypto.trapdoor import (
 from .costs import CostCounter
 from .encryption import EncryptedTable, attribute_key
 
-__all__ = ["TrustedMachine", "QueryProcessingFunction"]
+__all__ = ["TrustedMachine", "QueryProcessingFunction", "QPFRequest",
+           "PredicateLRU", "PREDICATE_CACHE_SIZE"]
+
+#: Default bound on the number of unsealed predicates an enclave keeps
+#: warm.  Real trusted machines have kilobytes of register space, not
+#: gigabytes; a long-lived server must not let this cache grow with the
+#: total number of distinct trapdoors ever seen.
+PREDICATE_CACHE_SIZE = 128
+
+
+class PredicateLRU:
+    """A small least-recently-used cache for unsealed predicates.
+
+    Maps ``trapdoor.serial`` to the plaintext predicate object.  Bounded:
+    when full, the stalest entry is evicted.  Eviction only costs a
+    re-unseal on the next miss — it never changes QPF accounting, which
+    is per *tuple* evaluation, not per unseal.
+    """
+
+    def __init__(self, capacity: int = PREDICATE_CACHE_SIZE):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._entries
+
+    def get(self, serial: int):
+        """Return the cached predicate (refreshing recency), or ``None``."""
+        entry = self._entries.get(serial)
+        if entry is not None:
+            self._entries.move_to_end(serial)
+        return entry
+
+    def put(self, serial: int, predicate) -> None:
+        """Insert, evicting the least-recently-used entry when full."""
+        self._entries[serial] = predicate
+        self._entries.move_to_end(serial)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+@dataclass(frozen=True)
+class QPFRequest:
+    """One pending Θ evaluation: a trapdoor applied to ``uids`` of a table.
+
+    The unit of work queued by the batching layer
+    (:mod:`repro.edbms.batching`) and shipped — possibly coalesced with
+    other requests — through a single enclave crossing via
+    :meth:`TrustedMachine.evaluate_many`.
+    """
+
+    trapdoor: EncryptedPredicate
+    table: object  # EncryptedTable or SecretSharedTable
+    uids: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "uids",
+                           np.asarray(self.uids, dtype=np.uint64))
 
 
 class TrustedMachine:
@@ -40,22 +115,24 @@ class TrustedMachine:
     meter QPF consumption precisely.
     """
 
-    def __init__(self, key: SecretKey, counter: CostCounter | None = None):
+    def __init__(self, key: SecretKey, counter: CostCounter | None = None,
+                 predicate_cache_size: int = PREDICATE_CACHE_SIZE):
         self._key = key
         self.counter = counter if counter is not None else CostCounter()
-        self._predicate_cache: dict[int, object] = {}
+        self._predicate_cache = PredicateLRU(predicate_cache_size)
 
     def _plain_predicate(self, trapdoor: EncryptedPredicate):
         """Unseal (and memoise) the plaintext predicate of a trapdoor.
 
-        Caching models the trusted machine keeping the current query's
-        predicate register warm; it does not change QPF accounting, which
-        is per *tuple* evaluation.
+        Caching models the trusted machine keeping recent predicate
+        registers warm; it is LRU-bounded so a long-lived server does not
+        leak memory, and it does not change QPF accounting, which is per
+        *tuple* evaluation.
         """
         cached = self._predicate_cache.get(trapdoor.serial)
         if cached is None:
             cached = unseal_predicate(self._key, trapdoor)
-            self._predicate_cache[trapdoor.serial] = cached
+            self._predicate_cache.put(trapdoor.serial, cached)
         return cached
 
     def _decrypt_cells(self, table: EncryptedTable, attribute: str,
@@ -75,15 +152,47 @@ class TrustedMachine:
     def evaluate_batch(self, trapdoor: EncryptedPredicate,
                        table: EncryptedTable,
                        uids: np.ndarray) -> np.ndarray:
-        """Θ applied tuple-by-tuple over ``uids`` — ``len(uids)`` QPF uses."""
+        """Θ applied tuple-by-tuple over ``uids`` — ``len(uids)`` QPF uses.
+
+        One call is one enclave roundtrip (``qpf_roundtrips``), however
+        many tuples ride in it; empty payloads are never shipped.
+        """
         uids = np.asarray(uids, dtype=np.uint64)
         self.counter.qpf_uses += int(uids.size)
         self.counter.tuples_retrieved += int(uids.size)
         if uids.size == 0:
             return np.zeros(0, dtype=bool)
+        self.counter.qpf_roundtrips += 1
         predicate = self._plain_predicate(trapdoor)
         values = self._decrypt_cells(table, trapdoor.attribute, uids)
         return _evaluate_plain(predicate, values)
+
+    def evaluate_many(self, requests: Sequence[QPFRequest]
+                      ) -> list[np.ndarray]:
+        """Θ over a heterogeneous payload in a single enclave crossing.
+
+        Every request is evaluated exactly as :meth:`evaluate_batch`
+        would — same per-tuple ``qpf_uses`` — but the whole payload
+        counts as *one* roundtrip.  This is the primitive the batching
+        layer builds on: N queries' worth of probes cross the enclave
+        boundary together.
+        """
+        total = sum(int(r.uids.size) for r in requests)
+        self.counter.qpf_uses += total
+        self.counter.tuples_retrieved += total
+        if total == 0:
+            return [np.zeros(0, dtype=bool) for _ in requests]
+        self.counter.qpf_roundtrips += 1
+        results = []
+        for request in requests:
+            if request.uids.size == 0:
+                results.append(np.zeros(0, dtype=bool))
+                continue
+            predicate = self._plain_predicate(request.trapdoor)
+            values = self._decrypt_cells(
+                request.table, request.trapdoor.attribute, request.uids)
+            results.append(_evaluate_plain(predicate, values))
+        return results
 
 
 def _evaluate_plain(predicate, values: np.ndarray) -> np.ndarray:
@@ -127,3 +236,7 @@ class QueryProcessingFunction:
               uids: np.ndarray) -> np.ndarray:
         """Θ over many tuples; costs ``len(uids)`` QPF uses."""
         return self._tm.evaluate_batch(trapdoor, table, uids)
+
+    def batch_many(self, requests: Sequence[QPFRequest]) -> list[np.ndarray]:
+        """Θ over a coalesced multi-request payload — one roundtrip."""
+        return self._tm.evaluate_many(requests)

@@ -28,17 +28,19 @@ table applies the shift internally so callers use natural values.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..crypto.primitives import SecretKey
 from ..crypto.secret_sharing import SecretSharingScheme
 from ..crypto.trapdoor import (
-    BetweenPredicate,
-    ComparisonPredicate,
     EncryptedPredicate,
     unseal_predicate,
 )
 from .costs import CostCounter
+from .qpf import PREDICATE_CACHE_SIZE, PredicateLRU, QPFRequest, \
+    _evaluate_plain
 
 __all__ = ["SecretSharedTable", "MPCQueryProcessingFunction",
            "share_table", "share_rows"]
@@ -201,17 +203,18 @@ class MPCQueryProcessingFunction:
     "no DO involvement" property, which concerns the index only).
     """
 
-    def __init__(self, key: SecretKey, counter: CostCounter | None = None):
+    def __init__(self, key: SecretKey, counter: CostCounter | None = None,
+                 predicate_cache_size: int = PREDICATE_CACHE_SIZE):
         self._key = key
         self._scheme = SecretSharingScheme(key)
         self.counter = counter if counter is not None else CostCounter()
-        self._predicate_cache: dict[int, object] = {}
+        self._predicate_cache = PredicateLRU(predicate_cache_size)
 
     def _plain_predicate(self, trapdoor: EncryptedPredicate):
         cached = self._predicate_cache.get(trapdoor.serial)
         if cached is None:
             cached = unseal_predicate(self._key, trapdoor)
-            self._predicate_cache[trapdoor.serial] = cached
+            self._predicate_cache.put(trapdoor.serial, cached)
         return cached
 
     def _recover_values(self, table: SecretSharedTable, attribute: str,
@@ -236,25 +239,44 @@ class MPCQueryProcessingFunction:
 
     def batch(self, trapdoor: EncryptedPredicate,
               table: SecretSharedTable, uids: np.ndarray) -> np.ndarray:
-        """Θ over many tuples; ``len(uids)`` QPF uses + 2 messages each."""
+        """Θ over many tuples; ``len(uids)`` QPF uses + 2 messages each.
+
+        One call is one SP↔DO exchange, metered as one ``qpf_roundtrips``
+        tick — the same convention as the trusted-hardware backend, so
+        roundtrip figures are comparable across backends.
+        """
         uids = np.asarray(uids, dtype=np.uint64)
         self.counter.qpf_uses += int(uids.size)
         self.counter.tuples_retrieved += int(uids.size)
         self.counter.mpc_messages += 2 * int(uids.size)
         if uids.size == 0:
             return np.zeros(0, dtype=bool)
+        self.counter.qpf_roundtrips += 1
         predicate = self._plain_predicate(trapdoor)
         values = self._recover_values(table, trapdoor.attribute, uids)
-        if isinstance(predicate, ComparisonPredicate):
-            c = predicate.constant
-            if predicate.operator == "<":
-                return values < c
-            if predicate.operator == "<=":
-                return values <= c
-            if predicate.operator == ">":
-                return values > c
-            return values >= c
-        if isinstance(predicate, BetweenPredicate):
-            return (values >= predicate.low) & (values <= predicate.high)
-        raise TypeError(
-            f"unsupported predicate type {type(predicate).__name__}")
+        return _evaluate_plain(predicate, values)
+
+    def batch_many(self, requests: Sequence[QPFRequest]) -> list[np.ndarray]:
+        """Θ over a coalesced multi-request payload — one SP↔DO exchange.
+
+        Per-tuple accounting (``qpf_uses`` and the 2-messages-per-tuple
+        MPC price) is identical to sending each request alone; only the
+        number of exchanges (``qpf_roundtrips``) shrinks to one.
+        """
+        total = sum(int(r.uids.size) for r in requests)
+        self.counter.qpf_uses += total
+        self.counter.tuples_retrieved += total
+        self.counter.mpc_messages += 2 * total
+        if total == 0:
+            return [np.zeros(0, dtype=bool) for _ in requests]
+        self.counter.qpf_roundtrips += 1
+        results = []
+        for request in requests:
+            if request.uids.size == 0:
+                results.append(np.zeros(0, dtype=bool))
+                continue
+            predicate = self._plain_predicate(request.trapdoor)
+            values = self._recover_values(
+                request.table, request.trapdoor.attribute, request.uids)
+            results.append(_evaluate_plain(predicate, values))
+        return results

@@ -113,6 +113,39 @@ class ServiceProvider:
         return SingleDimensionProcessor(index).select(trapdoor,
                                                       update=update)
 
+    def answer_batch(self, table_name: str,
+                     trapdoors: list[EncryptedPredicate],
+                     update: bool = True,
+                     window: int | None = None) -> list:
+        """Answer a burst of predicates with shared enclave roundtrips.
+
+        Indexed comparison trapdoors are driven in lock step by a
+        :class:`~repro.edbms.batching.BatchExecutor` — their QPF probes
+        are coalesced so each scheduling step costs one roundtrip for
+        the whole window, and duplicate trapdoors within a window are
+        answered once.  BETWEEN and unindexed predicates fall back to
+        the serial paths.  Returns one
+        :class:`~repro.edbms.batching.BatchAnswer` per trapdoor, in
+        submission order; answers match :meth:`select` as sets.
+        """
+        from .batching import BatchExecutor, BatchJob
+
+        table = self.table(table_name)
+        jobs = []
+        for trapdoor in trapdoors:
+            if not self.has_index(table_name, trapdoor.attribute):
+                jobs.append(BatchJob("scan", trapdoor, table))
+            elif trapdoor.kind == "between":
+                jobs.append(BatchJob(
+                    "between", trapdoor, table,
+                    self.index(table_name, trapdoor.attribute)))
+            else:
+                jobs.append(BatchJob(
+                    "prkb", trapdoor, table,
+                    self.index(table_name, trapdoor.attribute)))
+        return BatchExecutor(self.qpf).run(jobs, update=update,
+                                           window=window)
+
     def select_range(self, table_name: str, query: list[DimensionRange],
                      strategy: str = "md",
                      update: bool = True) -> np.ndarray:

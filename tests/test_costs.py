@@ -41,8 +41,9 @@ class TestCostCounter:
         counter = CostCounter(qpf_uses=3)
         d = counter.as_dict()
         assert d["qpf_uses"] == 3
-        assert set(d) == {"qpf_uses", "sse_lookups", "tuples_retrieved",
-                          "comparisons", "index_updates", "mpc_messages"}
+        assert set(d) == {"qpf_uses", "qpf_roundtrips", "sse_lookups",
+                          "tuples_retrieved", "comparisons",
+                          "index_updates", "mpc_messages"}
 
 
 class TestCostModel:

@@ -159,3 +159,85 @@ class TestPopProperties:
                     break
             pop.check_invariants(lambda uid: values[uid])
         assert pop.num_tuples == n
+
+
+class TestOffsetConsistency:
+    """The prefix-sum buffer must always agree with the chain itself."""
+
+    @staticmethod
+    def _naive_range(pop, first, last):
+        chunks = [pop[i].uids for i in range(first, last + 1)]
+        return np.concatenate(chunks) if chunks else np.zeros(
+            0, dtype=np.uint64)
+
+    def _check_all_windows(self, pop):
+        k = pop.num_partitions
+        assert pop.offsets[0] == 0 and pop.offsets[-1] == pop.num_tuples
+        for first in range(k):
+            for last in range(first, k):
+                got = np.sort(pop.range_uids(first, last))
+                want = np.sort(self._naive_range(pop, first, last))
+                assert np.array_equal(got, want), (first, last)
+        for count in range(k + 1):
+            assert np.array_equal(
+                np.sort(pop.prefix_uids(count)),
+                np.sort(self._naive_range(pop, 0, count - 1))
+                if count else np.zeros(0, dtype=np.uint64))
+            assert np.array_equal(
+                np.sort(pop.suffix_uids(count)),
+                np.sort(self._naive_range(pop, count, k - 1))
+                if count < k else np.zeros(0, dtype=np.uint64))
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=10**6),
+                              st.integers(min_value=0, max_value=10**6)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_windows_survive_random_splits_and_merges(self, n, moves):
+        """Any interleaving of splits and merges keeps every prefix,
+        suffix and contiguous window readable straight off the buffer."""
+        pop = PartialOrderPartitions(np.arange(n, dtype=np.uint64))
+        pop.offsets  # materialise the buffer up front
+        for is_split, seed_a, seed_b in moves:
+            k = pop.num_partitions
+            if is_split or k == 1:
+                index = seed_a % k
+                members = pop[index].uids
+                if members.size < 2:
+                    continue
+                cut = 1 + seed_b % (members.size - 1)
+                pop.split(index, members[:cut].copy(),
+                          members[cut:].copy())
+            else:
+                first = seed_a % k
+                last = first + seed_b % (k - first)
+                if first < last:
+                    pop.merge_range(first, last)
+            self._check_all_windows(pop)
+
+    def test_views_are_readonly(self):
+        pop = PartialOrderPartitions(np.arange(6, dtype=np.uint64))
+        window = pop.prefix_uids(1)
+        with pytest.raises(ValueError):
+            window[0] = 99
+
+    def test_frozen_view_is_stable_under_later_splits(self):
+        pop = PartialOrderPartitions(np.arange(8, dtype=np.uint64))
+        view = pop.freeze()
+        before = np.sort(view.prefix_uids(1)).copy()
+        members = pop[0].uids
+        pop.split(0, members[:3].copy(), members[3:].copy())
+        # The snapshot still spans the same uid set (splits only reorder
+        # within the segment they refine).
+        assert np.array_equal(np.sort(view.prefix_uids(1)), before)
+        assert view.num_partitions == 1
+        assert pop.num_partitions == 2
+
+    def test_insert_and_delete_rebuild_the_buffer(self):
+        pop = PartialOrderPartitions(np.arange(5, dtype=np.uint64))
+        pop.offsets
+        pop.insert(50, 0)
+        assert sorted(pop.prefix_uids(1).tolist()) == [0, 1, 2, 3, 4, 50]
+        pop.delete(50)
+        assert sorted(pop.prefix_uids(1).tolist()) == [0, 1, 2, 3, 4]

@@ -305,3 +305,101 @@ class TestInsertDelete:
         assert index.num_partitions == 1
         assert index.pop.num_tuples == 1
         assert int(receipt.uids[0]) in {int(u) for u in bed.table.uids}
+
+
+class TestEquivalenceCache:
+    """Resubmitting the *same trapdoor object* is answered from cached
+    separator offsets with zero QPF and zero scan work.  (Fresh seals of
+    the same plaintext predicate are indistinguishable to the SP by
+    design, so those still pay the QFilter/QScan discovery cost.)"""
+
+    def test_repeat_costs_zero_qpf(self, tiny_testbed):
+        bed = tiny_testbed
+        index = bed.prkb["X"]
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 50)
+        first = index.select(trapdoor)
+        repeat = index.select(trapdoor)
+        assert repeat.was_equivalent
+        assert repeat.qpf_uses == 0
+        assert np.array_equal(np.sort(repeat.winners),
+                              np.sort(first.winners))
+
+    def test_fresh_seal_still_pays_discovery(self, tiny_testbed):
+        """Definition 4.3 is about observed partitions, not trapdoor
+        bytes: a re-encrypted equivalent predicate cannot hit the cache."""
+        bed = tiny_testbed
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 50))
+        fresh = index.select(bed.owner.comparison_trapdoor("X", "<", 50))
+        assert fresh.was_equivalent  # discovered by scanning ...
+        assert fresh.qpf_uses > 0    # ... not answered from the cache
+
+    def test_cached_answer_tracks_later_splits(self, tiny_testbed):
+        bed = tiny_testbed
+        index = bed.prkb["X"]
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", 50)
+        first = index.select(trapdoor)
+        # Other predicates refine the chain around the cached separator.
+        for constant in (25, 75, 40, 60):
+            index.select(bed.owner.comparison_trapdoor("X", "<", constant))
+        repeat = index.select(trapdoor)
+        assert repeat.qpf_uses == 0
+        assert np.array_equal(np.sort(repeat.winners),
+                              np.sort(first.winners))
+
+    def test_boundary_predicates_cached(self, tiny_testbed):
+        bed = tiny_testbed
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 50))
+        nothing = bed.owner.comparison_trapdoor("X", "<", 1)
+        first = index.select(nothing)  # discovers "none"; remembers it
+        assert first.winners.size == 0
+        none_again = index.select(nothing)
+        assert none_again.qpf_uses == 0
+        assert none_again.winners.size == 0
+        everything = bed.owner.comparison_trapdoor("X", ">", 0)
+        index.select(everything)
+        all_again = index.select(everything)
+        assert all_again.qpf_uses == 0
+        assert all_again.winners.size == index.pop.num_tuples
+
+    def test_many_random_repeats_stay_exact(self):
+        rng = np.random.default_rng(13)
+        bed = bed_with_values(rng.integers(1, 500, size=120).tolist(),
+                              seed=13)
+        index = bed.prkb["X"]
+        operators = ("<", "<=", ">", ">=")
+        trapdoors = [bed.owner.comparison_trapdoor(
+            "X", operators[i % 4], int(c))
+            for i, c in enumerate(rng.integers(1, 500, size=30))]
+        firsts = [np.sort(index.select(t).winners).copy()
+                  for t in trapdoors]
+        for trapdoor, want in zip(trapdoors, firsts):
+            repeat = index.select(trapdoor)
+            assert repeat.qpf_uses == 0
+            assert np.array_equal(np.sort(repeat.winners), want)
+
+    def test_insert_invalidates_cache(self):
+        bed = bed_with_values([10, 20, 30, 40], seed=6)
+        index = bed.prkb["X"]
+        index.select(bed.owner.comparison_trapdoor("X", "<", 25))
+        from repro.core import TableUpdater
+        updater = TableUpdater(bed.table, bed.prkb)
+        receipt = updater.insert_plain(
+            bed.owner.key, {"X": np.asarray([22], dtype=np.int64)})
+        repeat = index.select(bed.owner.comparison_trapdoor("X", "<", 25))
+        # The new row forces real work again, and must be in the answer.
+        assert repeat.qpf_uses > 0
+        assert int(receipt.uids[0]) in repeat.winners.tolist()
+
+    def test_delete_of_cached_boundary_falls_back(self):
+        bed = bed_with_values([10, 20, 30], seed=2)
+        index = bed.prkb["X"]
+        first = index.select(bed.owner.comparison_trapdoor("X", "<", 25))
+        # Deleting tuples around the separator may retire it entirely.
+        uid_20 = int(bed.plain.uids[bed.plain.columns["X"] == 20][0])
+        index.delete(uid_20)
+        repeat = index.select(bed.owner.comparison_trapdoor("X", "<", 25))
+        assert np.array_equal(
+            np.sort(repeat.winners),
+            np.sort(first.winners[first.winners != uid_20]))

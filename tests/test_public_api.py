@@ -27,6 +27,7 @@ MODULES = SUBPACKAGES + [
     "repro.edbms.server",
     "repro.edbms.engine",
     "repro.edbms.sdb_backend",
+    "repro.edbms.batching",
     "repro.edbms.persistence",
     "repro.edbms.audit",
     "repro.core.bootstrap",

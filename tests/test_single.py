@@ -58,7 +58,7 @@ class TestMeasure:
 
     def test_measure_requires_trapdoors(self, small_testbed):
         processor = SingleDimensionProcessor(small_testbed.prkb["X"])
-        with pytest.raises(AssertionError):
+        with pytest.raises(ValueError):
             processor.measure([])
 
     def test_repeated_queries_get_cheaper(self, small_testbed):
