@@ -46,6 +46,30 @@ def emit_note(name: str, note: str) -> None:
     print(note)
 
 
+def parse_bench_args(argv: list[str] | None = None):
+    """Shared CLI for standalone bench runs: ``--tiny`` and ``--seed``.
+
+    ``--seed N`` publishes ``REPRO_BENCH_SEED`` *before* the bench builds
+    any generator, so every RNG derived through
+    :func:`repro.bench.bench_seed` (data, warm-up schedule, workload)
+    follows the one flag and a whole ``BENCH_*.json`` is reproducible
+    run-to-run from a single number.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Standalone bench run (also importable via pytest).")
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke parameters")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master RNG seed (default: REPRO_BENCH_SEED "
+                             "or 0)")
+    args = parser.parse_args(argv)
+    if args.seed is not None:
+        os.environ["REPRO_BENCH_SEED"] = str(args.seed)
+    return args
+
+
 def env_flag(name: str, default: bool = False) -> bool:
     """Boolean environment toggle for optional heavy benches."""
     raw = os.environ.get(name)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import format_count, format_ms
+from repro.bench import bench_seed, format_count, format_ms
 from repro.core import PRKBIndex, SingleDimensionProcessor
 from repro.crypto import generate_key
 from repro.edbms import (
@@ -32,7 +32,7 @@ DOMAIN = (1, 1_000_000)
 
 def _run_backend(backend: str, n: int):
     owner = DataOwner(key=generate_key(300))
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=300)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 300)
     counter = CostCounter()
     if backend == "trusted-machine":
         server_table = owner.encrypt_table(table, keep_plain=False)
@@ -40,9 +40,9 @@ def _run_backend(backend: str, n: int):
     else:
         server_table = share_table(owner.key, table)
         qpf = MPCQueryProcessingFunction(owner.key, counter)
-    index = PRKBIndex(server_table, qpf, "X", seed=301)
+    index = PRKBIndex(server_table, qpf, "X", seed=bench_seed() + 301)
     processor = SingleDimensionProcessor(index)
-    thresholds = distinct_comparison_thresholds(DOMAIN, 80, seed=302)
+    thresholds = distinct_comparison_thresholds(DOMAIN, 80, seed=bench_seed() + 302)
     results = []
     for threshold in thresholds:
         trapdoor = owner.comparison_trapdoor("X", "<", int(threshold))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import BetweenProcessor, SingleDimensionProcessor
 from repro.workloads import range_query_bounds, uniform_table
 
@@ -28,11 +28,11 @@ NUM_QUERIES = 80
 
 
 def _run(form: str, n: int):
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=230)
-    bed = Testbed(table, ["X"], seed=230)
-    bed.warm_up("X", 12, seed=229)  # bootstrap (see module docstring)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 230)
+    bed = Testbed(table, ["X"], seed=bench_seed() + 230)
+    bed.warm_up("X", 12, seed=bench_seed() + 229)  # bootstrap (see module docstring)
     queries = range_query_bounds("X", DOMAIN, 0.02, count=NUM_QUERIES,
-                                 seed=231)
+                                 seed=bench_seed() + 231)
     costs = []
     results = []
     for q in queries:

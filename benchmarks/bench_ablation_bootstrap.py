@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import PRKBIndex, prime_index
 from repro.workloads import range_query_bounds, uniform_table
 
@@ -37,15 +37,15 @@ def test_ablation_bootstrap(benchmark):
     for label, strategy in (("no priming", None),
                             ("random priming", "random"),
                             ("equal-width priming", "equal-width")):
-        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=400)
-        bed = Testbed(table, ["X"], seed=400)
+        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 400)
+        bed = Testbed(table, ["X"], seed=bench_seed() + 400)
         priming_qpf = 0
         if strategy is not None:
             report = prime_index(bed.owner, bed.prkb["X"], DOMAIN,
                                  PRIMING_QUERIES, strategy=strategy,
-                                 seed=401)
+                                 seed=bench_seed() + 401)
             priming_qpf = report.qpf_spent
-        costs[label] = _workload_cost(bed, seed=402)
+        costs[label] = _workload_cost(bed, seed=bench_seed() + 402)
         rows.append([
             label,
             str(bed.prkb["X"].num_partitions),
@@ -66,13 +66,13 @@ def test_ablation_bootstrap(benchmark):
 
     # Cap-policy comparison under a drifting hot region.
     def drifting(policy: str) -> float:
-        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=403)
-        bed = Testbed(table, ["X"], seed=403)
+        table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 403)
+        bed = Testbed(table, ["X"], seed=bench_seed() + 403)
         bed.prkb["X"] = PRKBIndex(bed.table, bed.qpf, "X",
                                   max_partitions=25, cap_policy=policy,
-                                  seed=403)
+                                  seed=bench_seed() + 403)
         prime_index(bed.owner, bed.prkb["X"], DOMAIN, 30,
-                    strategy="random", seed=404)
+                    strategy="random", seed=bench_seed() + 404)
         total = 0
         hot_lo, hot_hi = 20_000_000, 21_000_000
         for i in range(25):

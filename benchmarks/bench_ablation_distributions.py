@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import SingleDimensionProcessor
 from repro.workloads import distinct_comparison_thresholds, make_table
 
@@ -30,11 +30,11 @@ NUM_QUERIES = 150
 
 def _growth_run(distribution: str, n: int):
     table = make_table(distribution, "t", n, ["X", "Y"], domain=DOMAIN,
-                       seed=600)
-    bed = Testbed(table, ["X"], seed=600)
+                       seed=bench_seed() + 600)
+    bed = Testbed(table, ["X"], seed=bench_seed() + 600)
     processor = SingleDimensionProcessor(bed.prkb["X"])
     thresholds = distinct_comparison_thresholds(DOMAIN, NUM_QUERIES,
-                                                seed=601)
+                                                seed=bench_seed() + 601)
     costs = []
     for threshold in thresholds:
         trapdoor = bed.owner.comparison_trapdoor("X", "<", int(threshold))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import PRKBIndex, SingleDimensionProcessor
 from repro.workloads import distinct_comparison_thresholds, uniform_table
 
@@ -20,12 +20,12 @@ DOMAIN = (1, 30_000_000)
 
 
 def _run(early_stop: bool, n: int):
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=200)
-    bed = Testbed(table, ["X"], seed=200)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 200)
+    bed = Testbed(table, ["X"], seed=bench_seed() + 200)
     bed.prkb["X"] = PRKBIndex(bed.table, bed.qpf, "X",
-                              early_stop=early_stop, seed=200)
+                              early_stop=early_stop, seed=bench_seed() + 200)
     processor = SingleDimensionProcessor(bed.prkb["X"])
-    thresholds = distinct_comparison_thresholds(DOMAIN, 150, seed=201)
+    thresholds = distinct_comparison_thresholds(DOMAIN, 150, seed=bench_seed() + 201)
     results = []
     before = bed.counter.qpf_uses
     for threshold in thresholds:

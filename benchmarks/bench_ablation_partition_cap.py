@@ -10,7 +10,7 @@ knowledge buys little at these scales.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count, format_ms
+from repro.bench import Testbed, bench_seed, format_count, format_ms
 from repro.workloads import range_query_bounds, uniform_table
 
 from _common import emit, scaled
@@ -20,10 +20,10 @@ CAPS = [10, 50, 250, 1000]
 
 
 def _measure(cap: int, n: int):
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=210)
-    bed = Testbed(table, ["X"], max_partitions=cap, seed=210)
-    bed.warm_up("X", min(cap + 100, 1100), seed=211)
-    queries = range_query_bounds("X", DOMAIN, 0.01, count=6, seed=212)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 210)
+    bed = Testbed(table, ["X"], max_partitions=cap, seed=bench_seed() + 210)
+    bed.warm_up("X", min(cap + 100, 1100), seed=bench_seed() + 211)
+    queries = range_query_bounds("X", DOMAIN, 0.01, count=6, seed=bench_seed() + 212)
     runs = [bed.run_sd("X", q.as_tuple(), update=False) for q in queries]
     qpf = sum(m.qpf_uses for m in runs) / len(runs)
     ms = sum(m.simulated_ms for m in runs) / len(runs)

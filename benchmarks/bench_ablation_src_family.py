@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.baselines import LogBRCIndex, LogSRCIndex, LogSRCiIndex
 from repro.crypto import generate_key
-from repro.bench import format_count, format_ms
+from repro.bench import bench_seed, format_count, format_ms
 from repro.edbms import DEFAULT_COST_MODEL, CostCounter
 
 from _common import emit, scaled
@@ -51,7 +51,7 @@ def _clustered_values(n: int, seed: int) -> np.ndarray:
 
 def test_ablation_src_family(benchmark):
     n = scaled(6_000)
-    values = _clustered_values(n, seed=310)
+    values = _clustered_values(n, seed=bench_seed() + 310)
     uids = np.arange(n, dtype=np.uint64)
     key = generate_key(311)
     counters = {name: CostCounter() for name in ("brc", "src", "srci")}

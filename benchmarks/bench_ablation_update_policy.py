@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.workloads import multi_range_bounds, uniform_table
 
 from _common import emit, scaled
@@ -29,13 +29,13 @@ NUM_QUERIES = 60
 
 
 def _run(policy: str, n: int):
-    table = uniform_table("t", n, ATTRS, domain=DOMAIN, seed=220)
-    bed = Testbed(table, ATTRS, seed=220)
+    table = uniform_table("t", n, ATTRS, domain=DOMAIN, seed=bench_seed() + 220)
+    bed = Testbed(table, ATTRS, seed=bench_seed() + 220)
     from repro.core import MultiDimensionProcessor
     processor = MultiDimensionProcessor(
         {attr: bed.prkb[attr] for attr in ATTRS}, update_policy=policy)
     queries = multi_range_bounds(ATTRS, DOMAIN, 0.05, count=NUM_QUERIES,
-                                 seed=221)
+                                 seed=bench_seed() + 221)
     costs = []
     for bounds in queries:
         query = [bed.dimension_range(a, b) for a, b in bounds.items()]

@@ -9,7 +9,7 @@ cells for the skyline.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import AggregateResolver, SkylineResolver
 from repro.workloads import uniform_table
 
@@ -20,10 +20,10 @@ DOMAIN = (1, 30_000_000)
 
 def test_extension_aggregates(benchmark):
     n = scaled(10_000)
-    table = uniform_table("t", n, ["X", "Y"], domain=DOMAIN, seed=240)
-    bed = Testbed(table, ["X", "Y"], max_partitions=250, seed=240)
+    table = uniform_table("t", n, ["X", "Y"], domain=DOMAIN, seed=bench_seed() + 240)
+    bed = Testbed(table, ["X", "Y"], max_partitions=250, seed=bench_seed() + 240)
     for attr in ("X", "Y"):
-        bed.warm_up(attr, 200, seed=241)
+        bed.warm_up(attr, 200, seed=bench_seed() + 241)
     resolver = AggregateResolver(bed.prkb["X"], bed.owner.key)
     minmax_candidates = resolver.min_max_candidates().size
     topk_candidates = resolver.top_k_candidates(10).size

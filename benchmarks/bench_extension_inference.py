@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks import ope_rank_matching_attack, pop_interval_attack
-from repro.bench import Testbed
+from repro.bench import Testbed, bench_seed
 from repro.crypto import OrderPreservingEncryption, generate_key
 from repro.workloads import uniform_table
 
@@ -25,17 +25,17 @@ QUERY_MILESTONES = [0, 10, 50, 200]
 
 def test_extension_inference(benchmark):
     n = scaled(4_000)
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=320)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 320)
     truth = table.columns["X"]
-    rng = np.random.default_rng(321)
+    rng = np.random.default_rng(bench_seed() + 321)
     auxiliary = rng.integers(DOMAIN[0], DOMAIN[1] + 1, size=n)
     spread = DOMAIN[1] - DOMAIN[0]
     rows = []
     errors = {}
     for warm in QUERY_MILESTONES:
-        bed = Testbed(table, ["X"], seed=320)
+        bed = Testbed(table, ["X"], seed=bench_seed() + 320)
         if warm:
-            bed.warm_up("X", warm, seed=322)
+            bed.warm_up("X", warm, seed=bench_seed() + 322)
         index = bed.prkb["X"]
         outcome = pop_interval_attack(
             index.pop.sizes(),
@@ -71,7 +71,7 @@ def test_extension_inference(benchmark):
     assert ope_outcome.mean_absolute_error < errors[milestones[-1]]
 
     def attack_once():
-        bed = Testbed(table, ["X"], seed=324)
+        bed = Testbed(table, ["X"], seed=bench_seed() + 324)
         index = bed.prkb["X"]
         return pop_interval_attack(
             index.pop.sizes(),

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks import kkno_attack
-from repro.bench import format_count
+from repro.bench import bench_seed, format_count
 
 from _common import emit, scaled
 
@@ -30,12 +30,12 @@ QUERY_BUDGET = 30_000
 
 def test_extension_kkno(benchmark):
     n = scaled(200)
-    rng = np.random.default_rng(500)
+    rng = np.random.default_rng(bench_seed() + 500)
     rows = []
     normalised = {}
     for label, domain in DOMAINS:
         values = rng.integers(domain[0], domain[1] + 1, size=n)
-        outcome = kkno_attack(values, QUERY_BUDGET, domain, seed=501)
+        outcome = kkno_attack(values, QUERY_BUDGET, domain, seed=bench_seed() + 501)
         width = domain[1] - domain[0]
         normalised[label] = outcome.mean_absolute_error / width
         rows.append([
@@ -76,6 +76,6 @@ def test_extension_kkno(benchmark):
 
     def small_domain_attack():
         values = rng.integers(1, 366, size=scaled(100))
-        return kkno_attack(values, 5_000, (1, 365), seed=502)
+        return kkno_attack(values, 5_000, (1, 365), seed=bench_seed() + 502)
 
     benchmark.pedantic(small_domain_attack, rounds=3, iterations=1)

@@ -12,7 +12,7 @@ and PRKB stays far below Baseline everywhere.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count, format_ms
+from repro.bench import Testbed, bench_seed, format_count, format_ms
 from repro.workloads import range_query_bounds, uniform_table
 
 from _common import emit, scaled
@@ -24,16 +24,16 @@ SELECTIVITIES = [0.01, 0.02, 0.04, 0.06, 0.08, 0.10]
 
 def test_fig10_selectivity(benchmark):
     n = scaled(20_000)
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=50)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 50)
     bed = Testbed(table, ["X"], max_partitions=PARTITIONS,
-                  with_log_src_i=True, seed=50)
-    bed.warm_up("X", 250, seed=50)
+                  with_log_src_i=True, seed=bench_seed() + 50)
+    bed.warm_up("X", 250, seed=bench_seed() + 50)
     rows = []
     prkb_qpf = []
     result_sizes = []
     for i, selectivity in enumerate(SELECTIVITIES):
         queries = range_query_bounds("X", DOMAIN, selectivity, count=5,
-                                     seed=60 + i)
+                                     seed=bench_seed() + 60 + i)
         prkb = [bed.run_sd("X", q.as_tuple(), update=False)
                 for q in queries]
         src = [bed.run_log_src_i("X", q.as_tuple()) for q in queries]
@@ -63,7 +63,7 @@ def test_fig10_selectivity(benchmark):
     assert max(prkb_qpf) < 3 * min(prkb_qpf)
     assert max(prkb_qpf) < n / 10
 
-    queries = range_query_bounds("X", DOMAIN, 0.05, count=1, seed=70)
+    queries = range_query_bounds("X", DOMAIN, 0.05, count=1, seed=bench_seed() + 70)
 
     def warm_query():
         return bed.run_sd("X", queries[0].as_tuple(), update=False)

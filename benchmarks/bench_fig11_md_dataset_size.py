@@ -9,7 +9,7 @@ Our setting: 2k-8k tuples (scaled), same d and per-dimension selectivity.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count, format_ms
+from repro.bench import Testbed, bench_seed, format_count, format_ms
 from repro.workloads import multi_range_bounds, uniform_table
 
 from _common import emit, scaled
@@ -46,7 +46,7 @@ def test_fig11_md_dataset_size(benchmark):
     stats = {}
     rows = []
     for i, n in enumerate(sizes):
-        stats[n] = _measure_at_size(n, seed=110 + i)
+        stats[n] = _measure_at_size(n, seed=bench_seed() + 110 + i)
         s = stats[n]
         rows.append([
             format_count(n),
@@ -69,12 +69,12 @@ def test_fig11_md_dataset_size(benchmark):
     assert large["md_qpf"] / large["sdp_qpf"] < 1.0
     assert small["md_qpf"] / small["sdp_qpf"] < 1.0
 
-    table = uniform_table("t", sizes[0], ATTRS, domain=DOMAIN, seed=120)
-    bed = Testbed(table, ATTRS, max_partitions=PARTITIONS, seed=120)
+    table = uniform_table("t", sizes[0], ATTRS, domain=DOMAIN, seed=bench_seed() + 120)
+    bed = Testbed(table, ATTRS, max_partitions=PARTITIONS, seed=bench_seed() + 120)
     for attr in ATTRS:
-        bed.warm_up(attr, WARM, seed=121)
+        bed.warm_up(attr, WARM, seed=bench_seed() + 121)
     bounds = multi_range_bounds(ATTRS, DOMAIN, SELECTIVITY, count=1,
-                                seed=122)[0]
+                                seed=bench_seed() + 122)[0]
 
     def warm_md_query():
         return bed.run_md(bounds, strategy="md", update=False)

@@ -11,7 +11,7 @@ Our setting: 5k tuples (scaled), d = 1..5.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count, format_ms
+from repro.bench import Testbed, bench_seed, format_count, format_ms
 from repro.workloads import multi_range_bounds, uniform_table
 
 from _common import emit, scaled
@@ -25,18 +25,18 @@ WARM = 120
 
 def test_fig12_md_dimensionality(benchmark):
     n = scaled(5_000)
-    table = uniform_table("t", n, ALL_ATTRS, domain=DOMAIN, seed=130)
+    table = uniform_table("t", n, ALL_ATTRS, domain=DOMAIN, seed=bench_seed() + 130)
     bed = Testbed(table, ALL_ATTRS, max_partitions=PARTITIONS,
-                  with_log_src_i=True, seed=130)
+                  with_log_src_i=True, seed=bench_seed() + 130)
     for i, attr in enumerate(ALL_ATTRS):
-        bed.warm_up(attr, WARM, seed=131 + i)
+        bed.warm_up(attr, WARM, seed=bench_seed() + 131 + i)
     rows = []
     md_series = []
     sdp_series = []
     for d in range(1, len(ALL_ATTRS) + 1):
         attrs = ALL_ATTRS[:d]
         queries = multi_range_bounds(attrs, DOMAIN, SELECTIVITY,
-                                     count=4, seed=140 + d)
+                                     count=4, seed=bench_seed() + 140 + d)
         md = [bed.run_md(q, strategy="md", update=False) for q in queries]
         sdp = [bed.run_md(q, strategy="sd+", update=False)
                for q in queries]
@@ -68,7 +68,7 @@ def test_fig12_md_dimensionality(benchmark):
         (sdp_series[0] / md_series[0])
 
     bounds = multi_range_bounds(ALL_ATTRS, DOMAIN, SELECTIVITY, count=1,
-                                seed=150)[0]
+                                seed=bench_seed() + 150)[0]
 
     def warm_5d_query():
         return bed.run_md(bounds, strategy="md", update=False)

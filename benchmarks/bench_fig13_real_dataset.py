@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, ascii_chart, format_count, format_ms
+from repro.bench import Testbed, ascii_chart, bench_seed, format_count, format_ms
 from repro.workloads import us_buildings
 
 from _common import emit, emit_note, scaled
@@ -36,10 +36,10 @@ def _bounds_at_selectivity(table, rng, selectivity=0.02):
 
 def test_fig13_buildings(benchmark):
     n = scaled(12_000)
-    table = us_buildings(n, seed=160)
+    table = us_buildings(n, seed=bench_seed() + 160)
     bed = Testbed(table, ["latitude", "longitude"],
-                  with_log_src_i=True, seed=160)
-    rng = np.random.default_rng(161)
+                  with_log_src_i=True, seed=bench_seed() + 160)
+    rng = np.random.default_rng(bench_seed() + 161)
     samples = {}
     for i in range(1, MILESTONES[-1] + 1):
         bounds = _bounds_at_selectivity(table, rng)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import Testbed, ascii_chart, format_count, format_ms
+from repro.bench import Testbed, ascii_chart, bench_seed, format_count, format_ms
 from repro.core import SingleDimensionProcessor
 from repro.workloads import distinct_comparison_thresholds, uniform_table
 
@@ -27,10 +27,10 @@ DOMAIN = (1, 30_000_000)
 
 def _grow_and_sample():
     n = scaled(20_000)
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=0)
-    bed = Testbed(table, ["X"], with_log_src_i=True, seed=0)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 0)
+    bed = Testbed(table, ["X"], with_log_src_i=True, seed=bench_seed() + 0)
     processor = SingleDimensionProcessor(bed.prkb["X"])
-    thresholds = distinct_comparison_thresholds(DOMAIN, 600, seed=1)
+    thresholds = distinct_comparison_thresholds(DOMAIN, 600, seed=bench_seed() + 1)
     selectivity_width = int(0.01 * (DOMAIN[1] - DOMAIN[0]))
     samples = {}
     for i, threshold in enumerate(thresholds, start=1):

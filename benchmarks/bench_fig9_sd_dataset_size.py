@@ -11,7 +11,7 @@ Logarithmic-SRC-i, and each method's cost grows roughly linearly with n.
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count, format_ms
+from repro.bench import Testbed, bench_seed, format_count, format_ms
 from repro.workloads import range_query_bounds, uniform_table
 
 from _common import emit, scaled
@@ -47,7 +47,7 @@ def test_fig9_dataset_size(benchmark):
     rows = []
     stats = {}
     for i, n in enumerate(sizes):
-        stats[n] = _measure_at_size(n, seed=40 + i)
+        stats[n] = _measure_at_size(n, seed=bench_seed() + 40 + i)
         s = stats[n]
         rows.append([
             format_count(n),
@@ -75,11 +75,11 @@ def test_fig9_dataset_size(benchmark):
     assert large["prkb_qpf"] / small["prkb_qpf"] < growth * 3
 
     bed_n = sizes[0]
-    table = uniform_table("t", bed_n, ["X"], domain=DOMAIN, seed=99)
-    bed = Testbed(table, ["X"], max_partitions=PARTITIONS, seed=99)
-    bed.warm_up("X", WARM_QUERIES, seed=99)
+    table = uniform_table("t", bed_n, ["X"], domain=DOMAIN, seed=bench_seed() + 99)
+    bed = Testbed(table, ["X"], max_partitions=PARTITIONS, seed=bench_seed() + 99)
+    bed.warm_up("X", WARM_QUERIES, seed=bench_seed() + 99)
     bounds = range_query_bounds("X", DOMAIN, SELECTIVITY, count=1,
-                                seed=100)[0]
+                                seed=bench_seed() + 100)[0]
 
     def warm_query():
         return bed.run_sd("X", bounds.as_tuple(), update=False)

@@ -1,0 +1,172 @@
+"""Parallel QPF shard pool — wall-clock speedup on the MD grid workload.
+
+Not a paper figure: this measures the shard-pool execution layer added
+on top of the reproduction.  Setting: a uniform two-attribute table with
+warmed PRKB indexes, a burst of fresh 2-D rectangle queries processed by
+PRKB(MD), and an emulated enclave-crossing latency
+(:class:`repro.edbms.qpf.CrossingLatency` — crossings *sleep* for their
+modelled duration and sleeps release the GIL).  The identical workload
+runs with the lone trusted machine and with ``QPFShardPool`` at 1/2/4/8
+thread workers.
+
+Checks: per-tuple ``qpf_uses`` is bit-identical at every worker count
+(the pool never changes *what* is evaluated, only *where*), the wall
+(critical-path) roundtrips shrink as workers absorb shards, and four
+workers cut wall-clock time at least 2x versus one.  Results land in
+``BENCH_parallel.json`` at the repo root.
+
+Run standalone with ``python benchmarks/bench_parallel_grid.py --tiny``
+for a seconds-scale smoke run (speedup assertions are skipped at tiny
+scale — too little work to amortise thread dispatch).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import Testbed, bench_seed
+from repro.edbms.qpf import CrossingLatency
+from repro.workloads import uniform_table
+
+from _common import emit, emit_note, parse_bench_args, scaled
+
+DOMAIN = (1, 30_000_000)
+WORKER_COUNTS = [1, 2, 4, 8]
+#: Emulated crossing price: a fixed transition cost plus per-tuple
+#: marshalling, sized like an SGX ecall with a small payload.
+LATENCY = CrossingLatency(per_crossing=150e-6, per_tuple=50e-6)
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _build(n: int, warm_queries: int, workers: int | None) -> Testbed:
+    """One warmed 2-D testbed; twins built with equal arguments match."""
+    base = bench_seed()
+    table = uniform_table("t", n, ["X", "Y"], domain=DOMAIN,
+                          seed=base + 51)
+    bed = Testbed(table, ["X", "Y"], max_partitions=24, seed=base + 51,
+                  qpf_workers=workers, qpf_latency=LATENCY,
+                  qpf_min_shard_tuples=12)
+    for attr in ("X", "Y"):
+        bed.warm_up(attr, warm_queries, seed=base + 52)
+    bed.counter.reset()
+    return bed
+
+
+def _workload(count: int) -> list[dict[str, tuple[int, int]]]:
+    rng = np.random.default_rng(bench_seed() + 53)
+    span = DOMAIN[1] - DOMAIN[0]
+    bounds = []
+    for _ in range(count):
+        rect = {}
+        for attr in ("X", "Y"):
+            low = int(rng.integers(DOMAIN[0], DOMAIN[0] + span * 0.6))
+            rect[attr] = (low, low + int(span * rng.uniform(0.15, 0.35)))
+        bounds.append(rect)
+    return bounds
+
+
+def _measure(n: int, warm_queries: int, num_queries: int) -> dict:
+    rectangles = _workload(num_queries)
+    per_worker: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        # workers=1 still goes through the pool; the lone-machine serial
+        # path is identical by construction (asserted in the test suite).
+        bed = _build(n, warm_queries, workers)
+        try:
+            start = time.perf_counter()
+            for bounds in rectangles:
+                bed.run_md(bounds)
+            wall = time.perf_counter() - start
+        finally:
+            bed.close()
+        per_worker[str(workers)] = {
+            "queries_per_sec": num_queries / max(wall, 1e-9),
+            "wall_seconds": wall,
+            "qpf_per_query": bed.counter.qpf_uses / num_queries,
+            "parallel_wall_roundtrips":
+                bed.counter.parallel_wall_roundtrips,
+            "qpf_roundtrips": bed.counter.qpf_roundtrips,
+        }
+    baseline = per_worker["1"]
+    return {
+        "seed": bench_seed(),
+        "n": n,
+        "num_queries": num_queries,
+        "latency": {"per_crossing": LATENCY.per_crossing,
+                    "per_tuple": LATENCY.per_tuple},
+        "workers": per_worker,
+        "speedup_vs_1": {
+            w: baseline["wall_seconds"] / stats["wall_seconds"]
+            for w, stats in per_worker.items() if w != "1"
+        },
+    }
+
+
+def _report(results: dict, n: int) -> None:
+    base_qps = results["workers"]["1"]["queries_per_sec"]
+    rows = [[w,
+             f"{stats['queries_per_sec']:.1f}",
+             f"{stats['queries_per_sec'] / base_qps:.2f}x",
+             f"{stats['qpf_per_query']:.1f}",
+             str(stats["parallel_wall_roundtrips"])]
+            for w, stats in results["workers"].items()]
+    emit(
+        "parallel_grid",
+        f"QPF shard pool: MD grid workload under emulated crossing "
+        f"latency (n={n})",
+        ["workers", "queries/s", "speedup", "QPF/query", "wall roundtrips"],
+        rows,
+    )
+    emit_note("parallel_grid", f"seed={results['seed']}")
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _check(results: dict, full_scale: bool) -> list[str]:
+    failures = []
+    per_query = {w: stats["qpf_per_query"]
+                 for w, stats in results["workers"].items()}
+    if len(set(per_query.values())) != 1:
+        failures.append(f"qpf_uses parity broken across workers: "
+                        f"{per_query}")
+    for w, stats in results["workers"].items():
+        if stats["parallel_wall_roundtrips"] > stats["qpf_roundtrips"]:
+            failures.append(f"wall roundtrips exceed total at w={w}")
+    if full_scale and results["speedup_vs_1"]["4"] < 2.0:
+        failures.append(f"4-worker speedup below 2x: "
+                        f"{results['speedup_vs_1']['4']:.2f}x")
+    return failures
+
+
+def test_parallel_grid():
+    n = scaled(8_000)
+    results = _measure(n, warm_queries=20, num_queries=25)
+    _report(results, n)
+    failures = _check(results, full_scale=True)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str]) -> int:
+    args = parse_bench_args(argv)
+    n = 1_200 if args.tiny else scaled(8_000)
+    warm = 6 if args.tiny else 20
+    queries = 6 if args.tiny else 25
+    results = _measure(n, warm_queries=warm, num_queries=queries)
+    _report(results, n)
+    failures = _check(results, full_scale=not args.tiny)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    speedup4 = results["speedup_vs_1"]["4"]
+    print(f"OK: qpf_uses identical at all worker counts; "
+          f"4-worker wall speedup {speedup4:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

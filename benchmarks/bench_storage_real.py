@@ -12,7 +12,7 @@ the raw data *larger* than the paper's 43%, not smaller.)
 
 from __future__ import annotations
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.workloads import us_buildings
 
 from _common import emit, scaled
@@ -20,11 +20,11 @@ from _common import emit, scaled
 
 def test_storage_real_dataset(benchmark):
     n = scaled(12_000)
-    table = us_buildings(n, seed=180)
+    table = us_buildings(n, seed=bench_seed() + 180)
     bed = Testbed(table, ["latitude", "longitude"], with_log_src_i=True,
-                  max_partitions=250, seed=180)
+                  max_partitions=250, seed=bench_seed() + 180)
     for attr in ("latitude", "longitude"):
-        bed.warm_up(attr, 200, seed=181)
+        bed.warm_up(attr, 200, seed=bench_seed() + 181)
     data_bytes = bed.table.storage_bytes()
     prkb_bytes = sum(ix.storage_bytes() for ix in bed.prkb.values())
     src_bytes = sum(ix.storage_bytes() for ix in bed.log_src_i.values())

@@ -12,7 +12,7 @@ is >=20x larger at every size.
 from __future__ import annotations
 
 from repro.baselines import LogSRCiIndex
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.workloads import uniform_table
 
 from _common import emit, scaled
@@ -39,9 +39,9 @@ def test_table3_storage(benchmark):
     prkb_600 = {}
     src = {}
     for i, n in enumerate(sizes):
-        prkb_250[n] = _prkb_storage(n, cap=250, warm=250, seed=80 + i)
-        prkb_600[n] = _prkb_storage(n, cap=600, warm=600, seed=80 + i)
-        src[n] = _src_storage(n, seed=80 + i)
+        prkb_250[n] = _prkb_storage(n, cap=250, warm=250, seed=bench_seed() + 80 + i)
+        prkb_600[n] = _prkb_storage(n, cap=600, warm=600, seed=bench_seed() + 80 + i)
+        src[n] = _src_storage(n, seed=bench_seed() + 80 + i)
     rows = [
         ["PRKB-250"] + [format_count(prkb_250[n]) + "B" for n in sizes],
         ["PRKB-600"] + [format_count(prkb_600[n]) + "B" for n in sizes],
@@ -71,6 +71,6 @@ def test_table3_storage(benchmark):
     assert 2 <= ratio <= 4  # sizes span 3x
 
     def measure_storage():
-        return _prkb_storage(sizes[0], cap=250, warm=20, seed=90)
+        return _prkb_storage(sizes[0], cap=250, warm=20, seed=bench_seed() + 90)
 
     benchmark.pedantic(measure_storage, rounds=3, iterations=1)

@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from repro.bench import Testbed, format_count
+from repro.bench import Testbed, bench_seed, format_count
 from repro.core import TableUpdater
 from repro.workloads import uniform_table
 
@@ -29,13 +29,13 @@ NUM_BATCHES = 5
 def test_table4_insertion(benchmark):
     n = scaled(6_000)
     batch_size = scaled(1_200)
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=170)
+    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 170)
     bed = Testbed(table, ["X"], max_partitions=250, with_log_src_i=True,
-                  seed=170)
-    bed.warm_up("X", 250, seed=170)
+                  seed=bench_seed() + 170)
+    bed.warm_up("X", 250, seed=bench_seed() + 170)
     updater = TableUpdater(bed.table, bed.prkb)
     src = bed.log_src_i["X"]
-    rng = np.random.default_rng(171)
+    rng = np.random.default_rng(bench_seed() + 171)
     prkb_throughput = []
     src_throughput = []
     next_src_uid = 10_000_000

@@ -48,6 +48,8 @@ from .edbms import (
     EncryptedTable,
     encrypt_table,
     TrustedMachine,
+    QPFShardPool,
+    CrossingLatency,
     QueryProcessingFunction,
 )
 from .edbms.owner import DataOwner
@@ -113,6 +115,8 @@ __all__ = [
     "EncryptedTable",
     "encrypt_table",
     "TrustedMachine",
+    "QPFShardPool",
+    "CrossingLatency",
     "QueryProcessingFunction",
     "DataOwner",
     "ServiceProvider",

@@ -1,12 +1,19 @@
 """Benchmark harness: testbed construction, measurement, reporting."""
 
-from .harness import Measurement, Testbed, build_testbed, bench_scale
+from .harness import (
+    Measurement,
+    Testbed,
+    build_testbed,
+    bench_scale,
+    bench_seed,
+)
 from .reporting import (
     format_table,
     print_table,
     print_header,
     format_count,
     format_ms,
+    format_cache_stats,
     speedup,
 )
 from .plots import ascii_chart, ascii_bars
@@ -16,7 +23,9 @@ __all__ = [
     "Testbed",
     "build_testbed",
     "bench_scale",
+    "bench_seed",
     "format_table",
+    "format_cache_stats",
     "print_table",
     "print_header",
     "format_count",

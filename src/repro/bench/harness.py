@@ -28,11 +28,17 @@ from ..core.single import SingleDimensionProcessor
 from ..crypto.primitives import generate_key
 from ..edbms.costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from ..edbms.owner import DataOwner
-from ..edbms.qpf import QueryProcessingFunction, TrustedMachine
+from ..edbms.qpf import (
+    CrossingLatency,
+    QPFShardPool,
+    QueryProcessingFunction,
+    TrustedMachine,
+)
 from ..edbms.schema import PlainTable
 from ..workloads.queries import distinct_comparison_thresholds
 
-__all__ = ["Measurement", "Testbed", "build_testbed", "bench_scale"]
+__all__ = ["Measurement", "Testbed", "build_testbed", "bench_scale",
+           "bench_seed"]
 
 
 def bench_scale(default: float = 1.0) -> float:
@@ -46,15 +52,38 @@ def bench_scale(default: float = 1.0) -> float:
     return scale
 
 
+def bench_seed(default: int = 0) -> int:
+    """Global benchmark RNG seed from ``REPRO_BENCH_SEED``.
+
+    Every benchmark derives all of its generators (data, warm-up
+    thresholds, workload) from this one value, so a whole
+    ``BENCH_*.json`` run is reproducible from a single number.  The
+    ``--seed`` CLI flag of the bench scripts (see
+    ``benchmarks/_common.py``) sets the variable before any RNG is
+    built.
+    """
+    raw = os.environ.get("REPRO_BENCH_SEED")
+    if raw is None:
+        return default
+    return int(raw)
+
+
 @dataclass(frozen=True)
 class Measurement:
-    """One measured operation: counters, simulated and wall time."""
+    """One measured operation: counters, simulated and wall time.
+
+    ``qpf_roundtrips`` / ``parallel_wall_roundtrips`` carry the dual
+    work/critical-path roundtrip accounting (identical without a shard
+    pool); they default to 0 so hand-built fixtures stay terse.
+    """
 
     label: str
     qpf_uses: int
     simulated_ms: float
     wall_ms: float
     result_count: int
+    qpf_roundtrips: int = 0
+    parallel_wall_roundtrips: int = 0
 
 
 class Testbed:
@@ -66,12 +95,26 @@ class Testbed:
                  max_partitions: int | None = None,
                  with_log_src_i: bool = False,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 seed: int | None = 0):
+                 seed: int | None = 0,
+                 qpf_workers: int | None = None,
+                 qpf_worker_mode: str = "thread",
+                 qpf_latency: CrossingLatency | None = None,
+                 qpf_min_shard_tuples: int | None = None):
         self.plain = table
         self.owner = DataOwner(key=generate_key(seed))
         self.counter = CostCounter()
         self.cost_model = cost_model
-        trusted_machine = TrustedMachine(self.owner.key, self.counter)
+        if qpf_workers is not None:
+            pool_options = {}
+            if qpf_min_shard_tuples is not None:
+                pool_options["min_shard_tuples"] = qpf_min_shard_tuples
+            trusted_machine = QPFShardPool(
+                self.owner.key, self.counter, num_workers=qpf_workers,
+                mode=qpf_worker_mode, latency=qpf_latency, **pool_options)
+        else:
+            trusted_machine = TrustedMachine(self.owner.key, self.counter,
+                                             latency=qpf_latency)
+        self._trusted_machine = trusted_machine
         self.qpf = QueryProcessingFunction(trusted_machine)
         self.table = self.owner.encrypt_table(table)
         self.prkb: dict[str, PRKBIndex] = {}
@@ -106,7 +149,15 @@ class Testbed:
             simulated_ms=self.cost_model.simulated_millis(spent),
             wall_ms=wall_ms,
             result_count=count,
+            qpf_roundtrips=spent.qpf_roundtrips,
+            parallel_wall_roundtrips=spent.parallel_wall_roundtrips,
         )
+
+    def close(self) -> None:
+        """Release pooled enclave workers, if any (idempotent)."""
+        close = getattr(self._trusted_machine, "close", None)
+        if close is not None:
+            close()
 
     # -- query runners ------------------------------------------------------ #
 
@@ -193,10 +244,17 @@ def build_testbed(table: PlainTable, indexed_attributes: list[str],
                   max_partitions: int | None = None,
                   with_log_src_i: bool = False,
                   warm_up_queries: int = 0,
-                  seed: int | None = 0) -> Testbed:
+                  seed: int | None = 0,
+                  qpf_workers: int | None = None,
+                  qpf_worker_mode: str = "thread",
+                  qpf_latency: CrossingLatency | None = None,
+                  qpf_min_shard_tuples: int | None = None) -> Testbed:
     """Convenience constructor used by the benchmark files."""
     bed = Testbed(table, indexed_attributes, max_partitions=max_partitions,
-                  with_log_src_i=with_log_src_i, seed=seed)
+                  with_log_src_i=with_log_src_i, seed=seed,
+                  qpf_workers=qpf_workers, qpf_worker_mode=qpf_worker_mode,
+                  qpf_latency=qpf_latency,
+                  qpf_min_shard_tuples=qpf_min_shard_tuples)
     if warm_up_queries:
         for attribute in indexed_attributes:
             bed.warm_up(attribute, warm_up_queries)

@@ -13,8 +13,25 @@ __all__ = [
     "print_header",
     "format_count",
     "format_ms",
+    "format_cache_stats",
     "speedup",
 ]
+
+
+def format_cache_stats(counter) -> str:
+    """One-line predicate-cache summary from a ``CostCounter``.
+
+    Reads the ``predicate_cache_hits`` / ``predicate_cache_misses``
+    tallies the trusted machines mirror into the shared counter; each
+    miss is one in-enclave trapdoor unseal.
+    """
+    hits = int(counter.predicate_cache_hits)
+    misses = int(counter.predicate_cache_misses)
+    total = hits + misses
+    if total == 0:
+        return "predicate cache: unused"
+    return (f"predicate cache: {hits}/{total} hits "
+            f"({100.0 * hits / total:.1f}%), {misses} unseals")
 
 
 def format_count(value: float) -> str:

@@ -16,6 +16,14 @@ Two strategies are implemented:
   partition-level early-stop inference (a mixed observation in one NS
   partition resolves its pair partner for free — Sec. 6.2's early stop).
 
+The grid phases are fully vectorised: per-partition classifications are
+``int8`` status vectors, candidate collection and OUT-pruning are boolean
+mask arithmetic over the chain's ``uid -> ordinal`` arrays
+(:meth:`~repro.core.partitions.PartialOrderPartitions.ordinals_of_uids`),
+and NS groups are index arrays into one sorted candidate array — no
+per-uid Python loops anywhere on the hot path, so the server-side (free)
+part of a query scales with numpy, not the interpreter.
+
 POP refinement under PRKB(MD) is governed by ``update_policy`` (see
 DESIGN.md): the paper does not specify how the *partial* scans of the MD
 algorithm feed back into the index, so ``"complete-partition"`` (default)
@@ -41,6 +49,12 @@ from .single import SingleDimensionProcessor
 __all__ = ["DimensionRange", "MultiDimensionProcessor"]
 
 _EMPTY = np.zeros(0, dtype=np.uint64)
+_NO_POSITIONS = np.zeros(0, dtype=np.int64)
+
+#: Per-partition classification codes (one QFilter pass, one dimension).
+_IN = np.int8(1)
+_OUT = np.int8(0)
+_NS = np.int8(-1)
 
 #: Valid values of ``update_policy``.
 UPDATE_POLICIES = ("complete-partition", "none")
@@ -50,6 +64,16 @@ UPDATE_POLICIES = ("complete-partition", "none")
 #: snapshot predicts the smallest pass rate first, maximising the
 #: short-circuit effect of Sec. 6.2; ``"given"`` keeps the query's order.
 DIM_ORDERS = ("selective-first", "given")
+
+
+def _mask_runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous True runs of ``mask`` as (start, stop) half-open pairs."""
+    if mask.size == 0:
+        return []
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.view(np.int8)))
+    return [(int(edges[i]), int(edges[i + 1]))
+            for i in range(0, edges.size, 2)]
 
 
 @dataclass(frozen=True)
@@ -76,9 +100,9 @@ class _PredicateContext:
 
     trapdoor: EncryptedPredicate
     index: PRKBIndex
-    #: Per chain position: True (all satisfy), False (none satisfy) or
-    #: None (not sure) at snapshot time.
-    status: list[bool | None]
+    #: Per chain position: ``_IN`` (all satisfy), ``_OUT`` (none satisfy)
+    #: or ``_NS`` (not sure) at snapshot time — an int8 vector.
+    status: np.ndarray
     #: NS partition objects (1 for a single-partition chain, else 2).
     ns_partitions: list[Partition]
     label_prefix: bool | None
@@ -86,12 +110,28 @@ class _PredicateContext:
     #: "single", or the mixed partition's role: tracked per NS partition —
     #: ns_partitions[0] is the lower ("a") and ns_partitions[-1] the upper.
     single: bool = False
-    #: Candidate uids grouped per NS partition (filled by the processor).
-    groups: list[list[int]] = field(default_factory=list)
-    #: Observed QPF outputs for tuples of this predicate's NS partitions.
-    observed: dict[int, bool] = field(default_factory=dict)
+    #: Candidate positions (indices into the sorted candidate array)
+    #: grouped per NS partition (filled by the processor).
+    groups: list[np.ndarray] = field(default_factory=list)
+    #: Observed QPF outputs for this predicate's NS tuples, as aligned
+    #: uid/label array pairs (appended batch-wise, never per uid).
+    observed_uids: list[np.ndarray] = field(default_factory=list)
+    observed_labels: list[np.ndarray] = field(default_factory=list)
     #: The NS partition observed non-homogeneous, if any.
     mixed_partition: Partition | None = None
+
+    def record(self, uids: np.ndarray, labels: np.ndarray) -> None:
+        """File one batch of observed QPF outputs."""
+        if uids.size:
+            self.observed_uids.append(np.asarray(uids, dtype=np.uint64))
+            self.observed_labels.append(np.asarray(labels, dtype=bool))
+
+    def observed(self) -> tuple[np.ndarray, np.ndarray]:
+        """All observations so far as one (uids, labels) array pair."""
+        if not self.observed_uids:
+            return _EMPTY, np.zeros(0, dtype=bool)
+        return (np.concatenate(self.observed_uids),
+                np.concatenate(self.observed_labels))
 
 
 class MultiDimensionProcessor:
@@ -160,16 +200,19 @@ class MultiDimensionProcessor:
         if not query:
             return _EMPTY
         contexts = self._snapshot(query)
-        free_winners = self._central_region(query, contexts)
-        candidates = self._collect_candidates(query, contexts)
-        survivors = self._test_candidates(contexts, candidates)
+        status_of = {
+            position: self._dimension_status(ctxs)
+            for position, ctxs in contexts.items()
+        }
+        free_winners = self._central_region(query, contexts, status_of)
+        candidates = self._collect_candidates(query, contexts, status_of)
+        survivors = self._test_candidates(contexts, candidates, status_of)
         if update and self.update_policy == "complete-partition":
             self._refine(contexts)
-        self._qpf.counter.comparisons += free_winners.size + len(survivors)
-        if not survivors:
+        self._qpf.counter.comparisons += free_winners.size + survivors.size
+        if survivors.size == 0:
             return free_winners
-        return np.concatenate(
-            [free_winners, np.asarray(sorted(survivors), dtype=np.uint64)])
+        return np.concatenate([free_winners, survivors])
 
     # -- phase 1: QFilter snapshots and per-partition classification ----- #
 
@@ -191,7 +234,7 @@ class MultiDimensionProcessor:
         """One QFilter pass turned into a per-partition status vector."""
         filtered = index.qfilter(trapdoor)
         k = index.pop.num_partitions
-        status: list[bool | None] = [None] * k
+        status = np.full(k, _NS, dtype=np.int8)
         ns = list(filtered.ns_indices)
         if len(ns) <= 1:
             return _PredicateContext(
@@ -205,13 +248,10 @@ class MultiDimensionProcessor:
             )
         a, b = ns
         if filtered.boundary:
-            for i in range(1, k - 1):
-                status[i] = filtered.label_prefix
+            status[1:k - 1] = _IN if filtered.label_prefix else _OUT
         else:
-            for i in range(a):
-                status[i] = filtered.label_prefix
-            for i in range(b + 1, k):
-                status[i] = filtered.label_suffix
+            status[:a] = _IN if filtered.label_prefix else _OUT
+            status[b + 1:] = _IN if filtered.label_suffix else _OUT
         return _PredicateContext(
             trapdoor=trapdoor,
             index=index,
@@ -222,26 +262,22 @@ class MultiDimensionProcessor:
         )
 
     @staticmethod
-    def _dimension_status(contexts: list[_PredicateContext],
-                          position: int) -> bool | None:
-        """Combine a partition's status across the dimension's predicates.
+    def _dimension_status(contexts: list[_PredicateContext]) -> np.ndarray:
+        """Combine the dimension's predicates into one status vector.
 
-        ``False`` (OUT) dominates, then ``None`` (NS); both-True is IN.
+        ``_OUT`` dominates, then ``_NS``; a partition is ``_IN`` only when
+        every predicate certifies it.  One vectorised pass over the chain.
         """
-        combined: bool | None = True
-        for ctx in contexts:
-            value = ctx.status[position]
-            if value is False:
-                return False
-            if value is None:
-                combined = None
-        return combined
+        stacked = np.stack([ctx.status for ctx in contexts])
+        out = (stacked == _OUT).any(axis=0)
+        ns = (stacked == _NS).any(axis=0)
+        return np.where(out, _OUT, np.where(ns, _NS, _IN)).astype(np.int8)
 
     # -- phase 1b: central all-IN region and NS candidates --------------- #
 
     def _central_region(self, query: list[DimensionRange],
-                        contexts: dict[int, list[_PredicateContext]]
-                        ) -> np.ndarray:
+                        contexts: dict[int, list[_PredicateContext]],
+                        status_of: dict[int, np.ndarray]) -> np.ndarray:
         """Tuples inside IN partitions of *every* dimension: free winners.
 
         IN partitions form at most two contiguous runs along the chain
@@ -251,18 +287,11 @@ class MultiDimensionProcessor:
         """
         current: np.ndarray | None = None
         for position in range(len(query)):
-            ctxs = contexts[position]
-            index = ctxs[0].index
-            k = index.pop.num_partitions
-            in_chunks = []
-            run_start: int | None = None
-            for i in range(k + 1):
-                is_in = i < k and self._dimension_status(ctxs, i) is True
-                if is_in and run_start is None:
-                    run_start = i
-                elif not is_in and run_start is not None:
-                    in_chunks.append(index.pop.range_uids(run_start, i - 1))
-                    run_start = None
+            index = contexts[position][0].index
+            in_chunks = [
+                index.pop.range_uids(start, stop - 1)
+                for start, stop in _mask_runs(status_of[position] == _IN)
+            ]
             dim_in = np.sort(np.concatenate(in_chunks)) if in_chunks \
                 else _EMPTY
             if current is None:
@@ -275,82 +304,82 @@ class MultiDimensionProcessor:
         return current if current is not None else _EMPTY
 
     def _collect_candidates(self, query: list[DimensionRange],
-                            contexts: dict[int, list[_PredicateContext]]
-                            ) -> set[int]:
+                            contexts: dict[int, list[_PredicateContext]],
+                            status_of: dict[int, np.ndarray]) -> np.ndarray:
         """Tuples in some NS partition and in no OUT partition.
 
         Also files each candidate into the per-predicate NS groups used by
         phase 2, so it is only ever tested against predicates that are
-        actually unsure about it.
+        actually unsure about it.  Everything is mask arithmetic over the
+        chains' uid→ordinal arrays: the NS union comes out of the
+        prefix-sum buffers as run slices, OUT-pruning is one boolean
+        gather per dimension, and the groups are index arrays into the
+        returned (sorted, unique) candidate array.
         """
-        ns_union: set[int] = set()
+        ns_chunks = []
         for position in range(len(query)):
-            ctxs = contexts[position]
-            index = ctxs[0].index
-            for i in range(index.pop.num_partitions):
-                if self._dimension_status(ctxs, i) is None:
-                    ns_union.update(int(u) for u in index.pop[i].uids)
-        candidates: set[int] = set()
-        for uid in ns_union:
-            rejected = False
-            for position in range(len(query)):
-                ctxs = contexts[position]
-                chain_pos = ctxs[0].index.pop.index_of_uid(uid)
-                if self._dimension_status(ctxs, chain_pos) is False:
-                    rejected = True
-                    break
-            self._qpf.counter.comparisons += len(query)
-            if not rejected:
-                candidates.add(uid)
+            index = contexts[position][0].index
+            ns_chunks.extend(
+                index.pop.range_uids(start, stop - 1)
+                for start, stop in _mask_runs(status_of[position] == _NS)
+            )
+        ns_union = (np.unique(np.concatenate(ns_chunks)) if ns_chunks
+                    else _EMPTY)
+        self._qpf.counter.comparisons += int(ns_union.size) * len(query)
+        keep = np.ones(ns_union.size, dtype=bool)
+        ordinals_of: dict[int, np.ndarray] = {}
         for position in range(len(query)):
+            index = contexts[position][0].index
+            ordinals = index.pop.ordinals_of_uids(ns_union)
+            ordinals_of[position] = ordinals
+            keep &= status_of[position][ordinals] != _OUT
+        candidates = ns_union[keep]
+        for position in range(len(query)):
+            candidate_ordinals = ordinals_of[position][keep]
             for ctx in contexts[position]:
-                ctx.groups = [[] for __ in ctx.ns_partitions]
-                for slot, partition in enumerate(ctx.ns_partitions):
+                ctx.groups = []
+                for partition in ctx.ns_partitions:
                     chain_pos = ctx.index.pop.index_of(partition)
-                    if ctx.status[chain_pos] is not None:
+                    if ctx.status[chain_pos] != _NS:
+                        ctx.groups.append(_NO_POSITIONS)
                         continue  # defensive: NS slots only
-                    for uid in candidates:
-                        if ctx.index.pop.partition_of(uid) is partition:
-                            ctx.groups[slot].append(uid)
+                    ctx.groups.append(
+                        np.flatnonzero(candidate_ordinals == chain_pos))
         return candidates
 
     # -- phase 2: QPF testing with early-stop inference ------------------ #
 
     def _test_candidates(self, contexts: dict[int, list[_PredicateContext]],
-                         candidates: set[int]) -> set[int]:
+                         candidates: np.ndarray,
+                         status_of: dict[int, np.ndarray]) -> np.ndarray:
         """Test candidates against their unsure predicates only."""
-        alive = set(candidates)
-        for position in self._dimension_order(contexts):
+        alive = np.ones(candidates.size, dtype=bool)
+        for position in self._dimension_order(contexts, status_of):
             for ctx in contexts[position]:
-                if not alive:
-                    return alive
-                self._test_predicate(ctx, alive)
-        return alive
+                if not alive.any():
+                    return candidates[alive]
+                self._test_predicate(ctx, candidates, alive)
+        return candidates[alive]
 
     def _dimension_order(self,
-                         contexts: dict[int, list[_PredicateContext]]
-                         ) -> list[int]:
+                         contexts: dict[int, list[_PredicateContext]],
+                         status_of: dict[int, np.ndarray]) -> list[int]:
         """Dimension processing order for the candidate-testing phase."""
         positions = sorted(contexts)
         if self.dim_order == "given":
             return positions
 
         def estimated_pass_rate(position: int) -> float:
-            ctxs = contexts[position]
-            index = ctxs[0].index
-            k = index.pop.num_partitions
-            if k == 0:
+            combined = status_of[position]
+            if combined.size == 0:
                 return 1.0
-            passing = sum(
-                1 for i in range(k)
-                if self._dimension_status(ctxs, i) is not False
-            )
-            return passing / k
+            return float((combined != _OUT).sum()) / combined.size
 
         return sorted(positions, key=estimated_pass_rate)
 
     def _test_predicate(self, ctx: _PredicateContext,
-                        alive: set[int]) -> None:
+                        candidates: np.ndarray,
+                        alive: np.ndarray) -> None:
         """Evaluate one predicate over its NS groups, inferring when able.
 
         Scanning the lower NS partition first mirrors Algorithm 2: a mixed
@@ -359,21 +388,20 @@ class MultiDimensionProcessor:
         """
         resolved: dict[int, bool] = {}
         for slot, group in enumerate(ctx.groups):
-            to_test = [u for u in group if u in alive]
-            if not to_test:
+            live = group[alive[group]] if group.size else group
+            if live.size == 0:
                 continue
             if slot in resolved:
-                if not resolved[slot]:
-                    alive.difference_update(to_test)
-                for uid in to_test:
-                    ctx.observed[uid] = resolved[slot]
-                continue
-            uids = np.asarray(to_test, dtype=np.uint64)
-            labels = ctx.index.qpf.batch(ctx.trapdoor, ctx.index.table, uids)
-            for uid, label in zip(to_test, labels):
-                ctx.observed[uid] = bool(label)
+                label = resolved[slot]
                 if not label:
-                    alive.discard(uid)
+                    alive[live] = False
+                ctx.record(candidates[live],
+                           np.full(live.size, label, dtype=bool))
+                continue
+            uids = candidates[live]
+            labels = ctx.index.qpf.batch(ctx.trapdoor, ctx.index.table, uids)
+            ctx.record(uids, labels)
+            alive[live[~labels]] = False
             if labels.any() and not labels.all():
                 # Mixed: this NS partition holds the separating point, so
                 # every other NS partition of this predicate is homogeneous.
@@ -394,30 +422,33 @@ class MultiDimensionProcessor:
                     continue
                 partition = ctx.mixed_partition
                 try:
-                    chain_pos = ctx.index.pop.index_of(partition)
+                    ctx.index.pop.index_of(partition)
                 except KeyError:
                     continue  # sibling predicate already split it
                 members = partition.uids
-                untested = np.asarray(
-                    [int(u) for u in members if int(u) not in ctx.observed],
-                    dtype=np.uint64,
-                )
+                observed_uids, observed_labels = ctx.observed()
+                observed_mask = (np.isin(members, observed_uids)
+                                 if observed_uids.size
+                                 else np.zeros(members.size, dtype=bool))
+                member_labels = np.empty(members.size, dtype=bool)
+                untested = members[~observed_mask]
                 if untested.size:
                     labels = ctx.index.qpf.batch(ctx.trapdoor,
                                                  ctx.index.table, untested)
-                    for uid, label in zip(untested, labels):
-                        ctx.observed[int(uid)] = bool(label)
-                true_uids = np.asarray(
-                    [int(u) for u in members if ctx.observed[int(u)]],
-                    dtype=np.uint64,
-                )
-                false_uids = np.asarray(
-                    [int(u) for u in members if not ctx.observed[int(u)]],
-                    dtype=np.uint64,
-                )
+                    member_labels[~observed_mask] = labels
+                    ctx.record(untested, labels)
+                if observed_mask.any():
+                    order = np.argsort(observed_uids, kind="stable")
+                    positions = np.searchsorted(
+                        observed_uids[order], members[observed_mask])
+                    member_labels[observed_mask] = \
+                        observed_labels[order][positions]
+                true_uids = members[member_labels]
+                false_uids = members[~member_labels]
                 if not (true_uids.size and false_uids.size):
                     continue  # completion revealed a homogeneous partition
                 first_label = self._orientation(ctx, partition)
+                chain_pos = ctx.index.pop.index_of(partition)
                 ctx.index.apply_split(ctx.trapdoor, chain_pos, true_uids,
                                       false_uids, first_label)
 

@@ -11,6 +11,18 @@ append for inserts, lazily materialised numpy view for batched QPF calls)
 and a global ``uid -> partition`` map so multi-dimensional processing can
 classify tuples in O(1).
 
+Vectorised ordinal lookups
+--------------------------
+The multi-dimensional grid engine classifies whole candidate *arrays* at
+once, so the chain also maintains a dense ``uid -> slot`` int array plus a
+``slot -> chain position`` table (``ordinals_of_uids``).  Each partition
+owns a stable integer *slot*; a split touches only the second half's uids
+(O(segment)), a merge only the merged members, and the slot→ordinal table
+is rebuilt lazily in O(k).  Slots are compacted when structural churn
+makes the table sparse, so the arrays stay O(n + k).  The result: mapping
+m candidate uids to chain positions is two numpy gathers instead of m
+dict lookups.
+
 Zero-copy winner materialisation
 --------------------------------
 Selection answers are always a *prefix* or *suffix* of the chain (the
@@ -46,14 +58,19 @@ def _readonly(array: np.ndarray) -> np.ndarray:
 
 
 class Partition:
-    """One partition of the chain: an unordered set of tuple uids."""
+    """One partition of the chain: an unordered set of tuple uids.
 
-    __slots__ = ("_uids", "_array", "_dirty")
+    ``slot`` is the stable integer id the owning chain uses for vectorised
+    uid→ordinal lookups; ``-1`` for partitions not (yet) in a chain.
+    """
 
-    def __init__(self, uids):
+    __slots__ = ("_uids", "_array", "_dirty", "slot")
+
+    def __init__(self, uids, slot: int = -1):
         self._uids = [int(u) for u in uids]
         self._array: np.ndarray | None = None
         self._dirty = True
+        self.slot = slot
 
     def __len__(self) -> int:
         return len(self._uids)
@@ -95,7 +112,7 @@ class PartialOrderPartitions:
     """
 
     def __init__(self, uids: np.ndarray):
-        first = Partition(np.asarray(uids, dtype=np.uint64))
+        first = Partition(np.asarray(uids, dtype=np.uint64), slot=0)
         self._chain: list[Partition] = [first]
         self._partition_of: dict[int, Partition] = {
             int(u): first for u in first.uids
@@ -103,6 +120,13 @@ class PartialOrderPartitions:
         self._index_cache: dict[int, int] | None = None
         self._buffer: np.ndarray | None = None
         self._offsets: np.ndarray | None = None
+        self._next_slot = 1
+        members = first.uids
+        capacity = int(members.max()) + 1 if members.size else 0
+        self._slot_of_uid = np.full(capacity, -1, dtype=np.int64)
+        if members.size:
+            self._slot_of_uid[members] = 0
+        self._slot_ordinals: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -145,15 +169,56 @@ class PartialOrderPartitions:
 
     def indices_of_uids(self, uids: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`index_of_uid` (multi-dimensional grid use)."""
-        if self._index_cache is None:
-            self.index_of(self._chain[0])  # build cache
-        cache = self._index_cache
-        part_of = self._partition_of
-        return np.fromiter(
-            (cache[id(part_of[int(u)])] for u in np.asarray(uids).ravel()),
-            dtype=np.int64,
-            count=int(np.asarray(uids).size),
-        )
+        return self.ordinals_of_uids(uids)
+
+    # -- vectorised uid -> chain-position lookups ----------------------- #
+
+    def _grow_slot_array(self, capacity: int) -> None:
+        old = self._slot_of_uid
+        grown = np.full(max(capacity, 2 * old.size), -1, dtype=np.int64)
+        grown[:old.size] = old
+        self._slot_of_uid = grown
+
+    def _fresh_slot(self, partition: Partition,
+                    members: np.ndarray) -> None:
+        """Give ``partition`` a new slot and point its members at it."""
+        partition.slot = self._next_slot
+        self._next_slot += 1
+        self._slot_of_uid[members] = partition.slot
+
+    def _compact_slots(self) -> None:
+        """Renumber slots densely after heavy structural churn."""
+        for position, partition in enumerate(self._chain):
+            partition.slot = position
+            self._slot_of_uid[partition.uids] = position
+        self._next_slot = len(self._chain)
+
+    def _ensure_ordinals(self) -> None:
+        if self._slot_ordinals is not None:
+            return
+        if self._next_slot > max(64, 8 * len(self._chain)):
+            self._compact_slots()
+        table = np.full(self._next_slot, -1, dtype=np.int64)
+        for position, partition in enumerate(self._chain):
+            table[partition.slot] = position
+        self._slot_ordinals = table
+
+    def ordinals_of_uids(self, uids: np.ndarray) -> np.ndarray:
+        """Chain positions of many uids as one int64 array.
+
+        Two numpy gathers (uid→slot, slot→ordinal); no per-uid Python.
+        Raises ``KeyError`` if any uid is not tracked by the chain.
+        """
+        self._ensure_ordinals()
+        uids = np.asarray(uids, dtype=np.uint64).ravel()
+        if uids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(uids.max()) >= self._slot_of_uid.size:
+            raise KeyError("untracked uid in ordinals_of_uids")
+        slots = self._slot_of_uid[uids]
+        if int(slots.min()) < 0:
+            raise KeyError("untracked uid in ordinals_of_uids")
+        return self._slot_ordinals[slots]
 
     def sizes(self) -> list[int]:
         """Partition sizes along the chain."""
@@ -230,6 +295,7 @@ class PartialOrderPartitions:
 
     def _invalidate(self) -> None:
         self._index_cache = None
+        self._slot_ordinals = None
 
     def split(self, index: int, first_uids: np.ndarray,
               second_uids: np.ndarray) -> tuple[Partition, Partition]:
@@ -249,8 +315,11 @@ class PartialOrderPartitions:
                 "split halves do not partition the original "
                 f"({first_uids.size} + {second_uids.size} != {len(old)})"
             )
-        first = Partition(first_uids)
+        # The first half inherits the old slot (its uids already map
+        # there); only the second half's uids need repointing.
+        first = Partition(first_uids, slot=old.slot)
         second = Partition(second_uids)
+        self._fresh_slot(second, second_uids)
         self._chain[index:index + 1] = [first, second]
         for u in first_uids:
             self._partition_of[int(u)] = first
@@ -285,6 +354,7 @@ class PartialOrderPartitions:
         merged_uids = np.concatenate(
             [self._chain[i].uids for i in range(first, last + 1)])
         merged = Partition(merged_uids)
+        self._fresh_slot(merged, merged_uids)
         self._chain[first:last + 1] = [merged]
         for u in merged_uids:
             self._partition_of[int(u)] = merged
@@ -308,6 +378,9 @@ class PartialOrderPartitions:
         partition = self._chain[index]
         partition.add(uid)
         self._partition_of[uid] = partition
+        if uid >= self._slot_of_uid.size:
+            self._grow_slot_array(uid + 1)
+        self._slot_of_uid[uid] = partition.slot
         self._drop_buffer()
 
     def delete(self, uid: int) -> int | None:
@@ -321,6 +394,7 @@ class PartialOrderPartitions:
         uid = int(uid)
         partition = self._partition_of.pop(uid)
         partition.remove(uid)
+        self._slot_of_uid[uid] = -1
         self._drop_buffer()
         if len(partition) > 0:
             return None
@@ -353,6 +427,14 @@ class PartialOrderPartitions:
                     raise AssertionError(f"uid {u} mapped to wrong partition")
         if seen != set(self._partition_of):
             raise AssertionError("partition map does not cover the chain")
+        if seen:
+            members = np.asarray(sorted(seen), dtype=np.uint64)
+            want = np.asarray([self.index_of(self._partition_of[int(u)])
+                               for u in members], dtype=np.int64)
+            got = self.ordinals_of_uids(members)
+            if not np.array_equal(got, want):
+                raise AssertionError(
+                    "uid -> ordinal array disagrees with partition map")
         if plain_value_of is None or len(self._chain) == 1:
             return
         ranges = []

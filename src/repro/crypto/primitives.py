@@ -51,7 +51,7 @@ class SecretKey:
     handed ciphertexts and trapdoors, never a ``SecretKey``.
     """
 
-    __slots__ = ("_raw",)
+    __slots__ = ("_raw", "_word_seed")
 
     def __init__(self, raw: bytes):
         if not isinstance(raw, (bytes, bytearray)):
@@ -59,6 +59,9 @@ class SecretKey:
         if len(raw) != KEY_BYTES:
             raise ValueError(f"key must be {KEY_BYTES} bytes, got {len(raw)}")
         self._raw = bytes(raw)
+        # Lazily-derived keystream seed (see prf_words) — pure function
+        # of the raw key, so caching it never changes any ciphertext.
+        self._word_seed: int | None = None
 
     @property
     def raw(self) -> bytes:
@@ -124,9 +127,10 @@ def prf_words(key: SecretKey, nonces: np.ndarray) -> np.ndarray:
     unpredictable without the key.
     """
     nonces = np.asarray(nonces, dtype=np.uint64)
-    seed_bytes = prf(key, b"prf-words-seed")
-    seed = np.uint64(struct.unpack("<Q", seed_bytes[:8])[0])
-    x = nonces + seed
+    if key._word_seed is None:
+        seed_bytes = prf(key, b"prf-words-seed")
+        key._word_seed = struct.unpack("<Q", seed_bytes[:8])[0]
+    x = nonces + np.uint64(key._word_seed)
     # splitmix64 finalizer: a fast, high-quality 64-bit mixing permutation.
     with np.errstate(over="ignore"):
         x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)

@@ -12,7 +12,13 @@ and :mod:`repro.edbms.engine` and are re-exported from the top-level
 from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from .schema import AttributeSpec, Schema, PlainTable
 from .encryption import EncryptedTable, encrypt_table
-from .qpf import TrustedMachine, QueryProcessingFunction, QPFRequest
+from .qpf import (
+    TrustedMachine,
+    QueryProcessingFunction,
+    QPFRequest,
+    QPFShardPool,
+    CrossingLatency,
+)
 from .batching import QPFBatcher, BatchExecutor, BatchJob, BatchAnswer
 from .sql import (
     parse_select,
@@ -34,6 +40,8 @@ __all__ = [
     "TrustedMachine",
     "QueryProcessingFunction",
     "QPFRequest",
+    "QPFShardPool",
+    "CrossingLatency",
     "QPFBatcher",
     "BatchExecutor",
     "BatchJob",

@@ -55,38 +55,45 @@ _EMPTY = np.zeros(0, dtype=np.uint64)
 
 
 class _Group:
-    """All pending probes of one (trapdoor, table) pair, deduplicated."""
+    """All pending probes of one (trapdoor, table) pair, deduplicated.
 
-    __slots__ = ("trapdoor", "table", "_uids", "_position_of", "labels")
+    Submitted uid arrays are only *chunked* here (an O(1) append each);
+    deduplication happens once per flush with a single ``np.unique`` over
+    the concatenated chunks, whose inverse mapping fans the labels back
+    out to every submitter.  The payload ships the (sorted) unique uids —
+    labels are per-uid, so neither accounting nor answers depend on the
+    payload's internal order.
+    """
+
+    __slots__ = ("trapdoor", "table", "_chunks", "_offsets", "_inverse",
+                 "labels")
 
     def __init__(self, trapdoor, table):
         self.trapdoor = trapdoor
         self.table = table
-        self._uids: list[int] = []
-        self._position_of: dict[int, int] = {}
+        self._chunks: list[np.ndarray] = []
+        self._offsets: list[int] = [0]
+        self._inverse: np.ndarray | None = None
         self.labels: np.ndarray | None = None
 
-    def place(self, uids: np.ndarray) -> np.ndarray:
-        """File ``uids`` into the group; return their payload positions.
-
-        A uid already filed by an earlier request of the same group is
-        *not* shipped again — its position points at the shared slot.
-        """
-        position_of = self._position_of
-        stored = self._uids
-        positions = np.empty(uids.size, dtype=np.int64)
-        for i, uid in enumerate(uids.tolist()):
-            position = position_of.get(uid)
-            if position is None:
-                position = len(stored)
-                position_of[uid] = position
-                stored.append(uid)
-            positions[i] = position
-        return positions
+    def place(self, uids: np.ndarray) -> int:
+        """File one uid chunk; returns its chunk number within the group."""
+        self._chunks.append(uids)
+        self._offsets.append(self._offsets[-1] + int(uids.size))
+        return len(self._chunks) - 1
 
     def payload(self) -> QPFRequest:
-        return QPFRequest(self.trapdoor, self.table,
-                          np.asarray(self._uids, dtype=np.uint64))
+        """The deduplicated crossing payload (computes the fan-out map)."""
+        stacked = (self._chunks[0] if len(self._chunks) == 1
+                   else np.concatenate(self._chunks))
+        unique, self._inverse = np.unique(stacked, return_inverse=True)
+        return QPFRequest(self.trapdoor, self.table, unique)
+
+    def labels_for(self, chunk: int) -> np.ndarray:
+        """The submitted chunk's labels, in its own uid order."""
+        assert self.labels is not None and self._inverse is not None
+        return self.labels[
+            self._inverse[self._offsets[chunk]:self._offsets[chunk + 1]]]
 
 
 class QPFBatcher:
@@ -130,7 +137,7 @@ class QPFBatcher:
         for group, labels in zip(groups.values(),
                                  self.qpf.batch_many(fused)):
             group.labels = labels
-        return [group.labels[positions] for group, positions in placements]
+        return [group.labels_for(chunk) for group, chunk in placements]
 
 
 @dataclass(frozen=True)
@@ -238,8 +245,8 @@ class BatchExecutor:
                                 steps=steps)
             if self._advance(state, answers):
                 active.append(state)
+        batcher = QPFBatcher(self.qpf)
         while active:
-            batcher = QPFBatcher(self.qpf)
             tickets = [batcher.submit(state.request) for state in active]
             label_lists = batcher.flush()
             share = 1.0 / len(active)

@@ -50,6 +50,19 @@ class CostCounter:
     mpc_messages:
         Party-to-party messages exchanged by a multi-party-computation
         backend (the SDB-style QPF); zero for trusted-hardware backends.
+    predicate_cache_hits / predicate_cache_misses:
+        Warm/cold lookups in the trusted machine's LRU of unsealed
+        predicates.  A miss costs one re-unseal inside the enclave; both
+        are purely observational and never change QPF accounting.
+    parallel_wall_qpf_uses / parallel_wall_roundtrips:
+        *Critical-path* twins of ``qpf_uses``/``qpf_roundtrips``.  The
+        serial counters always record total work (the sum over every
+        shard); the wall counters record the longest single-shard chain:
+        each :class:`~repro.edbms.qpf.QPFShardPool` dispatch adds the
+        **max** over its shards, while an unsharded trusted machine adds
+        the same amount to both.  Without a pool the two pairs are
+        therefore identical; with one, ``serial / wall`` is the achieved
+        parallel speedup on the QPF axis.
     """
 
     qpf_uses: int = 0
@@ -59,6 +72,10 @@ class CostCounter:
     comparisons: int = 0
     index_updates: int = 0
     mpc_messages: int = 0
+    predicate_cache_hits: int = 0
+    predicate_cache_misses: int = 0
+    parallel_wall_qpf_uses: int = 0
+    parallel_wall_roundtrips: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -133,6 +150,27 @@ class CostModel:
     def simulated_millis(self, counter: CostCounter) -> float:
         """Simulated elapsed time in milliseconds (paper plots use ms)."""
         return self.simulated_seconds(counter) * 1e3
+
+    def critical_path_seconds(self, counter: CostCounter) -> float:
+        """Simulated elapsed time along the parallel critical path.
+
+        Identical to :meth:`simulated_seconds` except that the QPF and
+        roundtrip terms are priced from the *wall* counters
+        (``parallel_wall_qpf_uses`` / ``parallel_wall_roundtrips``) — the
+        longest single-shard chain — instead of the serial totals.  The
+        SP-side terms (comparisons, SSE lookups, ...) are not sharded and
+        keep their serial prices.  Equal to :meth:`simulated_seconds`
+        whenever no shard pool is in play.
+        """
+        return (
+            counter.parallel_wall_qpf_uses * self.qpf_cost
+            + counter.sse_lookups * self.sse_lookup_cost
+            + counter.tuples_retrieved * self.tuple_retrieval_cost
+            + counter.comparisons * self.comparison_cost
+            + counter.index_updates * self.index_update_cost
+            + counter.mpc_messages * self.mpc_message_cost
+            + counter.parallel_wall_roundtrips * self.roundtrip_cost
+        )
 
 
 DEFAULT_COST_MODEL = CostModel()

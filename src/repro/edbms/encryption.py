@@ -44,12 +44,17 @@ class EncryptedTable:
         for attr, col in self._ciphertexts.items():
             if len(col) != len(self._uids):
                 raise ValueError(f"column {attr!r} misaligned with uids")
-        self._position_of = {
-            int(uid): pos for pos, uid in enumerate(self._uids)
-        }
-        if len(self._position_of) != len(self._uids):
+        if len(self._uids) and np.unique(self._uids).size != len(self._uids):
             raise ValueError("duplicate uids in encrypted table")
-        self._next_uid = int(self._uids.max()) + 1 if len(self._uids) else 0
+        # Dense uid -> row-position lookup (-1 = absent): uids are
+        # allocator-dense, so one gather replaces a per-uid dict walk on
+        # the decrypt hot path.
+        capacity = int(self._uids.max()) + 1 if len(self._uids) else 0
+        self._position_lookup = np.full(capacity, -1, dtype=np.int64)
+        if len(self._uids):
+            self._position_lookup[self._uids] = np.arange(
+                len(self._uids), dtype=np.int64)
+        self._next_uid = capacity
 
     # ------------------------------------------------------------------ #
     # read access                                                         #
@@ -69,14 +74,15 @@ class EncryptedTable:
 
     def positions(self, uids: np.ndarray) -> np.ndarray:
         """Physical positions of the given uids (raises on unknown uid)."""
-        try:
-            return np.fromiter(
-                (self._position_of[int(u)] for u in np.asarray(uids).ravel()),
-                dtype=np.int64,
-                count=int(np.asarray(uids).size),
-            )
-        except KeyError as exc:
-            raise KeyError(f"unknown uid {exc.args[0]}") from None
+        uids = np.asarray(uids, dtype=np.uint64).ravel()
+        if uids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(uids.max()) >= self._position_lookup.size:
+            raise KeyError(f"unknown uid {int(uids.max())}")
+        pos = self._position_lookup[uids]
+        if int(pos.min()) < 0:
+            raise KeyError(f"unknown uid {int(uids[int(np.argmin(pos))])}")
+        return pos
 
     def ciphertexts_for(self, attribute: str, uids: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:
@@ -109,9 +115,15 @@ class EncryptedTable:
                     ciphertexts: dict[str, np.ndarray]) -> None:
         """Append already-encrypted rows (uids must come from allocate_uids)."""
         uids = np.asarray(uids, dtype=np.uint64)
-        for uid in uids:
-            if int(uid) in self._position_of:
-                raise ValueError(f"uid {int(uid)} already present")
+        if len(uids):
+            if np.unique(uids).size != len(uids):
+                raise ValueError("duplicate uids in insert")
+            in_range = uids[uids < self._position_lookup.size]
+            if in_range.size:
+                present = in_range[self._position_lookup[in_range] >= 0]
+                if present.size:
+                    raise ValueError(
+                        f"uid {int(present[0])} already present")
         base = len(self._uids)
         self._uids = np.concatenate([self._uids, uids])
         for attr in self.attribute_names:
@@ -120,26 +132,41 @@ class EncryptedTable:
                 raise ValueError(f"column {attr!r} misaligned with new uids")
             self._ciphertexts[attr] = np.concatenate(
                 [self._ciphertexts[attr], col])
-        for offset, uid in enumerate(uids):
-            self._position_of[int(uid)] = base + offset
+        if len(uids):
+            needed = int(uids.max()) + 1
+            if needed > self._position_lookup.size:
+                grown = np.full(max(needed,
+                                    2 * self._position_lookup.size),
+                                -1, dtype=np.int64)
+                grown[:self._position_lookup.size] = self._position_lookup
+                self._position_lookup = grown
+            self._position_lookup[uids] = np.arange(
+                base, base + len(uids), dtype=np.int64)
 
     def delete_rows(self, uids: np.ndarray) -> None:
         """Remove rows by uid (compacting the columnar storage)."""
-        doomed = {int(u) for u in np.asarray(uids).ravel()}
-        missing = doomed - set(self._position_of)
-        if missing:
-            raise KeyError(f"unknown uids in delete: {sorted(missing)[:5]}")
-        keep = np.fromiter(
-            (int(u) not in doomed for u in self._uids),
-            dtype=bool,
-            count=len(self._uids),
-        )
+        doomed = np.unique(np.asarray(uids, dtype=np.uint64).ravel())
+        if doomed.size == 0:
+            return
+        if self._position_lookup.size == 0:
+            known = np.zeros(doomed.size, dtype=bool)
+        else:
+            clipped = np.minimum(
+                doomed, np.uint64(self._position_lookup.size - 1))
+            known = ((doomed < self._position_lookup.size)
+                     & (self._position_lookup[clipped] >= 0))
+        if not known.all():
+            missing = [int(u) for u in doomed[~known][:5]]
+            raise KeyError(f"unknown uids in delete: {missing}")
+        keep = np.ones(len(self._uids), dtype=bool)
+        keep[self._position_lookup[doomed]] = False
         self._uids = self._uids[keep]
         for attr in self.attribute_names:
             self._ciphertexts[attr] = self._ciphertexts[attr][keep]
-        self._position_of = {
-            int(uid): pos for pos, uid in enumerate(self._uids)
-        }
+        self._position_lookup[:] = -1
+        if len(self._uids):
+            self._position_lookup[self._uids] = np.arange(
+                len(self._uids), dtype=np.int64)
 
 
 def encrypt_table(key: SecretKey, table) -> EncryptedTable:

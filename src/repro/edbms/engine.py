@@ -18,7 +18,12 @@ from ..core.multi import DimensionRange
 from ..crypto.primitives import generate_key
 from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from .owner import DataOwner
-from .qpf import QueryProcessingFunction, TrustedMachine
+from .qpf import (
+    CrossingLatency,
+    QPFShardPool,
+    QueryProcessingFunction,
+    TrustedMachine,
+)
 from .schema import AttributeSpec, PlainTable, Schema
 from .server import ServiceProvider
 from .sql import (
@@ -90,18 +95,48 @@ class QueryAnswer:
 
 
 class EncryptedDatabase:
-    """One data owner, one service provider, one trusted machine."""
+    """One data owner, one service provider, one (or N sharded) enclaves.
+
+    ``qpf_workers=None`` (default) runs the classic single trusted
+    machine.  Any positive count swaps in a
+    :class:`~repro.edbms.qpf.QPFShardPool` of that many worker enclaves
+    (``qpf_worker_mode`` picks threads or processes): answers and
+    ``qpf_uses`` are bit-identical to serial at any worker count, while
+    the counter's ``parallel_wall_*`` twins record the critical path.
+    ``qpf_latency`` optionally attaches a
+    :class:`~repro.edbms.qpf.CrossingLatency` emulation to every
+    enclave crossing (serial or pooled) for wall-clock studies.
+    """
 
     def __init__(self, seed: int | None = None,
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 qpf_workers: int | None = None,
+                 qpf_worker_mode: str = "thread",
+                 qpf_latency: CrossingLatency | None = None,
+                 qpf_min_shard_tuples: int | None = None):
         key = generate_key(seed)
         self.owner = DataOwner(key=key)
         self.counter = CostCounter()
-        self._trusted_machine = TrustedMachine(key, self.counter)
+        if qpf_workers is not None:
+            pool_options = {}
+            if qpf_min_shard_tuples is not None:
+                pool_options["min_shard_tuples"] = qpf_min_shard_tuples
+            self._trusted_machine = QPFShardPool(
+                key, self.counter, num_workers=qpf_workers,
+                mode=qpf_worker_mode, latency=qpf_latency, **pool_options)
+        else:
+            self._trusted_machine = TrustedMachine(key, self.counter,
+                                                   latency=qpf_latency)
         self.qpf = QueryProcessingFunction(self._trusted_machine)
         self.server = ServiceProvider(self.qpf)
         self.cost_model = cost_model
         self._seed = seed
+
+    def close(self) -> None:
+        """Release pooled enclave workers, if any (idempotent)."""
+        close = getattr(self._trusted_machine, "close", None)
+        if close is not None:
+            close()
 
     # -- schema / data ------------------------------------------------------ #
 

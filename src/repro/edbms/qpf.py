@@ -22,11 +22,25 @@ Two kinds of batching exist and are metered differently:
   :class:`QPFRequest` entries (possibly different trapdoors and tables)
   shipped in a single crossing.  Still one roundtrip; QPF uses equal the
   total tuple count, exactly as if each request had been sent alone.
+
+Above the single machine sits :class:`QPFShardPool` — N worker trusted
+machines (one enclave each) behind the same Θ interface.  A pooled
+payload is partitioned across the workers and evaluated concurrently;
+``qpf_uses`` stays **exactly** what the serial machine would charge
+(sharding moves tuples between crossings, never duplicates or drops
+them), while the :class:`~repro.edbms.costs.CostCounter` wall twins
+(``parallel_wall_*``) advance by the *max* over shards — the critical
+path.  Optional :class:`CrossingLatency` emulation prices each crossing
+in real sleep time so wall-clock benchmarks observe the parallelism even
+when the decrypt work itself is too cheap to measure.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,7 +57,8 @@ from .costs import CostCounter
 from .encryption import EncryptedTable, attribute_key
 
 __all__ = ["TrustedMachine", "QueryProcessingFunction", "QPFRequest",
-           "PredicateLRU", "PREDICATE_CACHE_SIZE"]
+           "QPFShardPool", "CrossingLatency", "PredicateLRU",
+           "PREDICATE_CACHE_SIZE"]
 
 #: Default bound on the number of unsealed predicates an enclave keeps
 #: warm.  Real trusted machines have kilobytes of register space, not
@@ -58,13 +73,18 @@ class PredicateLRU:
     Maps ``trapdoor.serial`` to the plaintext predicate object.  Bounded:
     when full, the stalest entry is evicted.  Eviction only costs a
     re-unseal on the next miss — it never changes QPF accounting, which
-    is per *tuple* evaluation, not per unseal.
+    is per *tuple* evaluation, not per unseal.  ``hits``/``misses``
+    tally every :meth:`get`; the owning machine mirrors them into its
+    :class:`~repro.edbms.costs.CostCounter` so benchmark reports can see
+    the cache working.
     """
 
     def __init__(self, capacity: int = PREDICATE_CACHE_SIZE):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
         self._entries: OrderedDict[int, object] = OrderedDict()
 
     def __len__(self) -> int:
@@ -77,7 +97,10 @@ class PredicateLRU:
         """Return the cached predicate (refreshing recency), or ``None``."""
         entry = self._entries.get(serial)
         if entry is not None:
+            self.hits += 1
             self._entries.move_to_end(serial)
+        else:
+            self.misses += 1
         return entry
 
     def put(self, serial: int, predicate) -> None:
@@ -107,19 +130,51 @@ class QPFRequest:
                            np.asarray(self.uids, dtype=np.uint64))
 
 
+@dataclass(frozen=True)
+class CrossingLatency:
+    """Emulated physical cost of one enclave crossing, in seconds.
+
+    Real trusted hardware charges a fixed transition price per crossing
+    (SGX ecall/ocall, FPGA DMA setup) plus marshalling proportional to
+    the payload.  On the pure-software simulator those costs vanish, so
+    parallel speedups become unmeasurable; attaching a
+    ``CrossingLatency`` to a :class:`TrustedMachine` makes every
+    crossing *sleep* for its modelled duration instead.  Sleeps release
+    the GIL, so a thread-mode :class:`QPFShardPool` overlaps them — the
+    benchmark observes genuine wall-clock parallelism with unchanged
+    accounting.
+    """
+
+    per_crossing: float = 0.0
+    per_tuple: float = 0.0
+
+    def delay(self, tuples: int) -> float:
+        """Seconds one crossing carrying ``tuples`` tuples takes."""
+        return self.per_crossing + self.per_tuple * tuples
+
+
 class TrustedMachine:
     """Tamper-resistant co-processor simulation holding the data key.
 
     Only this class (and the data owner) ever touches plaintext.  All
     entry points charge the shared :class:`CostCounter` so benchmarks can
-    meter QPF consumption precisely.
+    meter QPF consumption precisely.  Every crossing advances the wall
+    (critical-path) counters by the same amount as the serial ones — a
+    lone machine *is* its own critical path; only :class:`QPFShardPool`
+    makes the two diverge.
     """
 
     def __init__(self, key: SecretKey, counter: CostCounter | None = None,
-                 predicate_cache_size: int = PREDICATE_CACHE_SIZE):
+                 predicate_cache_size: int = PREDICATE_CACHE_SIZE,
+                 latency: CrossingLatency | None = None):
         self._key = key
         self.counter = counter if counter is not None else CostCounter()
         self._predicate_cache = PredicateLRU(predicate_cache_size)
+        self._latency = latency
+        # Derived per-(table, attribute) data subkeys.  Bounded by the
+        # schema (#tables x #attributes), so no LRU is needed; saves one
+        # HMAC per crossing on the decrypt hot path.
+        self._subkey_cache: dict[tuple[str, str], SecretKey] = {}
 
     def _plain_predicate(self, trapdoor: EncryptedPredicate):
         """Unseal (and memoise) the plaintext predicate of a trapdoor.
@@ -131,13 +186,28 @@ class TrustedMachine:
         """
         cached = self._predicate_cache.get(trapdoor.serial)
         if cached is None:
+            self.counter.predicate_cache_misses += 1
             cached = unseal_predicate(self._key, trapdoor)
             self._predicate_cache.put(trapdoor.serial, cached)
+        else:
+            self.counter.predicate_cache_hits += 1
         return cached
+
+    def _cross(self, tuples: int) -> None:
+        """Meter one enclave crossing carrying ``tuples`` tuples."""
+        self.counter.qpf_roundtrips += 1
+        self.counter.parallel_wall_roundtrips += 1
+        self.counter.parallel_wall_qpf_uses += tuples
+        if self._latency is not None:
+            time.sleep(self._latency.delay(tuples))
 
     def _decrypt_cells(self, table: EncryptedTable, attribute: str,
                        uids: np.ndarray) -> np.ndarray:
-        subkey = attribute_key(self._key, table.name, attribute)
+        cache_key = (table.name, attribute)
+        subkey = self._subkey_cache.get(cache_key)
+        if subkey is None:
+            subkey = attribute_key(self._key, table.name, attribute)
+            self._subkey_cache[cache_key] = subkey
         ciphertexts, nonces = table.ciphertexts_for(attribute, uids)
         return decrypt_words(subkey, ciphertexts, nonces).view(np.int64)
 
@@ -162,7 +232,7 @@ class TrustedMachine:
         self.counter.tuples_retrieved += int(uids.size)
         if uids.size == 0:
             return np.zeros(0, dtype=bool)
-        self.counter.qpf_roundtrips += 1
+        self._cross(int(uids.size))
         predicate = self._plain_predicate(trapdoor)
         values = self._decrypt_cells(table, trapdoor.attribute, uids)
         return _evaluate_plain(predicate, values)
@@ -182,7 +252,7 @@ class TrustedMachine:
         self.counter.tuples_retrieved += total
         if total == 0:
             return [np.zeros(0, dtype=bool) for _ in requests]
-        self.counter.qpf_roundtrips += 1
+        self._cross(total)
         results = []
         for request in requests:
             if request.uids.size == 0:
@@ -211,15 +281,253 @@ def _evaluate_plain(predicate, values: np.ndarray) -> np.ndarray:
     raise TypeError(f"unsupported predicate type {type(predicate).__name__}")
 
 
+# --------------------------------------------------------------------- #
+# Sharded Θ: a pool of worker trusted machines                           #
+# --------------------------------------------------------------------- #
+
+_PROCESS_MACHINE: TrustedMachine | None = None
+
+
+def _process_shard_init(key: SecretKey, predicate_cache_size: int,
+                        latency: CrossingLatency | None) -> None:
+    """Process-pool initializer: one private enclave per worker process."""
+    global _PROCESS_MACHINE
+    _PROCESS_MACHINE = TrustedMachine(
+        key, CostCounter(), predicate_cache_size, latency=latency)
+
+
+def _process_shard_eval(requests: list[QPFRequest]
+                        ) -> tuple[list[np.ndarray], CostCounter]:
+    """Evaluate one shard in a worker process; ship labels + costs back."""
+    assert _PROCESS_MACHINE is not None
+    labels = _PROCESS_MACHINE.evaluate_many(requests)
+    spent = _PROCESS_MACHINE.counter.snapshot()
+    _PROCESS_MACHINE.counter.reset()
+    return labels, spent
+
+
+class QPFShardPool:
+    """N worker trusted machines answering one Θ payload in parallel.
+
+    Drop-in for :class:`TrustedMachine` behind
+    :class:`QueryProcessingFunction`: same ``evaluate`` /
+    ``evaluate_batch`` / ``evaluate_many`` surface, same shared
+    :class:`CostCounter`.  Each worker is a full machine with its own
+    predicate registers; a payload is partitioned across them
+    (contiguous chunks for a homogeneous batch, deterministic
+    longest-processing-time assignment for a heterogeneous
+    ``evaluate_many`` list) and the per-shard costs are folded back in
+    two ways:
+
+    * serial counters (``qpf_uses``, ``qpf_roundtrips``, ...) get the
+      **sum** over shards — total work, so ``qpf_uses`` parity with an
+      unsharded machine is *exact* at any worker count (sharding moves
+      tuples between crossings, never duplicates or drops them);
+    * the wall twins (``parallel_wall_qpf_uses`` /
+      ``parallel_wall_roundtrips``) get the **max** over shards — the
+      critical path an ideal N-wide deployment would wait on.
+
+    ``mode="thread"`` (default) keeps workers in-process; the numpy
+    decrypt kernels and any :class:`CrossingLatency` sleeps release the
+    GIL, so shards genuinely overlap.  ``mode="process"`` forks one
+    enclave per worker process for fully GIL-free evaluation; payloads
+    are pickled across, so it pays per-call shipping costs and is the
+    right trade only for large payloads.
+
+    With ``num_workers=1`` every code path degenerates to the serial
+    machine (same chunks, same crossings, same counters).
+    """
+
+    def __init__(self, key: SecretKey, counter: CostCounter | None = None,
+                 num_workers: int = 2, mode: str = "thread",
+                 predicate_cache_size: int = PREDICATE_CACHE_SIZE,
+                 latency: CrossingLatency | None = None,
+                 min_shard_tuples: int = 64):
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown mode {mode!r}; "
+                             "expected 'thread' or 'process'")
+        if min_shard_tuples < 1:
+            raise ValueError("min_shard_tuples must be positive")
+        self.counter = counter if counter is not None else CostCounter()
+        self.num_workers = num_workers
+        self.mode = mode
+        self.min_shard_tuples = min_shard_tuples
+        self._lock = threading.Lock()
+        self._key = key
+        self._predicate_cache_size = predicate_cache_size
+        self._latency = latency
+        self._workers = [
+            TrustedMachine(key, CostCounter(), predicate_cache_size,
+                           latency=latency)
+            for _ in range(num_workers)
+        ]
+        self._thread_executor: ThreadPoolExecutor | None = None
+        self._process_executor: ProcessPoolExecutor | None = None
+
+    # -- executors (lazy, so an unused mode costs nothing) --------------- #
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_executor is None:
+            self._thread_executor = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="qpf-shard")
+        return self._thread_executor
+
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_executor is None:
+            self._process_executor = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=_process_shard_init,
+                initargs=(self._key, self._predicate_cache_size,
+                          self._latency))
+        return self._process_executor
+
+    def close(self) -> None:
+        """Shut the worker executors down (idempotent)."""
+        if self._thread_executor is not None:
+            self._thread_executor.shutdown(wait=True)
+            self._thread_executor = None
+        if self._process_executor is not None:
+            self._process_executor.shutdown(wait=True)
+            self._process_executor = None
+
+    # -- cost folding ----------------------------------------------------- #
+
+    def _absorb(self, spent: list[CostCounter]) -> None:
+        """Fold shard costs into the shared counter: sum work, max wall."""
+        wall_uses = 0
+        wall_roundtrips = 0
+        for shard in spent:
+            wall_uses = max(wall_uses, shard.parallel_wall_qpf_uses)
+            wall_roundtrips = max(wall_roundtrips,
+                                  shard.parallel_wall_roundtrips)
+            shard.parallel_wall_qpf_uses = 0
+            shard.parallel_wall_roundtrips = 0
+            self.counter.merge(shard)
+        self.counter.parallel_wall_qpf_uses += wall_uses
+        self.counter.parallel_wall_roundtrips += wall_roundtrips
+
+    def _drain_worker(self, worker: TrustedMachine) -> CostCounter:
+        spent = worker.counter.snapshot()
+        worker.counter.reset()
+        return spent
+
+    # -- Θ surface -------------------------------------------------------- #
+
+    def evaluate(self, trapdoor: EncryptedPredicate, table: EncryptedTable,
+                 uid: int) -> bool:
+        """Θ for a single tuple — never worth sharding."""
+        return bool(
+            self.evaluate_batch(trapdoor, table,
+                                np.asarray([uid], dtype=np.uint64))[0]
+        )
+
+    def evaluate_batch(self, trapdoor: EncryptedPredicate,
+                       table: EncryptedTable,
+                       uids: np.ndarray) -> np.ndarray:
+        """Θ over one homogeneous batch, chunked across the workers.
+
+        ``len(uids)`` QPF uses exactly, as serial; each non-empty chunk
+        is one crossing, and the wall counters advance by the largest
+        chunk only.
+        """
+        uids = np.asarray(uids, dtype=np.uint64)
+        chunk_count = max(1, min(self.num_workers,
+                                 int(uids.size) // self.min_shard_tuples))
+        if uids.size == 0 or chunk_count == 1:
+            with self._lock:
+                labels = self._workers[0].evaluate_batch(trapdoor, table,
+                                                         uids)
+                self._absorb([self._drain_worker(self._workers[0])])
+            return labels
+        requests = [QPFRequest(trapdoor, table, chunk)
+                    for chunk in np.array_split(uids, chunk_count)]
+        shards = [[i] for i in range(len(requests))]
+        parts = self._dispatch(requests, shards)
+        return np.concatenate([part[0] for part in parts])
+
+    def evaluate_many(self, requests: Sequence[QPFRequest]
+                      ) -> list[np.ndarray]:
+        """Θ over a heterogeneous payload, sharded across the workers.
+
+        QPF uses equal the total tuple count — identical to the serial
+        machine.  Each non-empty shard is one crossing (so the serial
+        roundtrip total records the extra work of fanning out), while
+        the wall counters advance by the busiest shard only.
+        """
+        requests = list(requests)
+        total = sum(int(r.uids.size) for r in requests)
+        if total == 0 or self.num_workers == 1 \
+                or total < 2 * self.min_shard_tuples:
+            with self._lock:
+                labels = self._workers[0].evaluate_many(requests)
+                self._absorb([self._drain_worker(self._workers[0])])
+            return labels
+        shards = self._shard_requests(requests)
+        parts = self._dispatch(requests, shards)
+        labels: list[np.ndarray | None] = [None] * len(requests)
+        for shard, part in zip([s for s in shards if s], parts):
+            for position, result in zip(shard, part):
+                labels[position] = result
+        return labels  # type: ignore[return-value]
+
+    def _shard_requests(self, requests: list[QPFRequest]
+                        ) -> list[list[int]]:
+        """Deterministic LPT assignment of request indices to workers.
+
+        Largest payload first onto the least-loaded shard (ties broken
+        by shard number), each shard keeping its requests in original
+        submission order — balanced and fully reproducible.
+        """
+        order = sorted(range(len(requests)),
+                       key=lambda i: (-int(requests[i].uids.size), i))
+        loads = [0] * self.num_workers
+        shards: list[list[int]] = [[] for _ in range(self.num_workers)]
+        for position in order:
+            worker = loads.index(min(loads))
+            shards[worker].append(position)
+            loads[worker] += int(requests[position].uids.size)
+        return [sorted(shard) for shard in shards]
+
+    def _dispatch(self, requests: list[QPFRequest],
+                  shards: list[list[int]]) -> list[list[np.ndarray]]:
+        """Run each non-empty shard on its worker; fold the costs back."""
+        work = [[requests[i] for i in shard] for shard in shards if shard]
+        with self._lock:
+            if self.mode == "process":
+                futures = [
+                    self._processes().submit(_process_shard_eval, payload)
+                    for payload in work
+                ]
+                outcomes = [future.result() for future in futures]
+                self._absorb([spent for _, spent in outcomes])
+                return [labels for labels, _ in outcomes]
+            # The first shard runs on the calling thread — one fewer
+            # thread hop per dispatch; the others overlap it.
+            futures = [
+                self._threads().submit(worker.evaluate_many, payload)
+                for worker, payload in zip(self._workers[1:], work[1:])
+            ]
+            parts = [self._workers[0].evaluate_many(work[0])]
+            parts.extend(future.result() for future in futures)
+            self._absorb([self._drain_worker(worker)
+                          for worker, _ in zip(self._workers, work)])
+            return parts
+
+
 class QueryProcessingFunction:
     """The server-side handle to Θ.
 
     A thin façade over the trusted machine: this is the *only* object the
     service provider holds that can touch plaintext, and its interface is
-    restricted to 0/1 predicate outputs, matching the QPF model.
+    restricted to 0/1 predicate outputs, matching the QPF model.  The
+    backing oracle may equally be a single :class:`TrustedMachine` or a
+    :class:`QPFShardPool` — the façade is agnostic.
     """
 
-    def __init__(self, trusted_machine: TrustedMachine):
+    def __init__(self, trusted_machine: "TrustedMachine | QPFShardPool"):
         self._tm = trusted_machine
 
     @property

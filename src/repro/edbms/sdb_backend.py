@@ -213,8 +213,11 @@ class MPCQueryProcessingFunction:
     def _plain_predicate(self, trapdoor: EncryptedPredicate):
         cached = self._predicate_cache.get(trapdoor.serial)
         if cached is None:
+            self.counter.predicate_cache_misses += 1
             cached = unseal_predicate(self._key, trapdoor)
             self._predicate_cache.put(trapdoor.serial, cached)
+        else:
+            self.counter.predicate_cache_hits += 1
         return cached
 
     def _recover_values(self, table: SecretSharedTable, attribute: str,
@@ -252,6 +255,8 @@ class MPCQueryProcessingFunction:
         if uids.size == 0:
             return np.zeros(0, dtype=bool)
         self.counter.qpf_roundtrips += 1
+        self.counter.parallel_wall_roundtrips += 1
+        self.counter.parallel_wall_qpf_uses += int(uids.size)
         predicate = self._plain_predicate(trapdoor)
         values = self._recover_values(table, trapdoor.attribute, uids)
         return _evaluate_plain(predicate, values)
@@ -270,6 +275,8 @@ class MPCQueryProcessingFunction:
         if total == 0:
             return [np.zeros(0, dtype=bool) for _ in requests]
         self.counter.qpf_roundtrips += 1
+        self.counter.parallel_wall_roundtrips += 1
+        self.counter.parallel_wall_qpf_uses += total
         results = []
         for request in requests:
             if request.uids.size == 0:

@@ -43,7 +43,10 @@ class TestCostCounter:
         assert d["qpf_uses"] == 3
         assert set(d) == {"qpf_uses", "qpf_roundtrips", "sse_lookups",
                           "tuples_retrieved", "comparisons",
-                          "index_updates", "mpc_messages"}
+                          "index_updates", "mpc_messages",
+                          "predicate_cache_hits", "predicate_cache_misses",
+                          "parallel_wall_qpf_uses",
+                          "parallel_wall_roundtrips"}
 
 
 class TestCostModel:
