@@ -1,0 +1,214 @@
+"""Durability layer — WAL overhead per fsync policy and recovery value.
+
+Not a paper figure: this measures the durable-PRKB subsystem added on
+top of the reproduction.  Setting: a uniform two-attribute table opened
+as a *durable* database (:meth:`EncryptedDatabase.open`), warmed by a
+mixed comparison/BETWEEN workload, then closed and reopened so crash
+recovery rebuilds the server from checkpoint + WAL tail.
+
+Two questions, two tables:
+
+1. **What does the log cost?**  Per fsync policy (``off``,
+   ``every:8``, ``always``): WAL records/bytes/fsyncs per query and the
+   simulated-time overhead under :data:`DURABLE_COST_MODEL`.  The
+   paper-metric ``qpf_uses`` must be bit-identical across policies and
+   to a non-durable twin — durability must never change what the paper
+   measures.
+2. **What does recovery buy?**  The recovered index answers a probe
+   workload with the warmed QPF budget; a cold restart (no durable
+   state) pays near-baseline scans *and* re-refines from scratch.  The
+   difference is the QPF the knowledge base's persistence saves.
+
+Results land in ``BENCH_durability.json`` at the repo root.  Run
+standalone with ``python benchmarks/bench_durability.py --tiny`` for a
+seconds-scale smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_seed
+from repro.edbms.costs import DURABLE_COST_MODEL
+from repro.edbms.engine import EncryptedDatabase
+from repro.workloads import uniform_table
+
+from _common import emit, emit_note, parse_bench_args, scaled
+
+DOMAIN = (1, 30_000_000)
+POLICIES = ["off", "every:8", "always"]
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+
+def _plain_columns(n: int) -> dict[str, np.ndarray]:
+    table = uniform_table("t", n, ["X", "Y"], domain=DOMAIN,
+                          seed=bench_seed() + 71)
+    return {attr: table.columns[attr] for attr in ("X", "Y")}
+
+
+def _workload(count: int) -> list[str]:
+    rng = np.random.default_rng(bench_seed() + 72)
+    statements = []
+    for i in range(count):
+        attr = "X" if i % 2 == 0 else "Y"
+        lo, hi = sorted(int(v) for v in rng.integers(*DOMAIN, 2))
+        if i % 3 == 2:
+            statements.append(
+                f"SELECT * FROM t WHERE {attr} BETWEEN {lo} AND {hi}")
+        elif i % 3 == 1:
+            statements.append(f"SELECT * FROM t WHERE {attr} > {lo}")
+        else:
+            statements.append(f"SELECT * FROM t WHERE {attr} < {hi}")
+    return statements
+
+
+def _open(root, fsync: str, columns) -> EncryptedDatabase:
+    db = EncryptedDatabase.open(root, seed=bench_seed() + 73, fsync=fsync,
+                                cost_model=DURABLE_COST_MODEL)
+    if db.recovery_stats is None:
+        db.create_table("t", {"X": DOMAIN, "Y": DOMAIN}, columns)
+        db.enable_prkb("t", ["X", "Y"], max_partitions=24)
+    return db
+
+
+def _run(db, statements) -> int:
+    before = db.counter.qpf_uses
+    for statement in statements:
+        db.query(statement)
+    return db.counter.qpf_uses - before
+
+
+def _measure(n: int, warm_queries: int, probe_queries: int) -> dict:
+    columns = _plain_columns(n)
+    warm = _workload(warm_queries)
+    probes = _workload(warm_queries + probe_queries)[warm_queries:]
+    per_policy: dict[str, dict] = {}
+    recovery: dict = {}
+    for policy in POLICIES:
+        with tempfile.TemporaryDirectory() as scratch:
+            root = Path(scratch) / "db"
+            db = _open(root, policy, columns)
+            warm_qpf = _run(db, warm)
+            spent = db.counter.snapshot()
+            model = DURABLE_COST_MODEL
+            per_policy[policy] = {
+                "warm_qpf_uses": warm_qpf,
+                "wal_records_per_query": spent.wal_records / len(warm),
+                "wal_bytes_per_query": spent.wal_bytes / len(warm),
+                "wal_fsyncs_per_query": spent.wal_fsyncs / len(warm),
+                "wal_overhead_ms_per_query": 1e3 * (
+                    spent.wal_records * model.wal_record_cost
+                    + spent.wal_fsyncs * model.fsync_cost) / len(warm),
+            }
+            db.close()
+            if policy == "always":
+                recovered = _open(root, policy, columns)
+                stats = recovered.recovery_stats
+                recovered_probe_qpf = _run(recovered, probes)
+                recovery = {
+                    "stats": stats.as_dict(),
+                    "probe_qpf_recovered": recovered_probe_qpf,
+                }
+                recovered.close()
+    # Cold restart: same data, no durable knowledge base — the indexes
+    # restart empty and the probe workload pays for re-refinement.
+    with tempfile.TemporaryDirectory() as scratch:
+        cold = _open(Path(scratch) / "db", "off", columns)
+        cold_probe_qpf = _run(cold, probes)
+        cold.close()
+    recovery["probe_qpf_cold"] = cold_probe_qpf
+    recovery["qpf_saved_by_recovery"] = (
+        cold_probe_qpf - recovery["probe_qpf_recovered"])
+    recovery["cold_rebuild_warm_qpf"] = per_policy["always"]["warm_qpf_uses"]
+    return {
+        "n": n,
+        "seed": bench_seed(),
+        "warm_queries": len(warm),
+        "probe_queries": len(probes),
+        "policies": per_policy,
+        "recovery": recovery,
+    }
+
+
+def _report(results: dict) -> None:
+    rows = [[policy,
+             str(stats["warm_qpf_uses"]),
+             f"{stats['wal_records_per_query']:.1f}",
+             f"{stats['wal_bytes_per_query']:.0f}",
+             f"{stats['wal_fsyncs_per_query']:.2f}",
+             f"{stats['wal_overhead_ms_per_query']:.3f}"]
+            for policy, stats in results["policies"].items()]
+    emit(
+        "durability",
+        f"WAL overhead per fsync policy (n={results['n']}, "
+        f"{results['warm_queries']} warm queries)",
+        ["fsync", "QPF total", "rec/query", "bytes/query", "fsync/query",
+         "sim ms/query"],
+        rows,
+    )
+    recovery = results["recovery"]
+    emit_note(
+        "durability",
+        f"recovery vs cold rebuild over {results['probe_queries']} probes: "
+        f"recovered={recovery['probe_qpf_recovered']} QPF, "
+        f"cold={recovery['probe_qpf_cold']} QPF, "
+        f"saved={recovery['qpf_saved_by_recovery']} QPF "
+        f"(plus the {recovery['cold_rebuild_warm_qpf']} QPF warm-up a "
+        f"cold rebuild would repeat); seed={results['seed']}")
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _check(results: dict) -> list[str]:
+    failures = []
+    qpf = {policy: stats["warm_qpf_uses"]
+           for policy, stats in results["policies"].items()}
+    if len(set(qpf.values())) != 1:
+        failures.append(f"qpf_uses differs across fsync policies: {qpf}")
+    overhead = [results["policies"][p]["wal_overhead_ms_per_query"]
+                for p in POLICIES]
+    if not overhead[0] <= overhead[1] <= overhead[2]:
+        failures.append(f"overhead not monotone off<=every:8<=always: "
+                        f"{overhead}")
+    recovery = results["recovery"]
+    if recovery["stats"]["repair_qpf_uses"] != 0:
+        failures.append("clean recovery spent repair QPF")
+    if recovery["qpf_saved_by_recovery"] <= 0:
+        failures.append(
+            f"recovery saved no QPF: recovered="
+            f"{recovery['probe_qpf_recovered']} "
+            f"cold={recovery['probe_qpf_cold']}")
+    return failures
+
+
+def test_durability_bench():
+    results = _measure(scaled(4_000), warm_queries=16, probe_queries=12)
+    _report(results)
+    failures = _check(results)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str]) -> int:
+    args = parse_bench_args(argv)
+    n = 600 if args.tiny else scaled(4_000)
+    warm = 6 if args.tiny else 16
+    probes = 4 if args.tiny else 12
+    results = _measure(n, warm_queries=warm, probe_queries=probes)
+    _report(results)
+    failures = _check(results)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    saved = results["recovery"]["qpf_saved_by_recovery"]
+    print(f"OK: qpf_uses identical across fsync policies; recovery "
+          f"saved {saved} QPF on the probe workload")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -232,6 +232,7 @@ class BetweenProcessor:
                 }
                 self._apply_band_splits(trapdoor, scans,
                                         known_one_positions)
+            self.index.commit_journal()
             return _concat([true_u for true_u, __ in scans.values()])
         else:
             if self._probe(trapdoor, cache, 0):
@@ -256,4 +257,5 @@ class BetweenProcessor:
                 s for s, (true_u, _) in scans.items() if true_u.size
             }
             self._apply_band_splits(trapdoor, scans, known_one_positions)
+        self.index.commit_journal()
         return winners

@@ -188,6 +188,8 @@ class MultiDimensionProcessor:
             else:
                 self._qpf.counter.comparisons += winners.size + part.size
                 winners = np.intersect1d(winners, part, assume_unique=True)
+        for index in self.indexes.values():
+            index.commit_journal()
         return winners if winners is not None else _EMPTY
 
     # ------------------------------------------------------------------ #
@@ -210,6 +212,8 @@ class MultiDimensionProcessor:
         if update and self.update_policy == "complete-partition":
             self._refine(contexts)
         self._qpf.counter.comparisons += free_winners.size + survivors.size
+        for index in self.indexes.values():
+            index.commit_journal()
         if survivors.size == 0:
             return free_winners
         return np.concatenate([free_winners, survivors])

@@ -112,6 +112,10 @@ class PartialOrderPartitions:
     """
 
     def __init__(self, uids: np.ndarray):
+        #: Optional structural-event listener (duck-typed: ``on_split``,
+        #: ``on_merge``, ``on_insert``, ``on_delete``).  The durability
+        #: journal hooks in here to write-ahead-log every refinement.
+        self.listener = None
         first = Partition(np.asarray(uids, dtype=np.uint64), slot=0)
         self._chain: list[Partition] = [first]
         self._partition_of: dict[int, Partition] = {
@@ -127,6 +131,43 @@ class PartialOrderPartitions:
         if members.size:
             self._slot_of_uid[members] = 0
         self._slot_ordinals: np.ndarray | None = None
+
+    @classmethod
+    def from_segments(cls, members: np.ndarray,
+                      offsets: np.ndarray) -> "PartialOrderPartitions":
+        """Rebuild a chain from its serialized (members, offsets) form.
+
+        ``members`` holds every tuple uid in chain order; ``offsets`` are
+        the prefix sums (``offsets[i]`` = first position of ``P_i``).  The
+        reconstruction is O(n + k) and reproduces the exact
+        partition-internal uid order of the serialized chain — required
+        for bit-identical post-restore sampling.
+        """
+        members = np.asarray(members, dtype=np.uint64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0 or int(offsets[0]) != 0 \
+                or int(offsets[-1]) != members.size:
+            raise ValueError("offsets do not describe the member array")
+        self = cls.__new__(cls)
+        self.listener = None
+        self._chain = []
+        self._partition_of = {}
+        self._index_cache = None
+        self._slot_ordinals = None
+        capacity = int(members.max()) + 1 if members.size else 0
+        self._slot_of_uid = np.full(capacity, -1, dtype=np.int64)
+        for position in range(offsets.size - 1):
+            segment = members[offsets[position]:offsets[position + 1]]
+            partition = Partition(segment, slot=position)
+            self._chain.append(partition)
+            for u in segment:
+                self._partition_of[int(u)] = partition
+            if segment.size:
+                self._slot_of_uid[segment] = position
+        self._next_slot = len(self._chain)
+        self._buffer = members.copy()
+        self._offsets = offsets.copy()
+        return self
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -336,6 +377,8 @@ class PartialOrderPartitions:
             self._buffer[cut:lo + len(old)] = second_uids
             self._offsets = np.insert(self._offsets, index + 1, cut)
         self._invalidate()
+        if self.listener is not None:
+            self.listener.on_split(index, first_uids, second_uids)
         return first, second
 
     def merge_range(self, first: int, last: int) -> Partition:
@@ -364,6 +407,8 @@ class PartialOrderPartitions:
             self._offsets = np.delete(self._offsets,
                                       np.arange(first + 1, last + 1))
         self._invalidate()
+        if self.listener is not None:
+            self.listener.on_merge(first, last)
         return merged
 
     # ------------------------------------------------------------------ #
@@ -382,6 +427,8 @@ class PartialOrderPartitions:
             self._grow_slot_array(uid + 1)
         self._slot_of_uid[uid] = partition.slot
         self._drop_buffer()
+        if self.listener is not None:
+            self.listener.on_insert(uid, index)
 
     def delete(self, uid: int) -> int | None:
         """Remove a tuple; returns the chain index of a partition that
@@ -396,6 +443,8 @@ class PartialOrderPartitions:
         partition.remove(uid)
         self._slot_of_uid[uid] = -1
         self._drop_buffer()
+        if self.listener is not None:
+            self.listener.on_delete(uid)
         if len(partition) > 0:
             return None
         index = self.index_of(partition)

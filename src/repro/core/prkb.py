@@ -233,11 +233,63 @@ class PRKBIndex:
         self.cap_policy = cap_policy
         self.early_stop = early_stop
         self._rng = np.random.default_rng(seed)
+        # Durability journal (attached by the durability manager); must be
+        # set before the first `self.pop = ...` so the setter can consult it.
+        self._journal = None
         # initPRKB: all tuples in one big partition (Sec. 4, last paragraph).
         self.pop = PartialOrderPartitions(table.uids)
         self._separators: list[_Separator] = []
         # serial -> cached Case-1 answer; see _remember_equivalence.
         self._equiv_cache: OrderedDict[int, tuple] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # durability journal plumbing                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pop(self) -> PartialOrderPartitions:
+        """The POP chain; reassignment re-attaches any durability journal."""
+        return self._pop
+
+    @pop.setter
+    def pop(self, chain: PartialOrderPartitions) -> None:
+        self._pop = chain
+        if self._journal is not None:
+            chain.listener = self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Hook a durability journal into every structural mutation.
+
+        The journal observes POP refinements through the chain's listener
+        protocol and separator-list edits through explicit calls below;
+        :meth:`commit_journal` closes one query transaction, snapshotting
+        the sampling RNG state so replay reproduces exact QPF parity.
+        """
+        self._journal = journal
+        self._pop.listener = journal
+        journal.bind(self)
+
+    def detach_journal(self) -> None:
+        """Remove the durability journal (no-op when none is attached)."""
+        self._journal = None
+        self._pop.listener = None
+
+    def commit_journal(self) -> None:
+        """Close the current journal transaction, if a journal is attached.
+
+        Idempotent and free when nothing happened since the last commit
+        (no structural ops and an unchanged RNG state).
+        """
+        if self._journal is not None:
+            self._journal.commit()
+
+    def rng_state(self) -> dict:
+        """The sampling RNG's serializable state (checkpoint/commit use)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the sampling RNG (recovery / load use)."""
+        self._rng.bit_generator.state = state
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -536,6 +588,8 @@ class PRKBIndex:
             separator.partner = partner
             partner.partner = separator
         self._separators.insert(index, separator)
+        if self._journal is not None:
+            self._journal.sep_add(index, separator, partner_index)
         if edge is None and trapdoor.kind == "comparison":
             # The fresh separator pins exactly where this trapdoor cuts:
             # its Θ=1 half sits on the prefix side iff first_label, so a
@@ -607,6 +661,7 @@ class PRKBIndex:
         if result.partitions_after != self.pop.num_partitions:
             result = replace(result,
                              partitions_after=self.pop.num_partitions)
+        self.commit_journal()
         return result
 
     # ------------------------------------------------------------------ #
@@ -719,6 +774,8 @@ class PRKBIndex:
             return None
         self.pop.merge_range(best, best + 1)
         del self._separators[best]
+        if self._journal is not None:
+            self._journal.sep_del(best, best + 1)
         return protect - 1 if best < protect else protect
 
     def _probe_boundary(self, uid: int, boundary: int,
@@ -811,22 +868,32 @@ class PRKBIndex:
         if self.pop.num_partitions == 0:
             self.pop = PartialOrderPartitions(
                 np.asarray([uid], dtype=np.uint64))
+            if self._journal is not None:
+                self._journal.chain_reinit([uid])
+            self.commit_journal()
             return 0
         located = self.locate_partition(uid)
         if isinstance(located, tuple):
             lo, hi = located
             self.pop.merge_range(lo, hi)
             del self._separators[lo:hi]
+            if self._journal is not None:
+                self._journal.sep_del(lo, hi)
             located = lo
         self.pop.insert(uid, located)
+        self.commit_journal()
         return located
 
     def delete(self, uid: int) -> None:
         """Drop a tuple; retire a separator if its partition vanished."""
         dropped = self.pop.delete(uid)
         if dropped is None or not self._separators:
+            self.commit_journal()
             return
         # Boundaries dropped-1 and dropped collapsed into one; either
         # separator now describes the same cut, keep one of them.
         retire = min(dropped, len(self._separators) - 1)
         del self._separators[retire]
+        if self._journal is not None:
+            self._journal.sep_del(retire, retire + 1)
+        self.commit_journal()

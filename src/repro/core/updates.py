@@ -39,7 +39,7 @@ class TableUpdater:
     """Apply inserts/deletes to an encrypted table and its PRKB indexes."""
 
     def __init__(self, table: EncryptedTable,
-                 indexes: dict[str, PRKBIndex]):
+                 indexes: dict[str, PRKBIndex], journal=None):
         for attr, index in indexes.items():
             if index.table is not table:
                 raise ValueError(
@@ -47,6 +47,10 @@ class TableUpdater:
                 )
         self.table = table
         self.indexes = dict(indexes)
+        # Optional durability hook (TableJournal): row batches are logged
+        # to the table WAL *before* the dependent index work commits, so
+        # crash recovery always repairs indexes toward the durable table.
+        self.journal = journal
 
     # -- DO-side helper --------------------------------------------------- #
 
@@ -83,6 +87,9 @@ class TableUpdater:
             if self.indexes else None
         before = counter.qpf_uses if counter else 0
         self.table.insert_rows(uids, ciphertexts)
+        if self.journal is not None:
+            self.journal.rows_insert(np.asarray(uids, dtype=np.uint64),
+                                     ciphertexts)
         for index in self.indexes.values():
             for uid in np.asarray(uids, dtype=np.uint64):
                 index.insert(int(uid))
@@ -99,6 +106,8 @@ class TableUpdater:
     def delete(self, uids: np.ndarray) -> None:
         """Delete rows by uid from the table and every index."""
         uids = np.asarray(uids, dtype=np.uint64)
+        if self.journal is not None:
+            self.journal.rows_delete(uids)
         for index in self.indexes.values():
             for uid in uids:
                 index.delete(int(uid))

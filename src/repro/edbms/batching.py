@@ -218,6 +218,11 @@ class BatchExecutor:
             self._run_window(prkb[start:start + size], update, answers)
         for position, job in rest:
             answers[position] = self._run_serial(job, update)
+        committed: set[int] = set()
+        for __, job in prkb:
+            if job.index is not None and id(job.index) not in committed:
+                committed.add(id(job.index))
+                job.index.commit_journal()
         return answers  # type: ignore[return-value]
 
     # -- the lock-step window ------------------------------------------- #

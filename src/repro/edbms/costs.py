@@ -54,6 +54,17 @@ class CostCounter:
         Warm/cold lookups in the trusted machine's LRU of unsealed
         predicates.  A miss costs one re-unseal inside the enclave; both
         are purely observational and never change QPF accounting.
+    wal_records / wal_bytes / wal_fsyncs:
+        Durability traffic: refinement-log records appended, framed
+        bytes written and ``fsync`` calls issued by every
+        :class:`~repro.edbms.durability.wal.WALWriter` sharing this
+        counter.  Zero unless the database runs durably.
+    checkpoints_written:
+        Atomic checkpoints committed (tables and indexes both count).
+    recovery_records_replayed / recovery_torn_bytes /
+    recovery_orphan_repairs:
+        What crash recovery did: WAL records re-applied, torn trailing
+        bytes discarded, and index/table membership mismatches repaired.
     parallel_wall_qpf_uses / parallel_wall_roundtrips:
         *Critical-path* twins of ``qpf_uses``/``qpf_roundtrips``.  The
         serial counters always record total work (the sum over every
@@ -74,6 +85,13 @@ class CostCounter:
     mpc_messages: int = 0
     predicate_cache_hits: int = 0
     predicate_cache_misses: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_fsyncs: int = 0
+    checkpoints_written: int = 0
+    recovery_records_replayed: int = 0
+    recovery_torn_bytes: int = 0
+    recovery_orphan_repairs: int = 0
     parallel_wall_qpf_uses: int = 0
     parallel_wall_roundtrips: int = 0
 
@@ -125,6 +143,12 @@ class CostModel:
     — whose simulated-time figures predate roundtrip metering — are
     byte-for-byte unchanged; throughput-oriented harnesses should use
     :data:`ROUNDTRIP_AWARE_COST_MODEL` or :func:`calibrate_cost_model`.
+
+    ``wal_record_cost`` / ``fsync_cost`` / ``checkpoint_cost`` price the
+    durability layer (refinement-log append, device flush, full
+    checkpoint).  All default to ``0.0`` — a non-durable run's simulated
+    time is unchanged — and are enabled together by
+    :data:`DURABLE_COST_MODEL`.
     """
 
     qpf_cost: float = 50e-6
@@ -134,6 +158,9 @@ class CostModel:
     index_update_cost: float = 0.5e-6
     mpc_message_cost: float = 100e-6
     roundtrip_cost: float = 0.0
+    wal_record_cost: float = 0.0
+    fsync_cost: float = 0.0
+    checkpoint_cost: float = 0.0
 
     def simulated_seconds(self, counter: CostCounter) -> float:
         """Total simulated elapsed time implied by ``counter``."""
@@ -145,6 +172,9 @@ class CostModel:
             + counter.index_updates * self.index_update_cost
             + counter.mpc_messages * self.mpc_message_cost
             + counter.qpf_roundtrips * self.roundtrip_cost
+            + counter.wal_records * self.wal_record_cost
+            + counter.wal_fsyncs * self.fsync_cost
+            + counter.checkpoints_written * self.checkpoint_cost
         )
 
     def simulated_millis(self, counter: CostCounter) -> float:
@@ -170,6 +200,9 @@ class CostModel:
             + counter.index_updates * self.index_update_cost
             + counter.mpc_messages * self.mpc_message_cost
             + counter.parallel_wall_roundtrips * self.roundtrip_cost
+            + counter.wal_records * self.wal_record_cost
+            + counter.wal_fsyncs * self.fsync_cost
+            + counter.checkpoints_written * self.checkpoint_cost
         )
 
 
@@ -182,6 +215,16 @@ DEFAULT_COST_MODEL = CostModel()
 #: term for the small payloads a warm PRKB issues, which is exactly the
 #: regime batched execution targets.
 ROUNDTRIP_AWARE_COST_MODEL = CostModel(roundtrip_cost=25e-6)
+
+#: Cost model for durability studies: roundtrip-aware, plus prices for
+#: the write-ahead refinement log.  A WAL append is a buffered userspace
+#: write (~2 µs for the small JSON records the journal emits); an fsync
+#: is a device flush (~150 µs, the order of an NVMe cache flush); a full
+#: checkpoint rewrites the chain arrays (~5 ms at bench scale).  With
+#: these knobs the fsync-policy trade-off (``always`` vs ``every:N`` vs
+#: ``off``) shows up directly on the simulated-time axis.
+DURABLE_COST_MODEL = CostModel(roundtrip_cost=25e-6, wal_record_cost=2e-6,
+                               fsync_cost=150e-6, checkpoint_cost=5e-3)
 
 
 def calibrate_cost_model(sample_size: int = 2_000,

@@ -1,0 +1,114 @@
+"""Deterministic fault injection for the durability test harness.
+
+A :class:`FaultInjector` is threaded through the WAL writer and the
+checkpoint writer.  Both call :meth:`FaultInjector.visit` /
+:meth:`FaultInjector.maybe_crash` at named *crash points*; when an armed
+:class:`CrashSpec` matches (same point name, Nth visit), the process
+"crashes" by raising :class:`SimulatedCrash` — after optionally writing a
+partial record (torn write) and/or truncating unsynced bytes (power
+loss).  Everything is counter-based and deterministic, so the recovery
+property tests can enumerate crash points exhaustively.
+
+Crash point names used by the subsystem:
+
+========================================  =====================================
+``wal.append.before``                     crash before any byte of a record
+``wal.append.torn``                       write a prefix of the framed record
+                                          (``partial_bytes``, default half),
+                                          then crash — a torn/short write
+``wal.append.after``                      record fully buffered, crash before
+                                          any fsync
+``wal.sync``                              crash just before an fsync
+``checkpoint.data.before_rename``         bulk-array temp file written, crash
+                                          before ``os.replace``
+``checkpoint.data.after_rename``          crash after the bulk-array rename
+``checkpoint.meta.before_rename``         metadata temp file written, crash
+                                          before ``os.replace`` (checkpoint
+                                          not yet committed)
+``checkpoint.meta.after_rename``          crash after the metadata rename
+                                          (checkpoint committed, WAL not yet
+                                          truncated)
+``checkpoint.wal_reset``                  crash before the post-checkpoint
+                                          WAL truncation
+========================================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulatedCrash", "CrashSpec", "FaultInjector"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised in place of a real process crash at an injected fault point."""
+
+    def __init__(self, point: str, detail: str = ""):
+        self.point = point
+        super().__init__(f"simulated crash at {point!r}"
+                         + (f": {detail}" if detail else ""))
+
+
+@dataclass
+class CrashSpec:
+    """One armed crash: fire at the ``hit``-th visit of ``point``.
+
+    ``partial_bytes`` only applies to the ``wal.append.torn`` point: that
+    many bytes of the framed record reach the file before the crash
+    (default: half the frame — always at least 1 byte short of complete).
+    ``power_loss`` additionally drops every byte not yet fsynced (the
+    writer truncates its file to the last synced offset), simulating loss
+    of the OS page cache rather than just the process.
+    """
+
+    point: str
+    hit: int = 1
+    partial_bytes: int | None = None
+    power_loss: bool = False
+    fired: bool = field(default=False, compare=False)
+
+
+class FaultInjector:
+    """Deterministic crash-point dispatcher.
+
+    Arm specs at construction or via :meth:`arm`; production code calls
+    :meth:`visit` (returns the matching spec, for behaviours like torn
+    writes that need the spec's parameters) or :meth:`maybe_crash`
+    (raise-and-forget).  ``fired`` records which points actually crashed,
+    in order, for test assertions.
+    """
+
+    def __init__(self, *specs: CrashSpec):
+        self.specs: list[CrashSpec] = list(specs)
+        self.visits: dict[str, int] = {}
+        self.fired: list[str] = []
+
+    def arm(self, spec: CrashSpec) -> None:
+        """Add one more crash spec."""
+        self.specs.append(spec)
+
+    def visit(self, point: str) -> CrashSpec | None:
+        """Count a visit of ``point``; return the spec due to fire, if any."""
+        count = self.visits.get(point, 0) + 1
+        self.visits[point] = count
+        for spec in self.specs:
+            if spec.point == point and spec.hit == count and not spec.fired:
+                spec.fired = True
+                self.fired.append(point)
+                return spec
+        return None
+
+    def maybe_crash(self, point: str, on_power_loss=None) -> None:
+        """Crash (raise) if a spec fires at ``point``.
+
+        ``on_power_loss`` is a zero-argument callable invoked before the
+        raise when the firing spec has ``power_loss=True`` (the WAL writer
+        passes its truncate-to-synced-offset hook; contexts with no
+        unsynced state pass nothing).
+        """
+        spec = self.visit(point)
+        if spec is None:
+            return
+        if spec.power_loss and on_power_loss is not None:
+            on_power_loss()
+        raise SimulatedCrash(point)

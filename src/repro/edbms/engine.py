@@ -131,9 +131,76 @@ class EncryptedDatabase:
         self.server = ServiceProvider(self.qpf)
         self.cost_model = cost_model
         self._seed = seed
+        self.durability = None
+        self.recovery_stats = None
+
+    # -- durability ---------------------------------------------------------- #
+
+    @classmethod
+    def open(cls, path, seed: int | None = None, *, fsync="always",
+             faults=None, **kwargs) -> "EncryptedDatabase":
+        """Open (or create) a *durable* database rooted at ``path``.
+
+        On a fresh directory this requires an explicit ``seed`` (the
+        data owner's key must be reproducible across restarts) and
+        initialises the on-disk manifest.  On a directory that already
+        holds a database, the manifest's seed is used (a conflicting
+        explicit ``seed`` raises) and crash recovery runs before the
+        instance is returned — checkpoints are restored, WAL tails
+        replayed, orphans repaired, and ``recovery_stats`` reports what
+        happened.  ``fsync`` picks the WAL flush policy (``"always"``,
+        ``"every:N"`` or ``"off"``); ``faults`` is the test harness's
+        :class:`~repro.edbms.durability.faults.FaultInjector`.
+        """
+        from .durability import DurabilityManager
+
+        probe = DurabilityManager(path, fsync=fsync)
+        if probe.has_state():
+            manifest = probe.load_manifest()
+            if seed is not None and seed != manifest["seed"]:
+                raise ValueError(
+                    f"{path} was created with seed {manifest['seed']}, "
+                    f"got {seed}")
+            seed = manifest["seed"]
+        elif seed is None:
+            raise ValueError(
+                "a fresh durable database needs an explicit seed")
+        database = cls(seed=seed, **kwargs)
+        manager = DurabilityManager(path, fsync=fsync,
+                                    counter=database.counter,
+                                    faults=faults)
+        database._attach_durability(manager)
+        if manager.has_state():
+            database.recover()
+        else:
+            manager.init_manifest(seed)
+        return database
+
+    def _attach_durability(self, manager) -> None:
+        self.durability = manager
+        manager.counter = self.counter
+        self.server.attach_durability(manager)
+
+    def recover(self):
+        """Run crash recovery against the attached durable directory."""
+        from .durability import RecoveryManager
+
+        if self.durability is None:
+            raise RuntimeError("database is not durable; use open()")
+        self.recovery_stats = RecoveryManager(self.durability, self.server,
+                                              self.qpf).recover()
+        return self.recovery_stats
+
+    def checkpoint(self) -> None:
+        """Checkpoint every table and index; truncates all WALs."""
+        if self.durability is None:
+            raise RuntimeError("database is not durable; use open()")
+        self.durability.checkpoint_all(self.server)
 
     def close(self) -> None:
-        """Release pooled enclave workers, if any (idempotent)."""
+        """Flush durable state and release pooled workers (idempotent)."""
+        if self.durability is not None:
+            self.durability.close()
         close = getattr(self._trusted_machine, "close", None)
         if close is not None:
             close()

@@ -6,11 +6,25 @@ files: ``<path>.json`` (structural metadata, sealed trapdoors in hex) and
 ``<path>.npz`` (the bulk arrays).  Nothing here requires the data owner's
 key — persistence is an SP-side operation over SP-visible state only,
 consistent with the paper's security argument.
+
+All file writes are *atomic*: content goes to a temp file in the target
+directory, is fsynced, and replaces the destination with ``os.replace``
+(followed by a directory fsync), so a crash mid-save leaves either the
+old artefact or the new one, never a torn mix.  The durability subsystem
+(:mod:`repro.edbms.durability`) builds its checkpoint format on the same
+helpers and serializers.
+
+Format history: version 1 had no ``rng_state``; version 2 checkpoints the
+index's sampling-RNG state so a restore (with ``seed=None``) continues
+the exact probe sequence of the saved instance — required for
+bit-identical post-restore QPF accounting.  Version-1 files still load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -18,14 +32,143 @@ import numpy as np
 from ..crypto.trapdoor import EncryptedPredicate
 from .encryption import EncryptedTable
 
-__all__ = ["save_table", "load_table", "save_index", "load_index"]
+__all__ = ["save_table", "load_table", "save_index", "load_index",
+           "atomic_write_bytes", "atomic_write_text", "fsync_dir",
+           "serialize_separators", "materialize_separators"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _paths(path) -> tuple[Path, Path]:
     base = Path(path)
     return base.with_suffix(".json"), base.with_suffix(".npz")
+
+
+# --------------------------------------------------------------------- #
+# atomic file writes                                                     #
+# --------------------------------------------------------------------- #
+
+def fsync_dir(path) -> None:
+    """Best-effort directory fsync — makes a rename durable on POSIX."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, data: bytes, faults=None,
+                       crash_point: str = "atomic") -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory (same filesystem,
+    so the rename is atomic) and is fsynced before the rename; the
+    directory is fsynced after.  ``faults`` is an optional test-harness
+    hook (duck-typed ``maybe_crash(point)``) visited at
+    ``"<crash_point>.before_rename"`` / ``"<crash_point>.after_rename"``.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if faults is not None:
+            faults.maybe_crash(f"{crash_point}.before_rename")
+        os.replace(tmp, path)
+        if faults is not None:
+            faults.maybe_crash(f"{crash_point}.after_rename")
+    finally:
+        tmp.unlink(missing_ok=True)
+    fsync_dir(path.parent)
+
+
+def atomic_write_text(path, text: str, faults=None,
+                      crash_point: str = "atomic") -> None:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), faults=faults,
+                       crash_point=crash_point)
+
+
+def _atomic_savez(path, faults=None, crash_point: str = "atomic",
+                  **arrays) -> None:
+    """Atomic ``np.savez_compressed`` (write temp, fsync, rename)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if faults is not None:
+            faults.maybe_crash(f"{crash_point}.before_rename")
+        os.replace(tmp, path)
+        if faults is not None:
+            faults.maybe_crash(f"{crash_point}.after_rename")
+    finally:
+        tmp.unlink(missing_ok=True)
+    fsync_dir(path.parent)
+
+
+# --------------------------------------------------------------------- #
+# separator (de)serialization — shared with durability checkpoints       #
+# --------------------------------------------------------------------- #
+
+def serialize_separators(separator_list) -> list[dict]:
+    """Separator records with partner links as list positions.
+
+    Partner resolution uses one ``id -> position`` map built up front
+    (object identity, since ``_Separator`` has identity equality), so the
+    pass is O(n) rather than the O(n²) of per-item ``list.index``.
+    """
+    position_of = {id(separator): position
+                   for position, separator in enumerate(separator_list)}
+    records = []
+    for separator in separator_list:
+        partner_position = -1
+        if separator.partner is not None:
+            partner_position = position_of.get(id(separator.partner), -1)
+        records.append({
+            "attribute": separator.trapdoor.attribute,
+            "kind": separator.trapdoor.kind,
+            "sealed": separator.trapdoor.sealed.hex(),
+            "prefix_label": bool(separator.prefix_label),
+            "edge": separator.edge,
+            "partner": partner_position,
+        })
+    return records
+
+
+def materialize_separators(records: list[dict]) -> list:
+    """Inverse of :func:`serialize_separators` (rebuilds partner links)."""
+    from ..core.prkb import _Separator
+
+    separators = []
+    for item in records:
+        trapdoor = EncryptedPredicate(
+            attribute=item["attribute"],
+            kind=item["kind"],
+            sealed=bytes.fromhex(item["sealed"]),
+        )
+        separators.append(_Separator(
+            trapdoor=trapdoor,
+            prefix_label=item["prefix_label"],
+            edge=item["edge"],
+        ))
+    for position, item in enumerate(records):
+        if item["partner"] >= 0:
+            separators[position].partner = separators[item["partner"]]
+    return separators
 
 
 # --------------------------------------------------------------------- #
@@ -39,14 +182,14 @@ def save_table(table: EncryptedTable, path) -> None:
     for attr in table.attribute_names:
         ciphertexts, __ = table.ciphertexts_for(attr, table.uids)
         arrays[f"col:{attr}"] = ciphertexts
-    np.savez_compressed(data_path, **arrays)
+    _atomic_savez(data_path, **arrays)
     meta = {
         "format": _FORMAT_VERSION,
         "kind": "encrypted-table",
         "name": table.name,
         "attribute_names": list(table.attribute_names),
     }
-    meta_path.write_text(json.dumps(meta, indent=2))
+    atomic_write_text(meta_path, json.dumps(meta, indent=2))
 
 
 def load_table(path) -> EncryptedTable:
@@ -80,24 +223,7 @@ def save_index(index, path) -> None:
     offsets = np.cumsum([0] + [len(c) for c in chain]).astype(np.int64)
     members = (np.concatenate(chain) if chain
                else np.zeros(0, dtype=np.uint64))
-    np.savez_compressed(data_path, members=members, offsets=offsets)
-    separators = []
-    separator_list = index._separators
-    for separator in separator_list:
-        partner_position = -1
-        if separator.partner is not None:
-            try:
-                partner_position = separator_list.index(separator.partner)
-            except ValueError:
-                partner_position = -1
-        separators.append({
-            "attribute": separator.trapdoor.attribute,
-            "kind": separator.trapdoor.kind,
-            "sealed": separator.trapdoor.sealed.hex(),
-            "prefix_label": bool(separator.prefix_label),
-            "edge": separator.edge,
-            "partner": partner_position,
-        })
+    _atomic_savez(data_path, members=members, offsets=offsets)
     meta = {
         "format": _FORMAT_VERSION,
         "kind": "prkb-index",
@@ -105,20 +231,25 @@ def save_index(index, path) -> None:
         "attribute": index.attribute,
         "max_partitions": index.max_partitions,
         "early_stop": index.early_stop,
-        "separators": separators,
+        "cap_policy": index.cap_policy,
+        "separators": serialize_separators(index._separators),
+        "rng_state": _jsonable(index.rng_state()),
     }
-    meta_path.write_text(json.dumps(meta, indent=2))
+    atomic_write_text(meta_path, json.dumps(meta, indent=2))
 
 
 def load_index(path, table: EncryptedTable, qpf, seed: int | None = None):
     """Restore a PRKB index against its (already loaded) table and QPF.
 
-    The sampling RNG cannot be checkpointed meaningfully (it only affects
-    which tuples get probed, never correctness); pass ``seed`` for
-    reproducible post-restore sampling.
+    With ``seed=None`` (default), a version-2 save restores the exact
+    sampling-RNG state of the saved index, so the restored instance draws
+    the very probe sequence the original would have — post-restore
+    ``qpf_uses`` are bit-identical.  Pass ``seed`` to override with a
+    fresh deterministic stream instead (or for version-1 saves, which
+    carry no RNG state).
     """
     from ..core.partitions import PartialOrderPartitions
-    from ..core.prkb import PRKBIndex, _Separator
+    from ..core.prkb import PRKBIndex
 
     meta_path, data_path = _paths(path)
     meta = json.loads(meta_path.read_text())
@@ -131,7 +262,8 @@ def load_index(path, table: EncryptedTable, qpf, seed: int | None = None):
         )
     index = PRKBIndex(table, qpf, meta["attribute"],
                       max_partitions=meta["max_partitions"],
-                      early_stop=meta["early_stop"], seed=seed)
+                      early_stop=meta["early_stop"], seed=seed,
+                      cap_policy=meta.get("cap_policy", "freeze"))
     with np.load(data_path) as data:
         members = data["members"]
         offsets = data["offsets"]
@@ -142,29 +274,19 @@ def load_index(path, table: EncryptedTable, qpf, seed: int | None = None):
             "saved index does not cover the loaded table's tuples "
             f"({len(stored_uids)} saved vs {len(table_uids)} in table)"
         )
-    # Rebuild the chain left to right: repeatedly split the last (still
-    # aggregated) partition at the next saved boundary.
-    pop = PartialOrderPartitions(members)
-    num_partitions = len(offsets) - 1
-    for boundary in range(1, num_partitions):
-        first = members[offsets[boundary - 1]:offsets[boundary]]
-        second = members[offsets[boundary]:]
-        pop.split(boundary - 1, first, second)
-    index.pop = pop
-    separators = []
-    for item in meta["separators"]:
-        trapdoor = EncryptedPredicate(
-            attribute=item["attribute"],
-            kind=item["kind"],
-            sealed=bytes.fromhex(item["sealed"]),
-        )
-        separators.append(_Separator(
-            trapdoor=trapdoor,
-            prefix_label=item["prefix_label"],
-            edge=item["edge"],
-        ))
-    for position, item in enumerate(meta["separators"]):
-        if item["partner"] >= 0:
-            separators[position].partner = separators[item["partner"]]
-    index._separators = separators
+    index.pop = PartialOrderPartitions.from_segments(members, offsets)
+    index._separators = materialize_separators(meta["separators"])
+    if seed is None and meta.get("rng_state") is not None:
+        index.set_rng_state(meta["rng_state"])
     return index
+
+
+def _jsonable(state) -> object:
+    """Plain-int view of a numpy BitGenerator state dict."""
+    if isinstance(state, dict):
+        return {key: _jsonable(value) for key, value in state.items()}
+    if isinstance(state, np.integer):
+        return int(state)
+    if isinstance(state, np.ndarray):  # pragma: no cover - MT19937 only
+        return state.tolist()
+    return state

@@ -31,11 +31,19 @@ class ServiceProvider:
         self._tables: dict[str, EncryptedTable] = {}
         # indexes[table][attribute] -> PRKBIndex
         self._indexes: dict[str, dict[str, PRKBIndex]] = {}
+        self._durability = None
 
     @property
     def counter(self) -> CostCounter:
         """The shared cost counter."""
         return self.qpf.counter
+
+    # -- durability --------------------------------------------------------- #
+
+    def attach_durability(self, manager) -> None:
+        """Couple this server to a durability manager: every registered
+        table and built index is checkpointed and journaled from then on."""
+        self._durability = manager
 
     # -- storage ------------------------------------------------------------ #
 
@@ -45,6 +53,8 @@ class ServiceProvider:
             raise ValueError(f"table {table.name!r} already registered")
         self._tables[table.name] = table
         self._indexes[table.name] = {}
+        if self._durability is not None and not self._durability.recovering:
+            self._durability.on_register_table(table)
 
     def table(self, name: str) -> EncryptedTable:
         """Look up a registered encrypted table."""
@@ -69,7 +79,15 @@ class ServiceProvider:
                           early_stop=early_stop, seed=seed,
                           cap_policy=cap_policy)
         self._indexes[table_name][attribute] = index
+        if self._durability is not None and not self._durability.recovering:
+            self._durability.on_build_index(index)
         return index
+
+    def adopt_index(self, table_name: str, attribute: str,
+                    index: PRKBIndex) -> None:
+        """Install an already-materialized index (recovery path)."""
+        self.table(table_name)  # must exist
+        self._indexes[table_name][attribute] = index
 
     def index(self, table_name: str, attribute: str) -> PRKBIndex:
         """Look up an existing PRKB index."""
@@ -88,10 +106,22 @@ class ServiceProvider:
         """All PRKB indexes of one table."""
         return dict(self._indexes.get(table_name, {}))
 
+    def all_tables(self) -> dict[str, EncryptedTable]:
+        """Every registered table, by name."""
+        return dict(self._tables)
+
+    def all_indexes(self) -> dict[str, dict[str, PRKBIndex]]:
+        """Every PRKB index, as ``{table: {attribute: index}}``."""
+        return {name: dict(indexes)
+                for name, indexes in self._indexes.items()}
+
     def updater(self, table_name: str) -> TableUpdater:
         """Update coordinator for one table and its indexes (Sec. 7)."""
+        journal = (self._durability.table_journal(table_name)
+                   if self._durability is not None else None)
         return TableUpdater(self.table(table_name),
-                            self.indexes_for(table_name))
+                            self.indexes_for(table_name),
+                            journal=journal)
 
     # -- selection processing ------------------------------------------------ #
 

@@ -45,6 +45,11 @@ class TestCostCounter:
                           "tuples_retrieved", "comparisons",
                           "index_updates", "mpc_messages",
                           "predicate_cache_hits", "predicate_cache_misses",
+                          "wal_records", "wal_bytes", "wal_fsyncs",
+                          "checkpoints_written",
+                          "recovery_records_replayed",
+                          "recovery_torn_bytes",
+                          "recovery_orphan_repairs",
                           "parallel_wall_qpf_uses",
                           "parallel_wall_roundtrips"}
 

@@ -1,0 +1,296 @@
+"""Unit tests for the durability primitives: WAL format, fsync policy,
+fault injection, atomic writes and the persistence serializers."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.edbms.durability import (
+    CrashSpec,
+    FaultInjector,
+    SimulatedCrash,
+    WALError,
+    WALWriter,
+    read_wal,
+)
+from repro.edbms.durability.wal import (
+    FsyncPolicy,
+    WALCorruptionError,
+    decode_op,
+    encode_op,
+    pack_uids,
+    unpack_uids,
+)
+from repro.edbms.costs import CostCounter
+from repro.edbms.persistence import (
+    atomic_write_bytes,
+    serialize_separators,
+)
+
+
+class TestWALRoundtrip:
+    def test_records_come_back_in_order(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        writer = WALWriter(path, generation=7)
+        payloads = [f"record-{i}".encode() for i in range(20)]
+        for payload in payloads:
+            writer.append(payload)
+        writer.close()
+        result = read_wal(path)
+        assert result.records == payloads
+        assert result.generation == 7
+        assert result.torn_bytes == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        result = read_wal(tmp_path / "nope.wal")
+        assert result.records == [] and result.generation is None
+
+    def test_empty_segment(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        WALWriter(path, generation=3).close()
+        result = read_wal(path)
+        assert result.records == [] and result.generation == 3
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"NOTAWAL!" + b"\0" * 16)
+        with pytest.raises(WALError):
+            read_wal(path)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        writer = WALWriter(path)
+        writer.append(b"alpha")
+        writer.append(b"beta")
+        writer.close()
+        blob = path.read_bytes()
+        for cut in range(len(blob) - len(b"beta") - 7, len(blob)):
+            path.write_bytes(blob[:cut])
+            result = read_wal(path)
+            assert result.records == [b"alpha"]
+            assert result.torn_bytes > 0
+
+    def test_torn_header_is_all_torn(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        WALWriter(path).close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        result = read_wal(path)
+        assert result.generation is None
+        assert result.torn_bytes == len(blob) // 2
+
+    def test_midfile_corruption_strict(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        writer = WALWriter(path)
+        writer.append(b"alpha")
+        writer.append(b"beta")
+        writer.close()
+        blob = bytearray(path.read_bytes())
+        # Flip a payload byte of the *first* record.
+        offset = 20 + struct.calcsize("<II")
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptionError):
+            read_wal(path, strict=True)
+        # Lenient mode truncates at the damage instead.
+        result = read_wal(path)
+        assert result.records == []
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(min_value=0, max_value=200))
+    def test_any_truncation_yields_record_prefix(self, tmp_path, cut):
+        """Chopping a WAL anywhere leaves a clean prefix of records."""
+        path = tmp_path / "prop.wal"
+        writer = WALWriter(path)
+        payloads = [bytes([i]) * (i + 1) for i in range(8)]
+        for payload in payloads:
+            writer.append(payload)
+        writer.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: min(cut, len(blob))])
+        try:
+            result = read_wal(path)
+        except WALError:
+            # Only legal for a damaged *header* region with intact magic —
+            # impossible here: short headers report torn, not raise.
+            raise
+        assert result.records == payloads[: len(result.records)]
+
+    def test_counter_tallies(self, tmp_path):
+        counter = CostCounter()
+        writer = WALWriter(tmp_path / "c.wal", counter=counter,
+                           policy=FsyncPolicy("always"))
+        writer.append(b"x" * 10)
+        writer.mark_commit()
+        writer.close()
+        assert counter.wal_records == 1
+        assert counter.wal_bytes == 10 + struct.calcsize("<II")
+        assert counter.wal_fsyncs == 1
+
+    def test_reset_starts_fresh_generation(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        writer = WALWriter(path, generation=1)
+        writer.append(b"old")
+        writer.reset(generation=2)
+        writer.append(b"new")
+        writer.close()
+        result = read_wal(path)
+        assert result.generation == 2
+        assert result.records == [b"new"]
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = WALWriter(tmp_path / "seg.wal")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(WALError):
+            writer.append(b"late")
+
+
+class TestFsyncPolicy:
+    def test_parse_forms(self):
+        assert FsyncPolicy.parse("always").mode == "always"
+        assert FsyncPolicy.parse("off").mode == "off"
+        every = FsyncPolicy.parse("every:8")
+        assert (every.mode, every.interval) == ("every", 8)
+        assert FsyncPolicy.parse(4).interval == 4
+        assert FsyncPolicy.parse(1).mode == "always"
+        policy = FsyncPolicy("every", 3)
+        assert FsyncPolicy.parse(policy) is policy
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FsyncPolicy.parse("sometimes")
+        with pytest.raises(ValueError):
+            FsyncPolicy("every", 0)
+        with pytest.raises(ValueError):
+            FsyncPolicy("nightly")
+
+    def test_describe_roundtrips(self):
+        for spec in ("always", "off", "every:5"):
+            assert FsyncPolicy.parse(spec).describe() == spec
+
+    def test_due(self):
+        assert FsyncPolicy("always").due(1)
+        assert not FsyncPolicy("off").due(100)
+        every = FsyncPolicy("every", 3)
+        assert not every.due(2)
+        assert every.due(3)
+
+    def test_group_commit_sync_cadence(self, tmp_path):
+        counter = CostCounter()
+        writer = WALWriter(tmp_path / "g.wal", counter=counter,
+                           policy=FsyncPolicy("every", 3))
+        for _ in range(7):
+            writer.append(b"r")
+            writer.mark_commit()
+        assert counter.wal_fsyncs == 2  # at commits 3 and 6
+        writer.close()
+
+
+class TestFaultInjector:
+    def test_fires_on_nth_visit_once(self):
+        faults = FaultInjector(CrashSpec("p", hit=3))
+        faults.maybe_crash("p")
+        faults.maybe_crash("p")
+        with pytest.raises(SimulatedCrash) as info:
+            faults.maybe_crash("p")
+        assert info.value.point == "p"
+        faults.maybe_crash("p")  # spent — never fires twice
+        assert faults.fired == ["p"]
+        assert faults.visits["p"] == 4
+
+    def test_torn_write_leaves_partial_record(self, tmp_path):
+        path = tmp_path / "t.wal"
+        faults = FaultInjector(CrashSpec("wal.append.torn", hit=2,
+                                         partial_bytes=5))
+        writer = WALWriter(path, faults=faults)
+        writer.append(b"first-record")
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"second-record")
+        result = read_wal(path)
+        assert result.records == [b"first-record"]
+        assert result.torn_bytes == 5
+
+    def test_power_loss_drops_unsynced_tail(self, tmp_path):
+        path = tmp_path / "p.wal"
+        faults = FaultInjector(CrashSpec("wal.append.before", hit=3,
+                                         power_loss=True))
+        writer = WALWriter(path, faults=faults, policy=FsyncPolicy("off"))
+        writer.append(b"one")
+        writer.sync()  # explicitly persisted
+        writer.append(b"two")  # flushed but never fsynced
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"three")
+        result = read_wal(path)
+        assert result.records == [b"one"]
+
+
+class TestAtomicWrites:
+    def test_crash_before_rename_keeps_old(self, tmp_path):
+        target = tmp_path / "f.json"
+        target.write_bytes(b"old")
+        faults = FaultInjector(CrashSpec("atomic.before_rename"))
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", faults=faults)
+        assert target.read_bytes() == b"old"
+        assert not list(tmp_path.glob(".f.json.*"))  # temp cleaned up
+
+    def test_crash_after_rename_keeps_new(self, tmp_path):
+        target = tmp_path / "f.json"
+        target.write_bytes(b"old")
+        faults = FaultInjector(CrashSpec("atomic.after_rename"))
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", faults=faults)
+        assert target.read_bytes() == b"new"
+
+    def test_plain_write(self, tmp_path):
+        target = tmp_path / "fresh.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert os.listdir(tmp_path) == ["fresh.bin"]
+
+
+class TestOpCodec:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                    max_size=64))
+    def test_uid_packing_roundtrip(self, uids):
+        array = np.asarray(uids, dtype=np.uint64)
+        back = unpack_uids(pack_uids(array))
+        assert np.array_equal(back, array)
+        assert back.flags.writeable
+
+    def test_op_roundtrip(self):
+        op = {"op": "split", "at": 3, "first": pack_uids([1, 2]),
+              "second": pack_uids([9])}
+        assert decode_op(encode_op(op)) == op
+        # Compact, deterministic encoding (sorted keys, no whitespace).
+        assert b" " not in encode_op(op)
+        assert encode_op(op) == encode_op(dict(reversed(list(op.items()))))
+
+
+class TestSeparatorSerialization:
+    def test_partner_links_use_positions(self):
+        from repro.edbms.persistence import materialize_separators
+
+        base = [{"attribute": "A", "kind": "comparison",
+                 "sealed": f"{i:02x}" * 4, "prefix_label": bool(i % 2),
+                 "edge": None, "partner": -1} for i in range(6)]
+        base[1]["partner"] = 4
+        base[4]["partner"] = 1
+        separators = materialize_separators(base)
+        assert separators[1].partner is separators[4]
+        assert separators[4].partner is separators[1]
+        records = serialize_separators(separators)
+        assert records[1]["partner"] == 4
+        assert records[4]["partner"] == 1
+        assert records[0]["partner"] == -1
+        assert json.dumps(records)  # JSON-clean
