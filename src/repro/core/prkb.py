@@ -288,8 +288,13 @@ class PRKBIndex:
         return self._rng.bit_generator.state
 
     def set_rng_state(self, state: dict) -> None:
-        """Restore the sampling RNG (recovery / load use)."""
-        self._rng.bit_generator.state = state
+        """Restore the sampling RNG (recovery / load use).
+
+        Accepts the JSON-decoded form of :meth:`rng_state` as written by
+        checkpoints and WAL commit records, including the ``__ndarray__``
+        marker used for ndarray-valued fields (e.g. MT19937's key).
+        """
+        self._rng.bit_generator.state = _decode_rng_state(state)
 
     # ------------------------------------------------------------------ #
     # inspection                                                          #
@@ -897,3 +902,19 @@ class PRKBIndex:
         if self._journal is not None:
             self._journal.sep_del(retire, retire + 1)
         self.commit_journal()
+
+
+def _decode_rng_state(state):
+    """Inverse of the checkpoint/WAL JSON encoding of a BitGenerator state.
+
+    ndarray-valued fields (e.g. MT19937's 624-word key) are journaled as
+    ``{"__ndarray__": [...], "dtype": "uint32"}``; everything else passes
+    through unchanged.
+    """
+    if isinstance(state, dict):
+        if "__ndarray__" in state:
+            return np.asarray(state["__ndarray__"],
+                              dtype=np.dtype(state.get("dtype", "uint64")))
+        return {key: _decode_rng_state(value)
+                for key, value in state.items()}
+    return state

@@ -106,6 +106,10 @@ class TableUpdater:
     def delete(self, uids: np.ndarray) -> None:
         """Delete rows by uid from the table and every index."""
         uids = np.asarray(uids, dtype=np.uint64)
+        # Validate before journaling: a committed rows_del record naming
+        # an unknown uid would be replayed at recovery against a table
+        # that never performed the delete, failing recovery permanently.
+        self.table.positions(uids)
         if self.journal is not None:
             self.journal.rows_delete(uids)
         for index in self.indexes.values():

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..persistence import _jsonable
 from .wal import WALWriter, encode_op, pack_uids
 
 __all__ = ["IndexJournal", "TableJournal"]
@@ -57,14 +58,14 @@ class IndexJournal:
         """Called by ``PRKBIndex.attach_journal``; snapshots the RNG
         baseline so no-op commits can be skipped."""
         self._index = index
-        self._baseline_rng = index.rng_state()
+        self._baseline_rng = _jsonable(index.rng_state())
 
     def reset_baseline(self) -> None:
         """Re-anchor after a checkpoint: the WAL is empty again and the
         checkpoint already holds the current RNG state."""
         self._pending_ops = 0
         if self._index is not None:
-            self._baseline_rng = self._index.rng_state()
+            self._baseline_rng = _jsonable(self._index.rng_state())
 
     def _log(self, op: dict) -> None:
         self.writer.append(encode_op(op))
@@ -127,11 +128,13 @@ class IndexJournal:
         """
         if self._index is None:
             return
-        state = self._index.rng_state()
+        # Compare (and journal) the JSON-encoded state: ndarray-valued
+        # fields (MT19937) have no scalar ``==`` and would break a plain
+        # dict comparison.
+        state = _jsonable(self._index.rng_state())
         if self._pending_ops == 0 and state == self._baseline_rng:
             return
-        self.writer.append(encode_op({"op": "commit",
-                                      "rng": _jsonable(state)}))
+        self.writer.append(encode_op({"op": "commit", "rng": state}))
         self.writer.mark_commit()
         self._pending_ops = 0
         self._baseline_rng = state
@@ -167,14 +170,3 @@ class TableJournal:
     def close(self) -> None:
         """Flush and close the underlying WAL segment."""
         self.writer.close()
-
-
-def _jsonable(state) -> object:
-    """Make a numpy BitGenerator state dict JSON-clean (plain ints)."""
-    if isinstance(state, dict):
-        return {key: _jsonable(value) for key, value in state.items()}
-    if isinstance(state, (np.integer,)):
-        return int(state)
-    if isinstance(state, np.ndarray):  # pragma: no cover - MT19937 only
-        return {"__ndarray__": state.tolist(), "dtype": str(state.dtype)}
-    return state

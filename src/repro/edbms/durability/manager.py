@@ -21,6 +21,7 @@ fresh checkpoints for everything and truncate every WAL.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from ..costs import CostCounter
@@ -140,16 +141,48 @@ class DurabilityManager:
 
     # -- checkpoints -------------------------------------------------------- #
 
-    def _next_generation(self, key: str) -> int:
-        generation = self._generations.get(key, 0) + 1
+    def _next_generation(self, key: str, directory: Path, stem: str) -> int:
+        current = self._generations.get(key)
+        if current is None:
+            current = self._on_disk_generation(directory, stem)
+        generation = current + 1
         self._generations[key] = generation
         return generation
+
+    @staticmethod
+    def _on_disk_generation(directory: Path, stem: str) -> int:
+        """Highest generation already on disk for ``stem`` (0 when none).
+
+        Consulted the first time a stem is checkpointed by this manager:
+        after a restart the in-memory counter is empty, and handing out a
+        generation that a crash-surviving WAL segment already carries
+        would defeat the stale-segment protection — that segment's ops
+        are baked into the checkpoint, and a matching generation makes
+        recovery double-apply them.  Both the committed metadata and any
+        orphaned data files from an interrupted checkpoint attempt are
+        considered.
+        """
+        best = 0
+        meta_path = Path(directory) / f"{stem}.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
+        else:
+            best = max(best, int(meta.get("generation", 0)))
+        pattern = re.compile(re.escape(stem) + r"\.(\d+)\.npz$")
+        for candidate in Path(directory).glob(f"{stem}.*.npz"):
+            match = pattern.match(candidate.name)
+            if match:
+                best = max(best, int(match.group(1)))
+        return best
 
     def checkpoint_table(self, table) -> None:
         """Write a fresh table checkpoint and truncate its WAL."""
         from .checkpoint import drop_stale_generations, write_table_checkpoint
 
-        generation = self._next_generation(f"table:{table.name}")
+        generation = self._next_generation(f"table:{table.name}",
+                                           self.tables_dir, table.name)
         write_table_checkpoint(self.tables_dir, table.name, table,
                                generation, faults=self.faults)
         if self.faults is not None:
@@ -172,7 +205,8 @@ class DurabilityManager:
         from .checkpoint import drop_stale_generations, write_index_checkpoint
 
         stem = self.index_stem(index.table.name, index.attribute)
-        generation = self._next_generation(f"index:{stem}")
+        generation = self._next_generation(f"index:{stem}",
+                                           self.indexes_dir, stem)
         write_index_checkpoint(self.indexes_dir, stem, index, generation,
                                faults=self.faults)
         if self.faults is not None:

@@ -14,7 +14,11 @@ The recovery sequence (classic ARIES-lite, adapted to PRKB's structure):
    their ``commit`` record, which also restores the RNG state recorded
    at that query boundary.  Complete-but-uncommitted tail ops (crash
    mid-query) are dropped — the index rolls back to the last finished
-   query.  A torn final record is tolerated and counted.
+   query.  A torn final record is tolerated and counted.  Both WAL
+   scans run in *strict* mode: a checksum failure *followed by further
+   complete records* is mid-file rot, not a crash tear, and raises
+   :class:`~.wal.WALCorruptionError` instead of silently dropping the
+   committed transactions behind it.
 3. **Orphan repair.**  The durable table is the source of truth for
    membership: uids in the table but unknown to an index are re-filed
    with the paper's O(log k) insertion (the QPF spent is tallied as
@@ -152,7 +156,7 @@ class RecoveryManager:
         from .checkpoint import read_table_checkpoint
 
         meta, table = read_table_checkpoint(self.manager.tables_dir, name)
-        wal = read_wal(self.manager.table_wal_path(name))
+        wal = read_wal(self.manager.table_wal_path(name), strict=True)
         if wal.generation == meta["wal_generation"]:
             for payload in wal.records:
                 apply_table_op(table, decode_op(payload))
@@ -174,7 +178,8 @@ class RecoveryManager:
             self.manager.indexes_dir, stem)
         table = self.server.table(table_name)
         index = restore_index(meta, members, offsets, table, self.qpf)
-        wal = read_wal(self.manager.index_wal_path(table_name, attribute))
+        wal = read_wal(self.manager.index_wal_path(table_name, attribute),
+                       strict=True)
         if wal.generation == meta["wal_generation"]:
             pending: list[dict] = []
             for payload in wal.records:

@@ -282,11 +282,15 @@ def load_index(path, table: EncryptedTable, qpf, seed: int | None = None):
 
 
 def _jsonable(state) -> object:
-    """Plain-int view of a numpy BitGenerator state dict."""
+    """JSON-clean view of a numpy BitGenerator state dict.
+
+    ndarray-valued fields (e.g. MT19937's key) become a marked dict that
+    ``PRKBIndex.set_rng_state`` decodes back to the original array.
+    """
     if isinstance(state, dict):
         return {key: _jsonable(value) for key, value in state.items()}
     if isinstance(state, np.integer):
         return int(state)
-    if isinstance(state, np.ndarray):  # pragma: no cover - MT19937 only
-        return state.tolist()
+    if isinstance(state, np.ndarray):
+        return {"__ndarray__": state.tolist(), "dtype": str(state.dtype)}
     return state

@@ -16,6 +16,7 @@ from repro.edbms.durability import (
     CrashSpec,
     FaultInjector,
     SimulatedCrash,
+    WALCorruptionError,
 )
 from repro.edbms.engine import EncryptedDatabase
 
@@ -336,3 +337,73 @@ def test_recovery_counters_surface_in_cost_counter(tmp_path):
     recovered.query(QUERIES[0])
     assert counter.wal_records > 0 and counter.wal_bytes > 0
     recovered.close()
+
+
+def test_restart_checkpoint_never_reuses_wal_generation(tmp_path):
+    """Regression: the generation counter lives in memory, so the first
+    checkpoint after a restart must seed it from disk — handing out the
+    generation a crash-surviving WAL segment already carries would make
+    the *next* recovery double-apply ops that are baked into the
+    checkpoint."""
+    first = _open(tmp_path / "db")
+    _run(first, QUERIES[:4])
+    # Process dies without close/checkpoint: every WAL survives at the
+    # generation the creation checkpoints handed out.
+    del first
+    # Reopen; recovery replays the tails, then its own checkpoint_all
+    # crashes in index A's wal_reset window (table=1, index A=2): index
+    # A's fresh metadata is committed but its old WAL segment survives.
+    faults = FaultInjector(CrashSpec("checkpoint.wal_reset", hit=2))
+    with pytest.raises(SimulatedCrash):
+        EncryptedDatabase.open(tmp_path / "db", seed=SEED, faults=faults)
+
+    recovered = _open(tmp_path / "db")
+    # The survivor must read as stale (generation mismatch), never as a
+    # replayable continuation of the post-restart checkpoint.
+    assert recovered.recovery_stats.stale_wal_segments >= 1
+    assert recovered.recovery_stats.repair_qpf_uses == 0
+    reference, timeline = _reference(tmp_path)
+    assert _fingerprint(recovered) == timeline[4]
+    _run(recovered, QUERIES, start=4)
+    assert _fingerprint(recovered) == timeline[-1]
+    assert _probe(recovered) == _probe(reference)
+    recovered.close()
+    reference.close()
+
+
+def test_rejected_delete_leaves_no_wal_record(tmp_path):
+    """Regression: deleting unknown uids must fail *before* the rows_del
+    record commits — a durable record for a delete the database never
+    performed would fail every future recovery."""
+    db = _open(tmp_path / "db")
+    _run(db, QUERIES[:2])
+    rows_before = db.server.table("t").num_rows
+    with pytest.raises(KeyError):
+        db.delete("t", np.asarray([10 ** 9], dtype=np.uint64))
+    assert db.server.table("t").num_rows == rows_before
+    db.close()
+
+    recovered = _open(tmp_path / "db")
+    assert recovered.server.table("t").num_rows == rows_before
+    for statement in PROBES:
+        indexed = recovered.query(statement)
+        baseline = recovered.query(statement, strategy="baseline")
+        assert np.array_equal(indexed.uids, baseline.uids)
+    recovered.close()
+
+
+def test_midfile_wal_rot_raises_instead_of_silent_loss(tmp_path):
+    """Regression: recovery scans WALs strictly — a checksum failure
+    *followed by further complete records* is bit rot, not a crash tear,
+    and must raise instead of silently dropping the committed
+    transactions behind it."""
+    db = _open(tmp_path / "db")
+    _run(db, QUERIES)
+    db.close()
+    wal_path = tmp_path / "db" / "indexes" / "t.A.wal"
+    blob = bytearray(wal_path.read_bytes())
+    assert len(blob) > 60  # header + several records
+    blob[28] ^= 0xFF  # flip a byte inside the first record's payload
+    wal_path.write_bytes(bytes(blob))
+    with pytest.raises(WALCorruptionError):
+        EncryptedDatabase.open(tmp_path / "db", seed=SEED)
