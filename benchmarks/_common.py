@@ -11,13 +11,63 @@ pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from pathlib import Path
 
 from repro.bench import bench_scale, format_table
 
 #: Directory where benches drop their rendered tables.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def git_rev() -> str:
+    """Short hash of the checked-out revision ("unknown" outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent)
+        rev = proc.stdout.strip()
+        return rev if proc.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def write_bench_json(path, bench: str, seed, metrics: dict) -> dict:
+    """Persist one bench result on the shared machine-readable schema.
+
+    Every ``BENCH_*.json`` carries the same envelope —
+    ``{bench, seed, git_rev, metrics: {...}}`` — so tooling
+    (``bench_diff.py``, CI artifacts) can diff any pair of files
+    without per-bench knowledge.  ``metrics`` may nest dicts freely;
+    consumers flatten them with dotted keys.
+    """
+    doc = {
+        "bench": bench,
+        "seed": None if seed is None else int(seed),
+        "git_rev": git_rev(),
+        "metrics": metrics,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def load_bench_json(path) -> dict:
+    """Read a ``BENCH_*.json``; legacy flat files are wrapped in place.
+
+    Pre-schema files had metrics at the top level with an optional
+    ``seed`` key; they come back as ``{bench: <stem>, seed, git_rev:
+    "unknown", metrics: {...}}`` so old baselines stay diffable.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if "metrics" in doc and "bench" in doc:
+        return doc
+    seed = doc.pop("seed", None)
+    return {"bench": path.stem, "seed": seed, "git_rev": "unknown",
+            "metrics": doc}
 
 
 def scaled(base: int, minimum: int = 1) -> int:
@@ -64,6 +114,9 @@ def parse_bench_args(argv: list[str] | None = None):
     parser.add_argument("--seed", type=int, default=None,
                         help="master RNG seed (default: REPRO_BENCH_SEED "
                              "or 0)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the bench JSON here instead of the "
+                             "committed BENCH_*.json baseline")
     args = parser.parse_args(argv)
     if args.seed is not None:
         os.environ["REPRO_BENCH_SEED"] = str(args.seed)

@@ -18,7 +18,6 @@ Run standalone with ``python benchmarks/bench_batching_throughput.py
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -29,7 +28,8 @@ from repro.bench import bench_seed, format_cache_stats
 from repro.edbms.engine import EncryptedDatabase
 from repro.workloads import distinct_comparison_thresholds
 
-from _common import emit, emit_note, parse_bench_args, scaled
+from _common import (emit, emit_note, parse_bench_args, scaled,
+                     write_bench_json)
 
 DOMAIN = (1, 30_000_000)
 BATCH_SIZES = [4, 16, 64]
@@ -117,7 +117,7 @@ def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
     return results
 
 
-def _report(results: dict, n: int) -> None:
+def _report(results: dict, n: int, out=None) -> None:
     modes = [(mode, stats) for mode, stats in results.items()
              if isinstance(stats, dict) and "queries_per_sec" in stats]
     rows = [[mode,
@@ -134,7 +134,9 @@ def _report(results: dict, n: int) -> None:
     emit_note("batching_throughput",
               "batch64 " + results["cache"]["batch64"]
               + f" | seed={results['seed']}")
-    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    metrics = {k: v for k, v in results.items() if k != "seed"}
+    write_bench_json(out or JSON_PATH, "batching_throughput",
+                     results["seed"], metrics)
 
 
 def test_batching_throughput(benchmark):
@@ -162,7 +164,7 @@ def main(argv: list[str]) -> int:
     warm = 30 if tiny else 100
     workload = 16 if tiny else 64
     results = _measure(n, warm_queries=warm, workload_size=workload)
-    _report(results, n)
+    _report(results, n, out=args.out)
     serial_rt = results["serial"]["roundtrips_per_query"]
     batched_rt = results["batch16"]["roundtrips_per_query"]
     if workload >= 16 and serial_rt < 3 * batched_rt:

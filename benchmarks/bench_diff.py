@@ -1,0 +1,164 @@
+"""Compare two ``BENCH_*.json`` files; fail CI on real regressions.
+
+Usage::
+
+    python benchmarks/bench_diff.py BASELINE.json CURRENT.json \
+        [--threshold 0.10] [--warn-wall]
+
+Both files use the shared envelope written by
+``_common.write_bench_json`` (legacy flat files are accepted too).
+Metrics are flattened to dotted keys and classified:
+
+* **qpf** — any key mentioning ``qpf``: deterministic work counts.
+  A >threshold regression here always exits nonzero.
+* **wall** — keys mentioning wall time or throughput (``per_sec``,
+  ``wall``, ``_ms``, ``seconds``, ``speedup``, ``throughput``): noisy
+  on shared machines.  Regressions exit nonzero unless ``--warn-wall``
+  downgrades them to warnings.
+* **info** — everything else (cache tallies, record counts): reported,
+  never fatal.
+
+Direction matters: throughput-like keys (``per_sec``, ``speedup``,
+``saved``, ``hits``, ``hit_ratio``, ``recovered``, ``throughput``) are
+better *higher*; all other numeric keys are better *lower*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _common import load_bench_json
+
+__all__ = ["flatten", "classify", "higher_is_better", "diff", "main"]
+
+#: Substrings marking a metric where bigger numbers are improvements.
+_HIGHER_BETTER = ("per_sec", "speedup", "saved", "hits", "hit_ratio",
+                  "recovered", "throughput")
+#: Substrings marking a wall-clock / throughput metric (noisy).
+_WALL = ("per_sec", "wall", "_ms", "ms_", "seconds", "speedup",
+         "throughput", "latency")
+
+
+def flatten(metrics: dict, prefix: str = "") -> dict:
+    """Nested metric dicts -> one level of dotted keys (numbers only)."""
+    flat: dict[str, float] = {}
+    for key, value in metrics.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten(value, prefix=f"{dotted}."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+    return flat
+
+
+def classify(key: str) -> str:
+    """``"qpf"``, ``"wall"`` or ``"info"`` for one dotted metric key."""
+    lowered = key.lower()
+    if "qpf" in lowered:
+        return "qpf"
+    if any(mark in lowered for mark in _WALL):
+        return "wall"
+    return "info"
+
+
+def higher_is_better(key: str) -> bool:
+    lowered = key.lower()
+    return any(mark in lowered for mark in _HIGHER_BETTER)
+
+
+def diff(baseline: dict, current: dict, threshold: float) -> list[dict]:
+    """Per-metric comparison; returns one record per shared numeric key.
+
+    ``change`` is the signed relative change oriented so that positive
+    means *worse* (cost grew, or throughput shrank); ``regressed`` marks
+    changes beyond ``threshold``.
+    """
+    base = flatten(baseline["metrics"])
+    cur = flatten(current["metrics"])
+    records = []
+    for key in sorted(set(base) & set(cur)):
+        old, new = base[key], cur[key]
+        if old == 0 and new == 0:
+            worse = 0.0
+        elif old == 0:
+            worse = float("inf") if not higher_is_better(key) else -1.0
+        else:
+            change = (new - old) / abs(old)
+            worse = -change if higher_is_better(key) else change
+        records.append({
+            "key": key,
+            "kind": classify(key),
+            "old": old,
+            "new": new,
+            "worse_by": worse,
+            "regressed": worse > threshold,
+        })
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two bench JSON files; nonzero on regression.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression tolerance (default 0.10)")
+    parser.add_argument("--warn-wall", action="store_true",
+                        help="report wall-clock regressions without "
+                             "failing (QPF regressions still fail)")
+    args = parser.parse_args(argv)
+
+    baseline = load_bench_json(args.baseline)
+    current = load_bench_json(args.current)
+    if baseline.get("bench") != current.get("bench"):
+        print(f"note: comparing bench {baseline.get('bench')!r} "
+              f"(rev {baseline.get('git_rev')}) against "
+              f"{current.get('bench')!r} (rev {current.get('git_rev')})")
+
+    records = diff(baseline, current, args.threshold)
+    if not records:
+        print("no shared numeric metrics between the two files")
+        return 1
+
+    hard, warned = [], []
+    for record in records:
+        if not record["regressed"]:
+            continue
+        if record["kind"] == "qpf":
+            hard.append(record)
+        elif record["kind"] == "wall":
+            (warned if args.warn_wall else hard).append(record)
+        else:
+            warned.append(record)
+
+    shown = sorted(records, key=lambda r: -abs(r["worse_by"]))
+    print(f"{len(records)} shared metrics "
+          f"(threshold {100 * args.threshold:.0f}%):")
+    for record in shown[:20]:
+        direction = "worse" if record["worse_by"] > 0 else "better"
+        pct = abs(record["worse_by"]) * 100
+        pct_text = "inf" if pct == float("inf") else f"{pct:6.1f}%"
+        flag = "REGRESSION" if record["regressed"] else "ok"
+        print(f"  [{record['kind']:<4}] {record['key']:<50} "
+              f"{record['old']:>12.4g} -> {record['new']:>12.4g}  "
+              f"{pct_text} {direction}  {flag}")
+
+    for record in warned:
+        print(f"WARN: {record['kind']} metric {record['key']} regressed "
+              f"{100 * record['worse_by']:.1f}% "
+              f"({record['old']:.4g} -> {record['new']:.4g})")
+    for record in hard:
+        print(f"FAIL: {record['kind']} metric {record['key']} regressed "
+              f"{100 * record['worse_by']:.1f}% "
+              f"({record['old']:.4g} -> {record['new']:.4g})")
+    if hard:
+        return 1
+    print("bench_diff: no fatal regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

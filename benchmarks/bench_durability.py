@@ -26,7 +26,6 @@ seconds-scale smoke run.
 
 from __future__ import annotations
 
-import json
 import sys
 import tempfile
 from pathlib import Path
@@ -38,7 +37,8 @@ from repro.edbms.costs import DURABLE_COST_MODEL
 from repro.edbms.engine import EncryptedDatabase
 from repro.workloads import uniform_table
 
-from _common import emit, emit_note, parse_bench_args, scaled
+from _common import (emit, emit_note, parse_bench_args, scaled,
+                     write_bench_json)
 
 DOMAIN = (1, 30_000_000)
 POLICIES = ["off", "every:8", "always"]
@@ -135,7 +135,7 @@ def _measure(n: int, warm_queries: int, probe_queries: int) -> dict:
     }
 
 
-def _report(results: dict) -> None:
+def _report(results: dict, out=None) -> None:
     rows = [[policy,
              str(stats["warm_qpf_uses"]),
              f"{stats['wal_records_per_query']:.1f}",
@@ -160,7 +160,9 @@ def _report(results: dict) -> None:
         f"saved={recovery['qpf_saved_by_recovery']} QPF "
         f"(plus the {recovery['cold_rebuild_warm_qpf']} QPF warm-up a "
         f"cold rebuild would repeat); seed={results['seed']}")
-    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    metrics = {k: v for k, v in results.items() if k != "seed"}
+    write_bench_json(out or JSON_PATH, "durability",
+                     results["seed"], metrics)
 
 
 def _check(results: dict) -> list[str]:
@@ -198,7 +200,7 @@ def main(argv: list[str]) -> int:
     warm = 6 if args.tiny else 16
     probes = 4 if args.tiny else 12
     results = _measure(n, warm_queries=warm, probe_queries=probes)
-    _report(results)
+    _report(results, out=args.out)
     failures = _check(results)
     if failures:
         for failure in failures:

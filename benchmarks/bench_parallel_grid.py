@@ -22,7 +22,6 @@ scale — too little work to amortise thread dispatch).
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -33,7 +32,8 @@ from repro.bench import Testbed, bench_seed
 from repro.edbms.qpf import CrossingLatency
 from repro.workloads import uniform_table
 
-from _common import emit, emit_note, parse_bench_args, scaled
+from _common import (emit, emit_note, parse_bench_args, scaled,
+                     write_bench_json)
 
 DOMAIN = (1, 30_000_000)
 WORKER_COUNTS = [1, 2, 4, 8]
@@ -107,7 +107,7 @@ def _measure(n: int, warm_queries: int, num_queries: int) -> dict:
     }
 
 
-def _report(results: dict, n: int) -> None:
+def _report(results: dict, n: int, out=None) -> None:
     base_qps = results["workers"]["1"]["queries_per_sec"]
     rows = [[w,
              f"{stats['queries_per_sec']:.1f}",
@@ -123,7 +123,9 @@ def _report(results: dict, n: int) -> None:
         rows,
     )
     emit_note("parallel_grid", f"seed={results['seed']}")
-    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    metrics = {k: v for k, v in results.items() if k != "seed"}
+    write_bench_json(out or JSON_PATH, "parallel_grid",
+                     results["seed"], metrics)
 
 
 def _check(results: dict, full_scale: bool) -> list[str]:
@@ -156,7 +158,7 @@ def main(argv: list[str]) -> int:
     warm = 6 if args.tiny else 20
     queries = 6 if args.tiny else 25
     results = _measure(n, warm_queries=warm, num_queries=queries)
-    _report(results, n)
+    _report(results, n, out=args.out)
     failures = _check(results, full_scale=not args.tiny)
     if failures:
         for failure in failures:

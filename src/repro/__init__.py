@@ -28,6 +28,7 @@ from . import baselines  # noqa: F401
 from . import attacks  # noqa: F401
 from . import workloads  # noqa: F401
 from . import bench  # noqa: F401
+from . import obs  # noqa: F401
 
 from .crypto import (
     SecretKey,
@@ -95,6 +96,13 @@ from .attacks import (
     ope_rank_matching_attack,
     pop_interval_attack,
 )
+from .obs import (
+    Tracer,
+    Span,
+    MetricsRegistry,
+    render_prometheus,
+    render_json,
+)
 
 __version__ = "1.0.0"
 
@@ -149,5 +157,10 @@ __all__ = [
     "simulate_rpoi",
     "ope_rank_matching_attack",
     "pop_interval_attack",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "render_prometheus",
+    "render_json",
     "__version__",
 ]

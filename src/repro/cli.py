@@ -8,6 +8,9 @@ Three commands cover the library's everyday entry points:
   columns and run a SQL statement, reporting the answer and its cost.
 * ``rpoi``    — the Sec. 8.1 security study on one CSV column: how much
   ordering information a given query volume would leak.
+* ``stats``   — run a traced workload (CSV or synthetic) with full
+  observability on and print PRKB health plus the metrics registry in
+  text, Prometheus or JSON form.
 
 The CLI is a thin shell over the public API; everything it does can be
 done in a few lines of Python (see ``examples/``).
@@ -68,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
     rpoi.add_argument("--queries", type=int, nargs="+",
                       default=[100, 1_000, 10_000])
     rpoi.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser(
+        "stats", help="run an instrumented workload; print health+metrics")
+    stats.add_argument("--csv", default=None,
+                       help="CSV with integer columns (default: synthetic)")
+    stats.add_argument("--table", default="data",
+                       help="table name (default 'data')")
+    stats.add_argument("--rows", type=int, default=2_000,
+                       help="synthetic table size when no --csv")
+    stats.add_argument("--queries", type=int, default=40,
+                       help="warm-up range queries per index (default 40)")
+    stats.add_argument("--format", default="text",
+                       choices=("text", "prom", "json"),
+                       help="metrics output format (default text)")
+    stats.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -185,6 +203,69 @@ def _cmd_rpoi(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    import json
+
+    from .edbms.engine import EncryptedDatabase
+    from .obs import render_json, render_prometheus
+
+    if args.csv is not None:
+        columns = _load_csv(args.csv)
+    else:
+        rng = np.random.default_rng(args.seed)
+        columns = {"X": rng.integers(1, 1_000_001, size=args.rows,
+                                     dtype=np.int64)}
+    domains = {
+        name: (int(values.min()) - 1, int(values.max()) + 1)
+        for name, values in columns.items()
+    }
+    db = EncryptedDatabase(seed=args.seed)
+    db.create_table(args.table, domains, columns)
+    db.enable_prkb(args.table, list(columns))
+    tracer, registry = db.enable_observability()
+    rng = np.random.default_rng(args.seed + 1)
+    for attribute, (low, high) in domains.items():
+        for constant in rng.integers(low + 1, high, size=args.queries):
+            db.query(f"SELECT * FROM {args.table} "
+                     f"WHERE {attribute} < {int(constant)}")
+    if args.format == "prom":
+        print(render_prometheus(registry), end="")
+        return 0
+    if args.format == "json":
+        print(json.dumps({
+            "metrics": render_json(registry),
+            "health": {
+                f"{args.table}.{attribute}": db.server.index(
+                    args.table, attribute).health()
+                for attribute in columns
+            },
+        }, indent=2))
+        return 0
+    total = args.queries * len(columns)
+    print(f"ran {total} traced queries over {sorted(columns)} "
+          f"({len(tracer)} spans retained)")
+    for attribute in columns:
+        health = db.server.index(args.table, attribute).health()
+        sizes = health["partition_sizes"]
+        ns = health["ns_scan_width"]
+        print(f"index {attribute!r}: k={health['chain_length']}  "
+              f"refinement={health['refinement_rate']:.2f}  "
+              f"partition p50/p90={sizes['p50']}/{sizes['p90']}  "
+              f"NS-scan p50/p90={ns['p50']}/{ns['p90']}")
+        cache = health["equivalence_cache"]
+        print(f"  equivalence cache: {cache['hits']} hits / "
+              f"{cache['misses']} misses (ratio {cache['hit_ratio']:.2f})")
+    counter = db.counter
+    print(f"totals: qpf_uses={counter.qpf_uses}  "
+          f"roundtrips={counter.qpf_roundtrips}  "
+          f"predicate-cache {counter.predicate_cache_hits}/"
+          f"{counter.predicate_cache_hits + counter.predicate_cache_misses}"
+          " hits")
+    print("(use --format prom for the /metrics exposition, "
+          "--format json for machine-readable output)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -194,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "rpoi":
         return _cmd_rpoi(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

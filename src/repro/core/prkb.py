@@ -30,7 +30,7 @@ skipped harmlessly if a sibling query already split the same partition.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -41,10 +41,13 @@ from ..edbms.qpf import QPFRequest, QueryProcessingFunction
 from .partitions import ChainView, PartialOrderPartitions, Partition
 
 __all__ = ["PRKBIndex", "QFilterOutcome", "QScanOutcome", "SelectionResult",
-           "DeferredSplit", "EQUIVALENCE_CACHE_SIZE"]
+           "DeferredSplit", "EQUIVALENCE_CACHE_SIZE", "HEALTH_HISTORY"]
 
 #: Bound on the serial → separator equivalence cache (Case 1 fast path).
 EQUIVALENCE_CACHE_SIZE = 256
+
+#: How many recent queries :meth:`PRKBIndex.health` aggregates over.
+HEALTH_HISTORY = 256
 
 
 @dataclass(eq=False)  # identity semantics: partners reference each other
@@ -182,6 +185,55 @@ def _metered(sub, meter: dict, phase: str):
         return stop.value
 
 
+def _metered_traced(sub, meter: dict, phase: str, name: str, tracer, parent):
+    """:func:`_metered` plus one tracer span covering the whole phase.
+
+    Cost attribution comes from the logical ``meter`` (exact even when
+    the batching layer interleaves many queries through the shared
+    counter); only the wall-clock interval is span-local, so under
+    interleaving the duration includes sibling queries' work while
+    ``qpf_uses`` stays per-query exact.
+    """
+    span = tracer.begin(name, parent=parent)
+    try:
+        result = yield from _metered(sub, meter, phase)
+    finally:
+        tracer.finish(span, qpf_uses=meter[phase])
+    return result
+
+
+def _metered_qfilter_traced(sub, meter: dict, tracer, parent):
+    """QFilter metering split into *sample* and *search* sub-spans.
+
+    Algorithm 1 has two distinct QPF consumers — the fused endpoint
+    sample (first request) and the binary-search probes (the rest) —
+    and the paper's cost analysis treats them separately, so the tracer
+    does too.  The sample span closes when the first labels return.
+    """
+    sample = tracer.begin("prkb.qfilter.sample", parent=parent)
+    search = None
+    base = 0
+    try:
+        try:
+            request = next(sub)
+            while True:
+                meter["qfilter"] += int(request.uids.size)
+                labels = yield request
+                if search is None:
+                    base = meter["qfilter"]
+                    tracer.finish(sample, qpf_uses=base)
+                    search = tracer.begin("prkb.qfilter.search",
+                                          parent=parent)
+                request = sub.send(labels)
+        except StopIteration as stop:
+            return stop.value
+    finally:
+        if search is None:
+            tracer.finish(sample, qpf_uses=meter["qfilter"])
+        else:
+            tracer.finish(search, qpf_uses=meter["qfilter"] - base)
+
+
 class PRKBIndex:
     """Past result knowledge base over one encrypted attribute.
 
@@ -241,6 +293,13 @@ class PRKBIndex:
         self._separators: list[_Separator] = []
         # serial -> cached Case-1 answer; see _remember_equivalence.
         self._equiv_cache: OrderedDict[int, tuple] = OrderedDict()
+        # Observability: bounded history of per-query outcomes feeding
+        # health().  One small tuple per select — cheap enough to keep
+        # always on (QPF parity is untouched; only Python-side state).
+        self._history: deque = deque(maxlen=HEALTH_HISTORY)
+        self._equiv_hits = 0
+        self._equiv_misses = 0
+        self._splits_committed = 0
 
     # ------------------------------------------------------------------ #
     # durability journal plumbing                                         #
@@ -357,6 +416,89 @@ class PRKBIndex:
             "storage_bytes": self.storage_bytes(),
             "expected_range_query_qpf": expected_qpf,
         }
+
+    def _note_query(self, qpf_uses: int, ns_width: int,
+                    split_planned: bool, was_equivalent: bool) -> None:
+        """Append one query outcome to the bounded health history."""
+        self._history.append(
+            (qpf_uses, ns_width, split_planned, was_equivalent))
+
+    def health(self, window: int | None = None) -> dict:
+        """Operational health report for this index.
+
+        Extends :meth:`describe`'s static chain shape with *dynamic*
+        signals aggregated over the last ``window`` (default: all
+        retained, at most :data:`HEALTH_HISTORY`) select queries:
+        refinement rate (fraction that planned a split — POPE's
+        "how unrefined is the order still" signal), Not-Sure-pair scan
+        widths (the per-query QScan payload the paper bounds by
+        2·max|Pi|), per-query QPF quantiles and both cache hit ratios.
+        Range/grid traffic refines the chain without flowing through
+        ``select``; it shows up in ``splits_committed`` and the chain
+        shape rather than the query history.
+        """
+        sizes = np.sort(np.asarray(self.pop.sizes(), dtype=np.int64)) \
+            if self.pop.num_partitions else np.zeros(0, dtype=np.int64)
+        history = list(self._history)
+        if window is not None:
+            history = history[-window:]
+
+        def _quantiles(values):
+            if not values:
+                return {"p50": 0, "p90": 0, "max": 0}
+            arr = np.asarray(values, dtype=np.int64)
+            return {"p50": int(np.percentile(arr, 50)),
+                    "p90": int(np.percentile(arr, 90)),
+                    "max": int(arr.max())}
+
+        scans = [ns for __, ns, __, eq in history if not eq]
+        counter = self.qpf.counter
+        pc_total = (counter.predicate_cache_hits
+                    + counter.predicate_cache_misses)
+        eq_total = self._equiv_hits + self._equiv_misses
+        return {
+            "attribute": self.attribute,
+            "tuples": self.pop.num_tuples,
+            "chain_length": self.pop.num_partitions,
+            "max_partitions": self.max_partitions,
+            "separators": len(self._separators),
+            "storage_bytes": self.storage_bytes(),
+            "partition_sizes": {
+                "min": int(sizes[0]) if sizes.size else 0,
+                "p50": int(np.percentile(sizes, 50)) if sizes.size else 0,
+                "p90": int(np.percentile(sizes, 90)) if sizes.size else 0,
+                "max": int(sizes[-1]) if sizes.size else 0,
+                "mean": float(sizes.mean()) if sizes.size else 0.0,
+            },
+            "queries_observed": len(history),
+            "refinement_rate": (
+                sum(1 for __, __, split, __ in history if split)
+                / len(history) if history else 0.0),
+            "splits_committed": self._splits_committed,
+            "ns_scan_width": _quantiles(scans),
+            "qpf_per_query": _quantiles([q for q, __, __, __ in history]),
+            "equivalence_cache": {
+                "hits": self._equiv_hits,
+                "misses": self._equiv_misses,
+                "hit_ratio": self._equiv_hits / eq_total if eq_total else 0.0,
+                "entries": len(self._equiv_cache),
+            },
+            "predicate_cache": {
+                "hits": counter.predicate_cache_hits,
+                "misses": counter.predicate_cache_misses,
+                "hit_ratio": (counter.predicate_cache_hits / pc_total
+                              if pc_total else 0.0),
+            },
+        }
+
+    def has_cached_equivalence(self, serial: int) -> bool:
+        """Whether a re-submission of trapdoor ``serial`` is a 0-QPF hit.
+
+        The planner (``EncryptedDatabase.explain``) consults this so
+        :class:`QueryPlan` estimates reflect the equivalence-cache fast
+        path instead of pricing every query as cold.
+        """
+        return serial in self._equiv_cache
 
     def _check_attribute(self, trapdoor: EncryptedPredicate) -> None:
         if trapdoor.attribute != self.attribute:
@@ -602,13 +744,15 @@ class PRKBIndex:
             self._equiv_put(trapdoor.serial,
                             ("sep", separator, bool(first_label)))
         self.qpf.counter.index_updates += 1
+        self._splits_committed += 1
 
     # ------------------------------------------------------------------ #
     # full pipeline                                                       #
     # ------------------------------------------------------------------ #
 
     def select_steps(self, trapdoor: EncryptedPredicate,
-                     update: bool = True, view: ChainView | None = None):
+                     update: bool = True, view: ChainView | None = None,
+                     span=None):
         """The full pipeline as a request generator (Fig. 2b).
 
         Yields :class:`QPFRequest` payloads and returns
@@ -619,18 +763,40 @@ class PRKBIndex:
         the requests.  ``qpf_uses``/``phase_qpf`` in the result are
         *logical* (what this query alone consumed), so per-query
         accounting is exact even when payloads were shared.
+
+        ``span`` optionally names the tracer span phase spans should
+        attach under; the batching layer passes its per-query pipeline
+        span, since the thread-local current span over there belongs to
+        the whole window, not to one query.
         """
         self._check_attribute(trapdoor)
         cached = self._equivalent_answer(trapdoor)
+        tracer = self.qpf.counter.tracer
         if cached is not None:
+            self._equiv_hits += 1
+            self._note_query(0, 0, False, True)
+            if tracer is not None:
+                tracer.finish(
+                    tracer.begin("prkb.cached", parent=span,
+                                 attribute=self.attribute),
+                    qpf_uses=0)
             return (cached, None)
+        self._equiv_misses += 1
         if view is None:
             view = self.pop.freeze()
         meter = {"qfilter": 0, "qscan": 0}
-        filtered = yield from _metered(
-            self._qfilter_gen(trapdoor, view), meter, "qfilter")
-        scanned = yield from _metered(
-            self._qscan_gen(trapdoor, view, filtered), meter, "qscan")
+        if tracer is None:
+            filtered = yield from _metered(
+                self._qfilter_gen(trapdoor, view), meter, "qfilter")
+            scanned = yield from _metered(
+                self._qscan_gen(trapdoor, view, filtered), meter, "qscan")
+        else:
+            parent = span if span is not None else tracer.current()
+            filtered = yield from _metered_qfilter_traced(
+                self._qfilter_gen(trapdoor, view), meter, tracer, parent)
+            scanned = yield from _metered_traced(
+                self._qscan_gen(trapdoor, view, filtered), meter, "qscan",
+                "prkb.qscan", tracer, parent)
         deferred = None
         if update and scanned.split_index is not None:
             deferred = self._plan_split(
@@ -650,6 +816,8 @@ class PRKBIndex:
                 "update": 0,
             },
         )
+        self._note_query(result.qpf_uses, meter["qscan"],
+                         deferred is not None, was_equivalent)
         return (result, deferred)
 
     def select(self, trapdoor: EncryptedPredicate,
@@ -659,10 +827,25 @@ class PRKBIndex:
         ``QFilter`` → ``QScan`` → optional ``updatePRKB``; the result is
         ``TW ∪ TWNS``.
         """
-        result, deferred = self._drive(
-            self.select_steps(trapdoor, update=update))
-        if deferred is not None:
-            self._commit_split(deferred)
+        tracer = self.qpf.counter.tracer
+        if tracer is None:
+            result, deferred = self._drive(
+                self.select_steps(trapdoor, update=update))
+            if deferred is not None:
+                self._commit_split(deferred)
+        else:
+            with tracer.span("prkb.select",
+                             attribute=self.attribute) as root:
+                result, deferred = self._drive(
+                    self.select_steps(trapdoor, update=update, span=root))
+                uspan = tracer.begin("prkb.update", parent=root)
+                committed = (deferred is not None
+                             and self._commit_split(deferred))
+                # updatePRKB reuses QScan's labels: splits are QPF-free.
+                tracer.finish(uspan.set(split=bool(committed)), qpf_uses=0)
+                # Total as an *attribute* (not cost): span costs stay
+                # non-overlapping so phase sums tile the global counter.
+                root.set(qpf_uses_total=result.qpf_uses)
         if result.partitions_after != self.pop.num_partitions:
             result = replace(result,
                              partitions_after=self.pop.num_partitions)

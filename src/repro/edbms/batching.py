@@ -133,10 +133,20 @@ class QPFBatcher:
         groups, self._groups = self._groups, {}
         if not placements:
             return []
-        fused = [group.payload() for group in groups.values()]
-        for group, labels in zip(groups.values(),
-                                 self.qpf.batch_many(fused)):
-            group.labels = labels
+        tracer = self.qpf.counter.tracer
+        if tracer is None:
+            fused = [group.payload() for group in groups.values()]
+            for group, labels in zip(groups.values(),
+                                     self.qpf.batch_many(fused)):
+                group.labels = labels
+        else:
+            with tracer.span("qpf.flush", requests=len(placements),
+                             groups=len(groups)) as fspan:
+                fused = [group.payload() for group in groups.values()]
+                fspan.set(payload=int(sum(r.uids.size for r in fused)))
+                for group, labels in zip(groups.values(),
+                                         self.qpf.batch_many(fused)):
+                    group.labels = labels
         return [group.labels_for(chunk) for group, chunk in placements]
 
 
@@ -172,6 +182,7 @@ class BatchAnswer:
     qpf_uses: int
     roundtrip_share: float
     was_equivalent: bool = False
+    trace_id: int | None = None
 
     @property
     def count(self) -> int:
@@ -190,6 +201,7 @@ class _QueryState:
     roundtrip_share: float = 0.0
     labels: np.ndarray | None = None
     started: bool = field(default=False)
+    span: object = None
 
 
 class BatchExecutor:
@@ -229,6 +241,7 @@ class BatchExecutor:
 
     def _run_window(self, chunk: list[tuple[int, BatchJob]], update: bool,
                     answers: list) -> None:
+        tracer = self.qpf.counter.tracer
         active: list[_QueryState] = []
         aliases: list[tuple[int, int]] = []
         first_of: dict[tuple[int, int], int] = {}
@@ -244,10 +257,18 @@ class BatchExecutor:
             view = views.get(id(job.index))
             if view is None:
                 view = views[id(job.index)] = job.index.pop.freeze()
+            span = None
+            if tracer is not None:
+                # Each batched query gets its own trace: phase spans
+                # produced by the generator attach here even though the
+                # engine's window span is on the stack.
+                span = tracer.begin("batch.query", parent=None,
+                                    position=position,
+                                    attribute=job.index.attribute)
             steps = job.index.select_steps(job.trapdoor, update=update,
-                                           view=view)
+                                           view=view, span=span)
             state = _QueryState(position=position, index=job.index,
-                                steps=steps)
+                                steps=steps, span=span)
             if self._advance(state, answers):
                 active.append(state)
         batcher = QPFBatcher(self.qpf)
@@ -264,10 +285,17 @@ class BatchExecutor:
             active = survivors
         for position, source in aliases:
             original = answers[source]
+            trace_id = None
+            if tracer is not None:
+                aspan = tracer.begin("batch.alias", parent=None,
+                                     position=position,
+                                     source=original.trace_id)
+                tracer.finish(aspan, qpf_uses=0)
+                trace_id = aspan.trace_id
             # The duplicate consumed nothing: its twin's work answers it.
             answers[position] = BatchAnswer(
                 winners=original.winners, qpf_uses=0, roundtrip_share=0.0,
-                was_equivalent=True)
+                was_equivalent=True, trace_id=trace_id)
 
     def _advance(self, state: _QueryState, answers: list) -> bool:
         """Step one pipeline; returns False (and records) on completion."""
@@ -280,35 +308,63 @@ class BatchExecutor:
             return True
         except StopIteration as stop:
             result, deferred = stop.value
-            if deferred is not None:
-                state.index._commit_split(deferred)
+            if state.span is None:
+                if deferred is not None:
+                    state.index._commit_split(deferred)
+            else:
+                tracer = self.qpf.counter.tracer
+                uspan = tracer.begin("prkb.update", parent=state.span)
+                committed = (deferred is not None
+                             and state.index._commit_split(deferred))
+                tracer.finish(uspan.set(split=bool(committed)), qpf_uses=0)
             if result.partitions_after != state.index.pop.num_partitions:
                 result = replace(
                     result,
                     partitions_after=state.index.pop.num_partitions)
+            trace_id = None
+            if state.span is not None:
+                # Totals as *attributes* (not costs): phase spans below
+                # this root already carry the qpf attribution exactly.
+                state.span.set(qpf_uses_total=result.qpf_uses,
+                               equivalent=result.was_equivalent)
+                self.qpf.counter.tracer.finish(state.span)
+                trace_id = state.span.trace_id
             answers[state.position] = BatchAnswer(
                 winners=result.winners,
                 qpf_uses=result.qpf_uses,
                 roundtrip_share=state.roundtrip_share,
-                was_equivalent=result.was_equivalent)
+                was_equivalent=result.was_equivalent,
+                trace_id=trace_id)
             return False
 
     # -- serial fallbacks ----------------------------------------------- #
 
     def _run_serial(self, job: BatchJob, update: bool) -> BatchAnswer:
         counter: CostCounter = self.qpf.counter
+        tracer = counter.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("batch.serial", parent=None, kind=job.kind)
+            tracer._push(span)
         before = counter.snapshot()
-        if job.kind == "between":
-            from ..core.between import BetweenProcessor
+        try:
+            if job.kind == "between":
+                from ..core.between import BetweenProcessor
 
-            winners = BetweenProcessor(job.index).select(job.trapdoor,
-                                                         update=update)
-        elif job.kind == "scan":
-            labels = self.qpf.batch(job.trapdoor, job.table,
-                                    job.table.uids)
-            winners = job.table.uids[labels]
-        else:
-            raise ValueError(f"unknown job kind {job.kind!r}")
-        spent = counter.diff(before)
+                winners = BetweenProcessor(job.index).select(job.trapdoor,
+                                                             update=update)
+            elif job.kind == "scan":
+                labels = self.qpf.batch(job.trapdoor, job.table,
+                                        job.table.uids)
+                winners = job.table.uids[labels]
+            else:
+                raise ValueError(f"unknown job kind {job.kind!r}")
+        finally:
+            spent = counter.diff(before)
+            if span is not None:
+                tracer._pop(span)
+                # Serial sections own the counter: the delta is exact.
+                tracer.finish(span, qpf_uses=spent.qpf_uses)
         return BatchAnswer(winners=winners, qpf_uses=spent.qpf_uses,
-                           roundtrip_share=float(spent.qpf_roundtrips))
+                           roundtrip_share=float(spent.qpf_roundtrips),
+                           trace_id=span.trace_id if span else None)

@@ -18,6 +18,7 @@ does not distort wall-clock measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import ClassVar
 
 
 @dataclass
@@ -94,6 +95,17 @@ class CostCounter:
     recovery_orphan_repairs: int = 0
     parallel_wall_qpf_uses: int = 0
     parallel_wall_roundtrips: int = 0
+
+    #: Observability hooks.  ``ClassVar`` keeps them out of the dataclass
+    #: field machinery (``reset``/``diff``/``as_dict`` stay pure tallies)
+    #: and out of ``snapshot()`` copies.  They default to ``None`` for
+    #: every counter; ``EncryptedDatabase.enable_observability()`` sets
+    #: *instance* attributes on the one live counter a database shares
+    #: across its engine/server/QPF/WAL layers, which is exactly how the
+    #: tracer reaches code that only ever sees the counter.  Hot paths
+    #: pay one attribute load + ``is None`` test when disabled.
+    tracer: ClassVar = None
+    metrics: ClassVar = None
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -181,6 +181,17 @@ class DurabilityManager:
         """Write a fresh table checkpoint and truncate its WAL."""
         from .checkpoint import drop_stale_generations, write_table_checkpoint
 
+        tracer = None if self.counter is None else self.counter.tracer
+        if tracer is not None:
+            with tracer.span("checkpoint.table", table=table.name):
+                self._checkpoint_table(table, drop_stale_generations,
+                                       write_table_checkpoint)
+        else:
+            self._checkpoint_table(table, drop_stale_generations,
+                                   write_table_checkpoint)
+
+    def _checkpoint_table(self, table, drop_stale_generations,
+                          write_table_checkpoint) -> None:
         generation = self._next_generation(f"table:{table.name}",
                                            self.tables_dir, table.name)
         write_table_checkpoint(self.tables_dir, table.name, table,
@@ -204,6 +215,18 @@ class DurabilityManager:
         journal (creating one on first call)."""
         from .checkpoint import drop_stale_generations, write_index_checkpoint
 
+        tracer = None if self.counter is None else self.counter.tracer
+        if tracer is not None:
+            with tracer.span("checkpoint.index", table=index.table.name,
+                             attribute=index.attribute):
+                self._checkpoint_index(index, drop_stale_generations,
+                                       write_index_checkpoint)
+        else:
+            self._checkpoint_index(index, drop_stale_generations,
+                                   write_index_checkpoint)
+
+    def _checkpoint_index(self, index, drop_stale_generations,
+                          write_index_checkpoint) -> None:
         stem = self.index_stem(index.table.name, index.attribute)
         generation = self._next_generation(f"index:{stem}",
                                            self.indexes_dir, stem)

@@ -130,16 +130,17 @@ class RecoveryManager:
         """Run the full recovery sequence; returns its statistics."""
         stats = RecoveryStats()
         manifest = self.manager.load_manifest()
+        counter = self.manager.counter
+        tracer = None if counter is None else counter.tracer
         self.manager.recovering = True
         try:
-            for table_name in manifest["tables"]:
-                self._recover_table(table_name, stats)
-            for spec in manifest["indexes"]:
-                self._recover_index(spec["table"], spec["attribute"], stats)
-            self._repair_orphans(stats)
-            # Recovery-then-checkpoint: persist the recovered state and
-            # truncate every WAL, then attach fresh journals.
-            self.manager.checkpoint_all(self.server)
+            if tracer is None:
+                self._recover_phases(manifest, stats)
+            else:
+                with tracer.span("recovery",
+                                 tables=len(manifest["tables"]),
+                                 indexes=len(manifest["indexes"])):
+                    self._recover_phases(manifest, stats, tracer)
         finally:
             self.manager.recovering = False
         counter = self.manager.counter
@@ -149,6 +150,27 @@ class RecoveryManager:
             counter.recovery_orphan_repairs += (stats.orphans_reindexed
                                                 + stats.orphans_dropped)
         return stats
+
+    def _recover_phases(self, manifest, stats, tracer=None) -> None:
+        """The four recovery phases, each optionally under its own span."""
+        def phased(name, fn):
+            if tracer is None:
+                fn()
+            else:
+                with tracer.span(name):
+                    fn()
+
+        phased("recovery.tables", lambda: [
+            self._recover_table(name, stats)
+            for name in manifest["tables"]])
+        phased("recovery.indexes", lambda: [
+            self._recover_index(spec["table"], spec["attribute"], stats)
+            for spec in manifest["indexes"]])
+        phased("recovery.orphans", lambda: self._repair_orphans(stats))
+        # Recovery-then-checkpoint: persist the recovered state and
+        # truncate every WAL, then attach fresh journals.
+        phased("recovery.checkpoint",
+               lambda: self.manager.checkpoint_all(self.server))
 
     # -- tables --------------------------------------------------------- #
 

@@ -195,12 +195,19 @@ class WALWriter:
         if self.faults is not None:
             self.faults.maybe_crash(POINT_SYNC,
                                     on_power_loss=self._truncate_to_synced)
+        tracer = None if self.counter is None else self.counter.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("wal.fsync", path=self.path.name,
+                                pending_bytes=self._file.tell() - self._synced)
         self._file.flush()
         os.fsync(self._file.fileno())
         self._synced = self._file.tell()
         self._pending_commits = 0
         if self.counter is not None:
             self.counter.wal_fsyncs += 1
+        if span is not None:
+            tracer.finish(span, wal_fsyncs=1)
 
     def reset(self, generation: int) -> None:
         """Truncate to an empty segment of the given generation.

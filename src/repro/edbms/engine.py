@@ -9,13 +9,20 @@ the lower-level pieces directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from ..core.aggregates import AggregateResolver
 from ..core.multi import DimensionRange
 from ..crypto.primitives import generate_key
+from ..obs import (
+    DEFAULT_RATIO_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+)
 from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from .owner import DataOwner
 from .qpf import (
@@ -25,7 +32,7 @@ from .qpf import (
     TrustedMachine,
 )
 from .schema import AttributeSpec, PlainTable, Schema
-from .server import ServiceProvider
+from .server import ObservabilityEndpoint, ServiceProvider
 from .sql import (
     BetweenCondition,
     ComparisonCondition,
@@ -33,10 +40,18 @@ from .sql import (
     parse_select,
 )
 
-__all__ = ["EncryptedDatabase", "QueryAnswer", "QueryPlan", "PlanStep"]
+__all__ = ["EncryptedDatabase", "QueryAnswer", "QueryPlan", "PlanStep",
+           "StepAnalysis", "PlanAnalysis"]
 
 _LOWER_OPS = (">", ">=")
 _UPPER_OPS = ("<", "<=")
+
+#: DO-side LRU of sealed comparison trapdoors.  Re-asking the same
+#: predicate reuses the same sealed object, which is what lets the SP's
+#: equivalence cache (keyed by trapdoor serial) answer repeats in 0 QPF
+#: through the SQL layer — and what makes the planner's cache-aware
+#: estimate (``PlanStep.cached``) actually come true at execution time.
+TRAPDOOR_MEMO_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -48,13 +63,17 @@ class PlanStep:
     indexed: bool
     partitions: int | None
     estimated_qpf: int
+    #: The planner expects the SP's equivalence cache to answer this step
+    #: (a repeat of a known predicate): estimated cost collapses to ~0.
+    cached: bool = False
 
     def render(self) -> str:
         """Human-readable single line."""
         attrs = ", ".join(self.attributes)
         index_note = (f"PRKB k={self.partitions}" if self.indexed
                       else "no index")
-        return (f"{self.kind}({attrs}) [{index_note}] "
+        cache_note = " [cached]" if self.cached else ""
+        return (f"{self.kind}({attrs}) [{index_note}]{cache_note} "
                 f"~{self.estimated_qpf} QPF")
 
 
@@ -87,11 +106,90 @@ class QueryAnswer:
     value: int | None
     qpf_uses: int
     simulated_ms: float
+    #: Tracer trace id when observability is enabled (``None`` otherwise);
+    #: feed it to ``GET /trace/<query_id>`` or ``Tracer.trace_tree``.
+    query_id: int | None = None
 
     @property
     def count(self) -> int:
         """Number of matching tuples."""
         return int(self.uids.size)
+
+
+@dataclass(frozen=True)
+class StepAnalysis:
+    """One plan step annotated with what execution actually spent."""
+
+    step: PlanStep
+    actual_qpf: int
+    wall_ms: float
+
+    @property
+    def error_ratio(self) -> float:
+        """``(actual+1)/(estimated+1)`` — 1.0 means a perfect estimate."""
+        return (self.actual_qpf + 1) / (self.step.estimated_qpf + 1)
+
+    def render(self) -> str:
+        return (f"{self.step.render()}  "
+                f"(actual {self.actual_qpf} QPF, "
+                f"{self.wall_ms:.3f} ms, x{self.error_ratio:.2f})")
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """EXPLAIN ANALYZE output: the plan, per-step actuals, the answer."""
+
+    plan: QueryPlan
+    steps: tuple[StepAnalysis, ...]
+    answer: QueryAnswer
+
+    @property
+    def estimated_qpf(self) -> int:
+        return self.plan.estimated_qpf
+
+    @property
+    def actual_qpf(self) -> int:
+        return self.answer.qpf_uses
+
+    @property
+    def error_ratio(self) -> float:
+        """``(actual+1)/(estimated+1)`` over the whole query."""
+        return (self.actual_qpf + 1) / (self.estimated_qpf + 1)
+
+    def render(self) -> str:
+        lines = [f"SELECT {self.plan.projection} FROM {self.plan.table}"]
+        lines.extend("  -> " + step.render() for step in self.steps)
+        lines.append(f"  estimated ~{self.estimated_qpf} QPF, "
+                     f"actual {self.actual_qpf} QPF "
+                     f"(x{self.error_ratio:.2f})")
+        return "\n".join(lines)
+
+
+class _audited:
+    """EXPLAIN ANALYZE helper: append ``(attrs, qpf_delta, seconds)`` to
+    ``audit`` around a block.  A ``None`` audit makes it a no-op, so the
+    regular query path shares the execution code without paying for
+    step attribution."""
+
+    __slots__ = ("audit", "attrs", "counter", "qpf_before", "start")
+
+    def __init__(self, audit, attrs, counter):
+        self.audit = audit
+        self.attrs = attrs
+        self.counter = counter
+
+    def __enter__(self):
+        if self.audit is not None:
+            self.qpf_before = self.counter.qpf_uses
+            self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.audit is not None and exc_type is None:
+            self.audit.append((self.attrs,
+                               self.counter.qpf_uses - self.qpf_before,
+                               time.perf_counter() - self.start))
+        return False
 
 
 class EncryptedDatabase:
@@ -133,6 +231,95 @@ class EncryptedDatabase:
         self._seed = seed
         self.durability = None
         self.recovery_stats = None
+        self.tracer = None
+        self.metrics = None
+        self._trapdoor_memo: OrderedDict = OrderedDict()
+
+    # -- observability ------------------------------------------------------- #
+
+    def enable_observability(self, trace_capacity: int = 4096,
+                             registry: MetricsRegistry | None = None
+                             ) -> tuple[Tracer, MetricsRegistry]:
+        """Install a span tracer and a metrics registry on this database.
+
+        Both handles are published on the shared :class:`CostCounter`
+        (instance attributes shadowing the ``None`` class defaults), so
+        every layer that already holds the counter — PRKB pipelines, the
+        batcher, the shard pool, WAL writers, recovery — starts emitting
+        spans/metrics with no further wiring.  Until this is called, the
+        instrumented hot paths cost one ``is None`` test and allocate
+        nothing.  Idempotent: re-enabling returns the existing handles.
+        """
+        if self.tracer is not None:
+            return self.tracer, self.metrics
+        self.tracer = Tracer(capacity=trace_capacity)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.counter.tracer = self.tracer
+        self.counter.metrics = self.metrics
+        self._register_metrics(self.metrics)
+        return self.tracer, self.metrics
+
+    def disable_observability(self) -> None:
+        """Remove tracer + registry; hot paths go back to zero-cost."""
+        self.tracer = None
+        self.metrics = None
+        # Instance attributes shadow the ClassVar defaults; dropping them
+        # restores ``None`` without touching other databases' counters.
+        self.counter.__dict__.pop("tracer", None)
+        self.counter.__dict__.pop("metrics", None)
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror the live counter into callback gauges + derived series."""
+        counter = self.counter
+        server = self.server
+        for spec in fields(counter):
+            registry.gauge(
+                f"repro_{spec.name}",
+                f"live CostCounter.{spec.name} for this database",
+                callback=lambda name=spec.name: getattr(counter, name))
+
+        def _ratio(hits, misses):
+            total = hits + misses
+            return hits / total if total else 0.0
+
+        registry.gauge(
+            "repro_predicate_cache_hit_ratio",
+            "trusted-machine predicate LRU: hits / lookups",
+            callback=lambda: _ratio(counter.predicate_cache_hits,
+                                    counter.predicate_cache_misses))
+
+        def _equiv(field_name):
+            return sum(getattr(index, field_name)
+                       for indexes in server.all_indexes().values()
+                       for index in indexes.values())
+
+        registry.gauge("repro_equivalence_cache_hits",
+                       "PRKB equivalence-cache hits across all indexes",
+                       callback=lambda: _equiv("_equiv_hits"))
+        registry.gauge("repro_equivalence_cache_misses",
+                       "PRKB equivalence-cache misses across all indexes",
+                       callback=lambda: _equiv("_equiv_misses"))
+        registry.gauge(
+            "repro_equivalence_cache_hit_ratio",
+            "PRKB equivalence cache: hits / lookups",
+            callback=lambda: _ratio(_equiv("_equiv_hits"),
+                                    _equiv("_equiv_misses")))
+        registry.histogram("repro_query_latency_seconds",
+                           "wall time of EncryptedDatabase.query calls")
+        registry.histogram("repro_plan_estimate_error_ratio",
+                           "(actual+1)/(estimated+1) QPF per query",
+                           buckets=DEFAULT_RATIO_BUCKETS)
+
+    def observability_endpoint(self) -> "ObservabilityEndpoint":
+        """An HTTP-ready introspection surface for this database.
+
+        ``GET /metrics``, ``/metrics.json``, ``/trace/<query_id>`` and
+        ``/health`` — see :class:`~repro.edbms.server.ObservabilityEndpoint`.
+        Call :meth:`enable_observability` first for metrics and traces
+        (``/health`` works regardless).
+        """
+        return ObservabilityEndpoint(self.server, tracer=self.tracer,
+                                     registry=self.metrics)
 
     # -- durability ---------------------------------------------------------- #
 
@@ -259,15 +446,48 @@ class EncryptedDatabase:
         ``"md"``, ``"sd+"``, or ``"baseline"`` (ignore PRKB entirely).
         """
         statement = parse_select(sql)
+        tracer = self.counter.tracer
+        metrics = self.counter.metrics
+        start = time.perf_counter() if metrics is not None else 0.0
         before = self.counter.snapshot()
-        uids, value = self._execute(statement, strategy)
-        spent = self.counter.diff(before)
+        query_id = None
+        if tracer is None:
+            uids, value = self._execute(statement, strategy)
+            spent = self.counter.diff(before)
+        else:
+            with tracer.span("query", sql=sql, strategy=strategy) as span:
+                uids, value = self._execute(statement, strategy)
+                spent = self.counter.diff(before)
+                # Totals go in attrs, not cost: span costs stay exclusive
+                # (phase spans below already own every QPF use).
+                span.set(qpf_uses=spent.qpf_uses,
+                         qpf_roundtrips=spent.qpf_roundtrips,
+                         rows=int(uids.size))
+                query_id = span.trace_id
+        if metrics is not None:
+            metrics.histogram("repro_query_latency_seconds").observe(
+                time.perf_counter() - start)
+            self._record_estimate_error(statement, strategy,
+                                        spent.qpf_uses)
         return QueryAnswer(
             uids=uids,
             value=value,
             qpf_uses=spent.qpf_uses,
             simulated_ms=self.cost_model.simulated_millis(spent),
+            query_id=query_id,
         )
+
+    def _record_estimate_error(self, statement: SelectStatement,
+                               strategy: str, actual_qpf: int) -> None:
+        """Feed the planner-quality histogram (metrics enabled only)."""
+        try:
+            plan = self._plan_statement(statement, strategy)
+        except Exception:
+            return  # unplannable statements don't poison the query path
+        self.counter.metrics.histogram(
+            "repro_plan_estimate_error_ratio",
+            buckets=DEFAULT_RATIO_BUCKETS,
+        ).observe((actual_qpf + 1) / (plan.estimated_qpf + 1))
 
     def execute_many(self, statements: list[str], strategy: str = "auto",
                      window: int | None = None) -> list[QueryAnswer]:
@@ -299,15 +519,22 @@ class EncryptedDatabase:
             else:
                 answers[position] = self.query(statements[position],
                                                strategy=strategy)
+        tracer = self.counter.tracer
         for table, group in batchable.items():
             trapdoors = []
             for _, statement in group:
                 condition = statement.conditions[0]
-                trapdoors.append(self.owner.comparison_trapdoor(
+                trapdoors.append(self._sealed_comparison(
                     condition.attribute, condition.operator,
                     condition.constant))
-            batch = self.server.answer_batch(table, trapdoors,
-                                             window=window)
+            if tracer is None:
+                batch = self.server.answer_batch(table, trapdoors,
+                                                 window=window)
+            else:
+                with tracer.span("execute_many.window", table=table,
+                                 queries=len(group)):
+                    batch = self.server.answer_batch(table, trapdoors,
+                                                     window=window)
             for (position, _), answer in zip(group, batch):
                 logical = CostCounter(qpf_uses=answer.qpf_uses,
                                       tuples_retrieved=answer.qpf_uses)
@@ -319,8 +546,30 @@ class EncryptedDatabase:
                     value=None,
                     qpf_uses=answer.qpf_uses,
                     simulated_ms=millis,
+                    query_id=answer.trace_id,
                 )
         return answers  # type: ignore[return-value]
+
+    def _sealed_comparison(self, attribute: str, operator: str,
+                           constant: int):
+        """Seal (or reuse) the trapdoor for ``attribute op constant``.
+
+        A DO-side LRU: re-asking a predicate returns the *same* sealed
+        object, so the SP's serial-keyed equivalence cache can answer
+        the repeat in 0 QPF.  Capped at :data:`TRAPDOOR_MEMO_SIZE`.
+        """
+        key = (attribute, operator, constant)
+        memo = self._trapdoor_memo
+        trapdoor = memo.get(key)
+        if trapdoor is None:
+            trapdoor = self.owner.comparison_trapdoor(attribute, operator,
+                                                      constant)
+            memo[key] = trapdoor
+            while len(memo) > TRAPDOOR_MEMO_SIZE:
+                memo.popitem(last=False)
+        else:
+            memo.move_to_end(key)
+        return trapdoor
 
     def explain(self, sql: str, strategy: str = "auto") -> QueryPlan:
         """Describe how a statement would be planned, without running it.
@@ -329,7 +578,10 @@ class EncryptedDatabase:
         comparison costs ~``2·(2n/k) + log2 k`` QPF uses (two NS-pair
         scans plus the binary search), an unindexed one costs ``n``.
         """
-        statement = parse_select(sql)
+        return self._plan_statement(parse_select(sql), strategy)
+
+    def _plan_statement(self, statement: SelectStatement,
+                        strategy: str) -> QueryPlan:
         table = self.server.table(statement.table)
         n = table.num_rows
         md_dimensions, leftovers = self._plan(statement)
@@ -360,12 +612,18 @@ class EncryptedDatabase:
                        and self.server.has_index(statement.table,
                                                  attribute))
             if indexed:
-                k = self.server.index(statement.table,
-                                      attribute).num_partitions
+                index = self.server.index(statement.table, attribute)
+                k = index.num_partitions
                 kind = ("prkb-between" if hasattr(condition, "low")
                         and hasattr(condition, "high") else "prkb-sd")
-                steps.append(PlanStep(kind, (attribute,), True, k,
-                                      self._estimate_sd_qpf(n, k)))
+                cached = (kind == "prkb-sd"
+                          and self._estimate_cached(index, condition))
+                steps.append(PlanStep(
+                    kind, (attribute,), True, k,
+                    # A predicate the equivalence cache already knows is
+                    # one chain slice: 0 QPF, not a cold NS-pair scan.
+                    0 if cached else self._estimate_sd_qpf(n, k),
+                    cached=cached))
             else:
                 steps.append(PlanStep("baseline-scan", (attribute,),
                                       False, None, n))
@@ -382,6 +640,77 @@ class EncryptedDatabase:
                          projection=statement.projection,
                          steps=tuple(steps))
 
+    def _estimate_cached(self, index, condition) -> bool:
+        """Whether re-running ``condition`` would hit the SP's
+        equivalence cache: the DO would reuse its memoized trapdoor
+        (same serial) and the index still holds a Case-1 entry for it.
+        Pure catalog inspection — nothing is sealed or executed.
+        """
+        trapdoor = self._trapdoor_memo.get(
+            (condition.attribute, condition.operator, condition.constant))
+        return (trapdoor is not None
+                and index.has_cached_equivalence(trapdoor.serial))
+
+    def explain_analyze(self, sql: str,
+                        strategy: str = "auto") -> PlanAnalysis:
+        """EXPLAIN ANALYZE: plan the statement, run it, annotate each
+        plan step with the QPF it actually consumed and its wall time.
+
+        Execution is the real thing — indexes refine, caches fill — so
+        a repeated ``explain_analyze`` shows both the warmed plan
+        (``cached`` steps) and the warmed actuals.  The overall
+        ``(actual+1)/(estimated+1)`` ratio lands in the
+        ``repro_plan_estimate_error_ratio`` histogram when metrics are
+        enabled.  QPF spent outside the planned steps (e.g. aggregate
+        resolution after a filtered MIN/MAX) is reported as a trailing
+        synthetic step so the per-step actuals always sum to the total.
+        """
+        statement = parse_select(sql)
+        plan = self._plan_statement(statement, strategy)
+        audit: list[tuple[tuple[str, ...], int, float]] = []
+        tracer = self.counter.tracer
+        before = self.counter.snapshot()
+        start = time.perf_counter()
+        query_id = None
+        if tracer is None:
+            uids, value = self._execute(statement, strategy, audit=audit)
+            spent = self.counter.diff(before)
+        else:
+            with tracer.span("explain_analyze", sql=sql,
+                             strategy=strategy) as span:
+                uids, value = self._execute(statement, strategy,
+                                            audit=audit)
+                spent = self.counter.diff(before)
+                span.set(qpf_uses=spent.qpf_uses, rows=int(uids.size))
+                query_id = span.trace_id
+        wall_ms = (time.perf_counter() - start) * 1e3
+        answer = QueryAnswer(
+            uids=uids, value=value, qpf_uses=spent.qpf_uses,
+            simulated_ms=self.cost_model.simulated_millis(spent),
+            query_id=query_id)
+        steps = []
+        for position, step in enumerate(plan.steps):
+            if position < len(audit):
+                __, qpf, seconds = audit[position]
+                steps.append(StepAnalysis(step, qpf, seconds * 1e3))
+            else:
+                # Planned but never executed (e.g. a prior step emptied
+                # the candidate set) — actuals are genuinely zero.
+                steps.append(StepAnalysis(step, 0, 0.0))
+        accounted = sum(s.actual_qpf for s in steps)
+        residual = spent.qpf_uses - accounted
+        if residual:
+            steps.append(StepAnalysis(
+                PlanStep("aggregate-resolve", ("*",), False, None, 0),
+                residual, max(0.0, wall_ms - sum(s.wall_ms for s in steps))))
+        metrics = self.counter.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "repro_plan_estimate_error_ratio",
+                buckets=DEFAULT_RATIO_BUCKETS,
+            ).observe((spent.qpf_uses + 1) / (plan.estimated_qpf + 1))
+        return PlanAnalysis(plan=plan, steps=tuple(steps), answer=answer)
+
     @staticmethod
     def _estimate_sd_qpf(n: int, k: int) -> int:
         """Expected QPF uses of one PRKB(SD) range query (Sec. 5)."""
@@ -390,63 +719,73 @@ class EncryptedDatabase:
         ns_scan = 4 * max(1, n // k)  # two NS-pairs of ~n/k tuples
         return ns_scan + 2 * max(1, int(np.log2(k)))
 
-    def _execute(self, statement: SelectStatement,
-                 strategy: str) -> tuple[np.ndarray, int | None]:
+    def _execute(self, statement: SelectStatement, strategy: str,
+                 audit: list | None = None
+                 ) -> tuple[np.ndarray, int | None]:
         if statement.projection in ("*", ("count",)) or isinstance(
                 statement.projection, str):
-            uids = self._execute_selection(statement, strategy)
+            uids = self._execute_selection(statement, strategy,
+                                           audit=audit)
             return uids, None
         func, attribute = statement.projection
         return self._execute_aggregate(statement, func, attribute,
-                                       strategy)
+                                       strategy, audit=audit)
 
     def _execute_aggregate(self, statement: SelectStatement, func: str,
-                           attribute: str,
-                           strategy: str) -> tuple[np.ndarray, int]:
+                           attribute: str, strategy: str,
+                           audit: list | None = None
+                           ) -> tuple[np.ndarray, int]:
         if not self.server.has_index(statement.table, attribute):
             # No POP to prune with: the trusted machine decrypts every
             # candidate (the unindexed EDBMS cost).
             return self._aggregate_by_full_decrypt(statement, func,
-                                                   attribute, strategy)
+                                                   attribute, strategy,
+                                                   audit=audit)
         resolver = AggregateResolver(
             self.server.index(statement.table, attribute), self.owner.key)
         if statement.conditions:
             # Filtered MIN/MAX: resolve the selection, then decrypt only
             # the winner set's extreme-candidate partitions.
-            winners = self._execute_selection(statement, strategy)
+            winners = self._execute_selection(statement, strategy,
+                                              audit=audit)
             if winners.size == 0:
                 raise ValueError("aggregate over an empty selection")
             uid, value = (resolver.minimum_among(winners) if func == "min"
                           else resolver.maximum_among(winners))
         else:
-            uid, value = (resolver.minimum() if func == "min"
-                          else resolver.maximum())
+            with _audited(audit, (attribute,), self.counter):
+                uid, value = (resolver.minimum() if func == "min"
+                              else resolver.maximum())
         return np.asarray([uid], dtype=np.uint64), value
 
     def _aggregate_by_full_decrypt(self, statement: SelectStatement,
                                    func: str, attribute: str,
-                                   strategy: str) -> tuple[np.ndarray,
-                                                           int]:
+                                   strategy: str,
+                                   audit: list | None = None
+                                   ) -> tuple[np.ndarray, int]:
         from .encryption import decrypt_column
 
         table = self.server.table(statement.table)
         if statement.conditions:
-            candidates = self._execute_selection(statement, strategy)
+            candidates = self._execute_selection(statement, strategy,
+                                                 audit=audit)
         else:
             candidates = table.uids
         if candidates.size == 0:
             raise ValueError("aggregate over an empty selection")
-        self.counter.qpf_uses += int(candidates.size)
-        self.counter.tuples_retrieved += int(candidates.size)
-        values = decrypt_column(self.owner.key, table, attribute,
-                                candidates)
+        with _audited(audit, (attribute,), self.counter):
+            self.counter.qpf_uses += int(candidates.size)
+            self.counter.tuples_retrieved += int(candidates.size)
+            values = decrypt_column(self.owner.key, table, attribute,
+                                    candidates)
         best = int(np.argmin(values) if func == "min"
                    else np.argmax(values))
         return (np.asarray([candidates[best]], dtype=np.uint64),
                 int(values[best]))
 
     def _execute_selection(self, statement: SelectStatement,
-                           strategy: str) -> np.ndarray:
+                           strategy: str,
+                           audit: list | None = None) -> np.ndarray:
         if not statement.conditions:
             return np.sort(self.server.table(statement.table).uids)
         md_dimensions, leftovers = self._plan(statement)
@@ -459,14 +798,18 @@ class EncryptedDatabase:
             use_md = False
         if use_md and md_dimensions:
             md_strategy = "sd+" if strategy == "sd+" else "md"
-            winners = self.server.select_range(
-                statement.table, md_dimensions, strategy=md_strategy)
+            with _audited(audit,
+                          tuple(d.attribute for d in md_dimensions),
+                          self.counter):
+                winners = self.server.select_range(
+                    statement.table, md_dimensions, strategy=md_strategy)
         elif md_dimensions:
             # Too few dimensions for the grid: fall back to per-condition.
             leftovers = list(statement.conditions)
         for condition in leftovers:
-            part = self._execute_condition(statement.table, condition,
-                                           strategy)
+            with _audited(audit, (condition.attribute,), self.counter):
+                part = self._execute_condition(statement.table, condition,
+                                               strategy)
             winners = part if winners is None else np.intersect1d(
                 winners, part, assume_unique=True)
         assert winners is not None
@@ -504,7 +847,7 @@ class EncryptedDatabase:
     def _execute_condition(self, table: str, condition,
                            strategy: str) -> np.ndarray:
         if isinstance(condition, ComparisonCondition):
-            trapdoor = self.owner.comparison_trapdoor(
+            trapdoor = self._sealed_comparison(
                 condition.attribute, condition.operator, condition.constant)
         elif isinstance(condition, BetweenCondition):
             trapdoor = self.owner.between_trapdoor(

@@ -495,22 +495,62 @@ class QPFShardPool:
                   shards: list[list[int]]) -> list[list[np.ndarray]]:
         """Run each non-empty shard on its worker; fold the costs back."""
         work = [[requests[i] for i in shard] for shard in shards if shard]
+        tracer = self.counter.tracer
         with self._lock:
             if self.mode == "process":
-                futures = [
-                    self._processes().submit(_process_shard_eval, payload)
-                    for payload in work
-                ]
-                outcomes = [future.result() for future in futures]
+                if tracer is None:
+                    futures = [
+                        self._processes().submit(_process_shard_eval,
+                                                 payload)
+                        for payload in work
+                    ]
+                    outcomes = [future.result() for future in futures]
+                else:
+                    # Worker processes can't reach the tracer; one span
+                    # covers the whole fan-out from this side.
+                    with tracer.span(
+                            "qpf.dispatch", mode="process",
+                            shards=len(work),
+                            tuples=int(sum(r.uids.size for r in requests))):
+                        futures = [
+                            self._processes().submit(_process_shard_eval,
+                                                     payload)
+                            for payload in work
+                        ]
+                        outcomes = [future.result() for future in futures]
                 self._absorb([spent for _, spent in outcomes])
                 return [labels for labels, _ in outcomes]
+            if tracer is None:
+                run = [worker.evaluate_many
+                       for worker, _ in zip(self._workers, work)]
+            else:
+                # Capture the dispatching thread's span now: the worker
+                # threads have empty stacks, so the shard spans must be
+                # parented explicitly to land under the right query.
+                parent = tracer.current()
+
+                def _shard_runner(worker, shard_no):
+                    def run_shard(payload):
+                        span = tracer.begin(
+                            "qpf.shard", parent=parent, shard=shard_no,
+                            requests=len(payload),
+                            tuples=int(sum(r.uids.size for r in payload)))
+                        try:
+                            return worker.evaluate_many(payload)
+                        finally:
+                            tracer.finish(span)
+                    return run_shard
+
+                run = [_shard_runner(worker, shard_no)
+                       for shard_no, (worker, _)
+                       in enumerate(zip(self._workers, work))]
             # The first shard runs on the calling thread — one fewer
             # thread hop per dispatch; the others overlap it.
             futures = [
-                self._threads().submit(worker.evaluate_many, payload)
-                for worker, payload in zip(self._workers[1:], work[1:])
+                self._threads().submit(fn, payload)
+                for fn, payload in zip(run[1:], work[1:])
             ]
-            parts = [self._workers[0].evaluate_many(work[0])]
+            parts = [run[0](work[0])]
             parts.extend(future.result() for future in futures)
             self._absorb([self._drain_worker(worker)
                           for worker, _ in zip(self._workers, work)])

@@ -8,6 +8,9 @@ and BETWEEN, and the two multi-dimensional strategies of Sec. 6.
 
 from __future__ import annotations
 
+import json
+import threading
+
 import numpy as np
 
 from ..core.between import BetweenProcessor
@@ -20,7 +23,7 @@ from .costs import CostCounter
 from .encryption import EncryptedTable
 from .qpf import QueryProcessingFunction
 
-__all__ = ["ServiceProvider"]
+__all__ = ["ServiceProvider", "ObservabilityEndpoint"]
 
 
 class ServiceProvider:
@@ -224,3 +227,108 @@ class ServiceProvider:
                 labels = self.qpf.batch(trapdoor, table, alive)
                 alive = alive[labels]
         return np.sort(alive)
+
+
+# --------------------------------------------------------------------- #
+# Observability endpoints                                                #
+# --------------------------------------------------------------------- #
+
+
+class ObservabilityEndpoint:
+    """Read-only introspection surface over one service provider.
+
+    :meth:`handle` is a pure routing function — path in, ``(status,
+    content_type, body)`` out — so every route is unit-testable without
+    sockets.  :meth:`start` wraps it in a stdlib
+    ``ThreadingHTTPServer`` on a daemon thread (port 0 picks a free
+    port) for a real scrape target.
+
+    Routes:
+
+    * ``GET /metrics`` — Prometheus text exposition of the registry.
+    * ``GET /metrics.json`` — the same registry as JSON.
+    * ``GET /trace/<query_id>`` — the span forest of one trace
+      (``QueryAnswer.query_id``), 404 when evicted/unknown.
+    * ``GET /health`` — per-index :meth:`~repro.core.prkb.PRKBIndex.health`
+      plus the shared cost counter.
+    """
+
+    def __init__(self, server: ServiceProvider, tracer=None, registry=None):
+        self.server = server
+        self.tracer = tracer
+        self.registry = registry
+        self._httpd = None
+        self._thread = None
+
+    # -- pure routing ---------------------------------------------------- #
+
+    def handle(self, path: str) -> tuple[int, str, str]:
+        """Answer one GET ``path``; returns (status, content-type, body)."""
+        if path == "/metrics":
+            if self.registry is None:
+                return 503, "text/plain", "metrics not enabled\n"
+            from ..obs import render_prometheus
+
+            return (200, "text/plain; version=0.0.4",
+                    render_prometheus(self.registry))
+        if path == "/metrics.json":
+            if self.registry is None:
+                return 503, "text/plain", "metrics not enabled\n"
+            from ..obs import render_json
+
+            return (200, "application/json",
+                    json.dumps(render_json(self.registry), indent=2))
+        if path.startswith("/trace/"):
+            if self.tracer is None:
+                return 503, "text/plain", "tracing not enabled\n"
+            try:
+                trace_id = int(path[len("/trace/"):])
+            except ValueError:
+                return 400, "text/plain", "trace id must be an integer\n"
+            forest = self.tracer.trace_tree(trace_id)
+            if not forest:
+                return (404, "text/plain",
+                        f"no retained spans for trace {trace_id}\n")
+            return 200, "application/json", json.dumps(forest, indent=2)
+        if path == "/health":
+            body = {"counter": self.server.counter.as_dict(), "indexes": {}}
+            for table, indexes in self.server.all_indexes().items():
+                for attribute, index in indexes.items():
+                    body["indexes"][f"{table}.{attribute}"] = index.health()
+            return 200, "application/json", json.dumps(body, indent=2)
+        return 404, "text/plain", f"unknown path {path!r}\n"
+
+    # -- stdlib HTTP wrapper --------------------------------------------- #
+
+    def start(self, port: int = 0, host: str = "127.0.0.1"):
+        """Serve :meth:`handle` on a daemon thread; returns (host, port)."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        endpoint = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                status, content_type, body = endpoint.handle(self.path)
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):  # quiet by default
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-obs-http", daemon=True)
+        self._thread.start()
+        return self._httpd.server_address
+
+    def stop(self) -> None:
+        """Shut the HTTP server down (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread = None

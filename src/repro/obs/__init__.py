@@ -1,0 +1,40 @@
+"""Observability substrate: span tracing, metrics, exporters.
+
+``repro.obs`` is deliberately a leaf package: at import time it depends
+on nothing else in the repo, so every layer (engine, core, durability,
+server) can reach it without cycles.  Instrumented code never imports
+it on the hot path either — the tracer/metrics handles travel on the
+shared :class:`~repro.edbms.costs.CostCounter` (``counter.tracer`` /
+``counter.metrics``, both ``None`` until
+``EncryptedDatabase.enable_observability()`` installs them), so the
+disabled cost is a single attribute test.
+
+See API.md § Observability for the full tour; the short version::
+
+    db = EncryptedDatabase(seed=7)
+    ...
+    tracer, registry = db.enable_observability()
+    db.query("SELECT COUNT(*) FROM t WHERE x < 100")
+    print(render_prometheus(registry))
+    print(tracer.trace_tree(tracer.spans(name="query")[-1].trace_id))
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    render_json,
+    render_prometheus,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Tracer", "Span",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS", "DEFAULT_RATIO_BUCKETS",
+    "render_prometheus", "render_json",
+]

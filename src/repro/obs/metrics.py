@@ -1,0 +1,359 @@
+"""Metrics registry: counters, gauges and log-bucket histograms.
+
+A small, dependency-free metrics substrate in the spirit of
+``prometheus_client``, sized for this repo's needs:
+
+* :class:`Counter` — monotonically increasing totals (QPF spent, WAL
+  records, cache hits).
+* :class:`Gauge` — point-in-time values; supports *callback* gauges
+  whose value is sampled at export time (used to mirror the live
+  :class:`~repro.edbms.costs.CostCounter` fields without double
+  bookkeeping on the hot path).
+* :class:`Histogram` — fixed log-scale buckets (``le`` upper bounds,
+  cumulative, Prometheus semantics).  Buckets are immutable per series;
+  use :func:`log_buckets` to build a geometric ladder.
+
+Every metric family supports labels::
+
+    registry = MetricsRegistry()
+    hits = registry.counter("repro_cache_hits", "cache hits", ("cache",))
+    hits.labels(cache="predicate").inc()
+
+and two export formats: :func:`render_prometheus` (text exposition
+format, used by the server's ``GET /metrics``) and :func:`render_json`.
+
+Thread safety: series creation is locked; increments/observations rely
+on the GIL (single bytecode-level races can drop an update under free
+threading, which is acceptable for observability counters).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "log_buckets", "DEFAULT_LATENCY_BUCKETS", "DEFAULT_RATIO_BUCKETS",
+           "render_prometheus", "render_json"]
+
+
+def log_buckets(start: float = 1e-6, factor: float = 4.0,
+                count: int = 16) -> tuple:
+    """A fixed geometric bucket ladder: ``start * factor**i``.
+
+    The returned tuple excludes ``+Inf`` — every histogram implicitly
+    ends with an overflow bucket.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Seconds ladder: 1 µs … ~1074 s (16 buckets, ×4).
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-6, 4.0, 16)
+#: Ratio ladder centred on 1.0: 1/64 … 1024 (×2).
+DEFAULT_RATIO_BUCKETS = log_buckets(1.0 / 64.0, 2.0, 17)
+
+
+class _Series:
+    """One labelled time series of a counter/gauge family."""
+
+    __slots__ = ("value", "callback")
+
+    def __init__(self, callback=None):
+        self.value = 0.0
+        self.callback = callback
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def get(self) -> float:
+        if self.callback is not None:
+            return float(self.callback())
+        return self.value
+
+
+class _HistogramSeries:
+    """One labelled histogram series: cumulative ``le`` buckets."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        # First bucket whose upper bound admits the value (le semantics:
+        # a value exactly on a bound lands in that bound's bucket).
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    def cumulative(self) -> list:
+        """(bound, cumulative_count) pairs ending with ``+Inf``."""
+        total = 0
+        out = []
+        for bound, n in zip(self.bounds, self.counts):
+            total += n
+            out.append((bound, total))
+        out.append((math.inf, total + self.counts[-1]))
+        return out
+
+
+class _Family:
+    """Base class: a named metric with a fixed label scheme."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple = ()):
+        _validate_name(name)
+        for label in labelnames:
+            _validate_name(label)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labelvalues):
+        """The child series for these label values (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}")
+        key = tuple(str(labelvalues[k]) for k in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, self._new_series())
+        return series
+
+    def _default(self):
+        """The unlabeled child (only for families without labels)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} requires labels {self.labelnames}")
+        return self.labels()
+
+    def series(self):
+        """Snapshot of (label_key_tuple, series) pairs, creation-ordered."""
+        return list(self._series.items())
+
+    def _new_series(self):
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_series(self):
+        return _Series()
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        """Add ``amount`` (>= 0) to the (labelled) series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        target.inc(amount)
+
+    def value(self, **labelvalues) -> float:
+        """Current total of the (labelled) series."""
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        return target.get()
+
+
+class Gauge(_Family):
+    """A point-in-time value; optionally backed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=(), callback=None):
+        super().__init__(name, help, labelnames)
+        if callback is not None and labelnames:
+            raise ValueError("callback gauges cannot be labelled")
+        self._callback = callback
+        if callback is not None:
+            self._series[()] = _Series(callback)
+
+    def _new_series(self):
+        return _Series()
+
+    def set(self, value: float, **labelvalues) -> None:
+        """Overwrite the (labelled) series value."""
+        if self._callback is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        target.set(value)
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        """Add ``amount`` (may be negative) to the (labelled) series."""
+        if self._callback is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        target.inc(amount)
+
+    def value(self, **labelvalues) -> float:
+        """Current value (callback gauges evaluate their callback)."""
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        return target.get()
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram with Prometheus ``le`` semantics."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(),
+                 buckets: tuple = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be non-empty and increasing")
+        self.bounds = bounds
+
+    def _new_series(self):
+        return _HistogramSeries(self.bounds)
+
+    def observe(self, value: float, **labelvalues) -> None:
+        """Record one sample into its bucket (+Inf always counts)."""
+        target = self.labels(**labelvalues) if labelvalues else self._default()
+        target.observe(value)
+
+
+class MetricsRegistry:
+    """A namespace of metric families with get-or-create accessors.
+
+    Re-requesting a name returns the existing family; the kind and label
+    scheme must match (a mismatch is a programming error and raises).
+    """
+
+    def __init__(self):
+        self._families: dict = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, labelnames, **extra):
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls) or \
+                        family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {family.labelnames}")
+                return family
+            family = cls(name, help, labelnames, **extra)
+            self._families[name] = family
+            return family
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        """Get-or-create a :class:`Counter` family."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=(), callback=None) -> Gauge:
+        """Get-or-create a :class:`Gauge` (optionally callback-backed)."""
+        return self._get_or_create(Gauge, name, help, labelnames,
+                                   callback=callback)
+
+    def histogram(self, name, help="", labelnames=(),
+                  buckets=DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        """Get-or-create a :class:`Histogram` with fixed ``buckets``."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name):
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def collect(self):
+        """All families, registration-ordered."""
+        return list(self._families.values())
+
+
+# -- exporters ------------------------------------------------------------- #
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) \
+            or name[0].isdigit():
+        raise ValueError(f"invalid metric/label name {name!r}")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labelset(names: tuple, values: tuple, extra: tuple = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs.extend(f'{n}="{_escape_label(str(v))}"' for n, v in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, series in family.series():
+            if isinstance(series, _HistogramSeries):
+                for bound, cum in series.cumulative():
+                    labels = _labelset(family.labelnames, key,
+                                       (("le", _fmt(bound)),))
+                    lines.append(f"{family.name}_bucket{labels} {cum}")
+                labels = _labelset(family.labelnames, key)
+                lines.append(f"{family.name}_sum{labels} {_fmt(series.sum)}")
+                lines.append(
+                    f"{family.name}_count{labels} {series.count}")
+            else:
+                labels = _labelset(family.labelnames, key)
+                lines.append(f"{family.name}{labels} {_fmt(series.get())}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry) -> dict:
+    """The registry as a JSON-friendly dict (``repro stats --format json``)."""
+    out = {}
+    for family in registry.collect():
+        entry = {"kind": family.kind, "help": family.help, "series": []}
+        for key, series in family.series():
+            labels = dict(zip(family.labelnames, key))
+            if isinstance(series, _HistogramSeries):
+                entry["series"].append({
+                    "labels": labels,
+                    "buckets": [[_fmt(b), c] for b, c in series.cumulative()],
+                    "sum": series.sum,
+                    "count": series.count,
+                })
+            else:
+                entry["series"].append({"labels": labels,
+                                        "value": series.get()})
+        out[family.name] = entry
+    return out

@@ -87,9 +87,19 @@ class TestQueries:
 
     def test_costs_reported_and_shrinking(self, db):
         first = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
-        second = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
+        # Nearby (not identical) predicates benefit from the refined
+        # chain but still pay for their own Not-Sure scans.
+        second = db.query("SELECT * FROM t WHERE 3001 < X AND X < 6999")
         assert first.qpf_uses > second.qpf_uses > 0
         assert second.simulated_ms < first.simulated_ms
+
+    def test_identical_repeat_is_free(self, db):
+        first = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
+        # The engine memoises comparison trapdoors, so an identical
+        # repeat hits the PRKB equivalence cache: zero QPF uses.
+        repeat = db.query("SELECT * FROM t WHERE 3000 < X AND X < 7000")
+        assert repeat.qpf_uses == 0
+        assert sorted(repeat.uids) == sorted(first.uids)
 
     def test_baseline_strategy_ignores_index(self, db):
         db.query("SELECT * FROM t WHERE X < 5000")  # warm a little

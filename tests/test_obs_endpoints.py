@@ -1,0 +1,130 @@
+"""The /metrics, /trace and /health introspection surface.
+
+``ObservabilityEndpoint.handle`` is pure (path in, response out) so the
+routing tests need no sockets; one test exercises the real stdlib HTTP
+wrapper end to end on an ephemeral port.
+"""
+
+import json
+import re
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.edbms.engine import EncryptedDatabase
+
+#: One Prometheus exposition line: name{labels} value.
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$')
+
+#: Names the issue requires on the scrape surface.
+REQUIRED_METRICS = (
+    "repro_qpf_uses",
+    "repro_qpf_roundtrips",
+    "repro_wal_fsyncs",
+    "repro_predicate_cache_hit_ratio",
+    "repro_query_latency_seconds",
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    db = EncryptedDatabase(seed=0)
+    rng = np.random.default_rng(0)
+    db.create_table("t", {"X": (1, 10_000)},
+                    {"X": rng.integers(1, 10_001, 400)})
+    db.enable_prkb("t", ["X"])
+    db.enable_observability()
+    answers = [db.query(f"SELECT * FROM t WHERE X < {c}")
+               for c in (2000, 5000, 8000)]
+    return db, db.observability_endpoint(), answers
+
+
+class TestDisabled:
+    def test_routes_answer_503_without_observability(self):
+        endpoint = EncryptedDatabase(seed=0).observability_endpoint()
+        for path in ("/metrics", "/metrics.json", "/trace/1"):
+            status, __, body = endpoint.handle(path)
+            assert status == 503, path
+            assert "not enabled" in body
+
+
+class TestMetricsRoute:
+    def test_valid_prometheus_exposition(self, served):
+        db, endpoint, __ = served
+        status, content_type, body = endpoint.handle("/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4"
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE_LINE.match(line), line
+
+    def test_required_names_present(self, served):
+        __, endpoint, __ = served
+        body = endpoint.handle("/metrics")[2]
+        for name in REQUIRED_METRICS:
+            assert name in body, name
+        assert "repro_query_latency_seconds_bucket" in body
+
+    def test_counter_gauge_reflects_live_value(self, served):
+        db, endpoint, __ = served
+        body = endpoint.handle("/metrics")[2]
+        match = re.search(r"^repro_qpf_uses (\d+)", body, re.M)
+        assert match and int(match.group(1)) == db.counter.qpf_uses > 0
+
+    def test_json_variant(self, served):
+        db, endpoint, __ = served
+        status, content_type, body = endpoint.handle("/metrics.json")
+        assert status == 200 and content_type == "application/json"
+        doc = json.loads(body)
+        assert doc["repro_qpf_uses"]["series"][0]["value"] \
+            == db.counter.qpf_uses
+
+
+class TestTraceRoute:
+    def test_known_trace_returns_forest(self, served):
+        __, endpoint, answers = served
+        status, __, body = endpoint.handle(f"/trace/{answers[0].query_id}")
+        assert status == 200
+        forest = json.loads(body)
+        assert forest[0]["name"] == "query"
+        assert forest[0]["children"]
+
+    def test_bad_and_unknown_ids(self, served):
+        __, endpoint, __ = served
+        assert endpoint.handle("/trace/abc")[0] == 400
+        assert endpoint.handle("/trace/999999")[0] == 404
+        assert endpoint.handle("/nope")[0] == 404
+
+
+class TestHealthRoute:
+    def test_health_lists_every_index(self, served):
+        __, endpoint, __ = served
+        status, __, body = endpoint.handle("/health")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["counter"]["qpf_uses"] > 0
+        health = doc["indexes"]["t.X"]
+        for key in ("chain_length", "refinement_rate", "qpf_per_query"):
+            assert key in health, key
+
+
+class TestHttpServer:
+    def test_real_scrape_on_ephemeral_port(self, served):
+        __, endpoint, answers = served
+        host, port = endpoint.start(port=0)
+        try:
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics", timeout=5) as response:
+                assert response.status == 200
+                assert b"repro_qpf_uses" in response.read()
+            trace_url = (f"http://{host}:{port}"
+                         f"/trace/{answers[0].query_id}")
+            with urllib.request.urlopen(trace_url, timeout=5) as response:
+                assert json.loads(response.read())[0]["name"] == "query"
+        finally:
+            endpoint.stop()
+            endpoint.stop()  # idempotent

@@ -1,0 +1,79 @@
+"""The acceptance probe: tracing must not perturb or miss a single QPF use.
+
+Two identical 120-query PRKB runs — one with no tracer (proved to
+allocate zero spans), one traced — must agree bit-for-bit on the global
+``qpf_uses`` counter, and the traced run's leaf-phase costs must *tile*
+that counter exactly: every use attributed once, none twice.
+"""
+
+import pytest
+
+import repro.obs.tracing as tracing
+from repro.bench import Testbed
+from repro.obs import Tracer
+from repro.workloads import distinct_comparison_thresholds, uniform_table
+
+#: The probe's deterministic global cost (seeds pinned below).
+EXPECTED_QPF = 23455
+#: Span names that carry exclusive qpf cost; containers carry attrs only.
+LEAF_PHASES = {"prkb.qfilter.sample", "prkb.qfilter.search",
+               "prkb.qscan", "prkb.update", "prkb.cached"}
+
+
+def _run_probe(tracer=None):
+    table = uniform_table("t", 2000, ["X"], domain=(1, 300_000), seed=0)
+    bed = Testbed(table, ["X"], seed=7)
+    if tracer is not None:
+        bed.counter.tracer = tracer
+    thresholds = distinct_comparison_thresholds((1, 300_000), 120, seed=1)
+    for threshold in thresholds:
+        trapdoor = bed.owner.comparison_trapdoor("X", "<", int(threshold))
+        bed.prkb["X"].select(trapdoor)
+    return bed
+
+
+class TestDisabled:
+    def test_no_tracer_allocates_no_spans_and_matches_seed(self, monkeypatch):
+        # Any Span construction on the disabled path is a bug, not just
+        # overhead — fail loudly instead of measuring.
+        def forbid(self, *args, **kwargs):
+            raise AssertionError("Span allocated with tracing disabled")
+        monkeypatch.setattr(tracing.Span, "__init__", forbid)
+        bed = _run_probe(tracer=None)
+        assert bed.counter.qpf_uses == EXPECTED_QPF
+
+
+class TestEnabled:
+    @pytest.fixture(scope="class")
+    def traced_probe(self):
+        tracer = Tracer(capacity=8192)
+        bed = _run_probe(tracer=tracer)
+        return tracer, bed
+
+    def test_counter_identical_to_disabled_run(self, traced_probe):
+        __, bed = traced_probe
+        assert bed.counter.qpf_uses == EXPECTED_QPF
+
+    def test_leaf_phase_costs_tile_the_counter(self, traced_probe):
+        tracer, bed = traced_probe
+        spans = tracer.spans()
+        leaf_sum = sum(s.cost.get("qpf_uses", 0) for s in spans)
+        assert leaf_sum == bed.counter.qpf_uses == EXPECTED_QPF
+        # Exclusivity: only leaf phases carry cost.
+        for span in spans:
+            if span.cost.get("qpf_uses", 0):
+                assert span.name in LEAF_PHASES, span.name
+
+    def test_each_query_tiles_its_own_total(self, traced_probe):
+        tracer, __ = traced_probe
+        roots = tracer.spans(name="prkb.select")
+        assert len(roots) == 120
+        for root in roots:
+            children = tracer.spans(trace_id=root.trace_id)
+            child_sum = sum(s.cost.get("qpf_uses", 0) for s in children
+                            if s.name in LEAF_PHASES)
+            assert child_sum == root.attrs["qpf_uses_total"]
+
+    def test_prkb_growth_unperturbed(self, traced_probe):
+        __, bed = traced_probe
+        assert bed.prkb["X"].pop.num_partitions == 118

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.attacks",
     "repro.workloads",
     "repro.bench",
+    "repro.obs",
 ]
 
 MODULES = SUBPACKAGES + [
