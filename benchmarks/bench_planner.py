@@ -1,0 +1,193 @@
+"""Cost-based planner dispatch — adaptive vs forced strategies.
+
+Not a paper figure: this measures the planner/executor split added on
+top of the reproduction.  Setting: a uniform three-attribute table (X
+and Y indexed, Z not), PRKB warmed by a short schedule of distinct
+comparisons, then a mixed workload — single comparisons (with repeats),
+fully-bounded one- and two-dimensional ranges and unindexed predicates
+— executed under three dispatch policies on twin databases:
+
+* ``adaptive``    — ``strategy="auto"``: the cost-based choice;
+* ``forced_prkb`` — ``strategy="md"``: every indexed predicate through
+  PRKB, the grid forced from one bounded dimension up;
+* ``forced_scan`` — ``strategy="baseline"``: every predicate a linear
+  scan.
+
+Checks: all three policies return identical winner sets, the adaptive
+policy never spends more QPF than the forced scan, and the plan cache
+serves repeats (hits > 0, invalidations < misses).  Results land in
+``BENCH_planner.json`` at the repo root for ``bench_diff.py``/CI.
+
+Run standalone with ``python benchmarks/bench_planner.py --tiny`` for a
+seconds-scale smoke run without pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_seed
+from repro.edbms.engine import EncryptedDatabase
+from repro.workloads import distinct_comparison_thresholds
+
+from _common import (emit, emit_note, parse_bench_args, scaled,
+                     write_bench_json)
+
+DOMAIN = (1, 1_000_000)
+MODES = {"adaptive": "auto", "forced_prkb": "md",
+         "forced_scan": "baseline"}
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+
+def _build(n: int, warm_queries: int) -> EncryptedDatabase:
+    """One warmed testbed; twins built with the same arguments match."""
+    base = bench_seed()
+    db = EncryptedDatabase(seed=base + 23)
+    rng = np.random.default_rng(base + 5)
+    db.create_table(
+        "t",
+        {"X": DOMAIN, "Y": DOMAIN, "Z": DOMAIN},
+        {name: rng.integers(DOMAIN[0], DOMAIN[1], size=n)
+         for name in ("X", "Y", "Z")},
+    )
+    db.enable_prkb("t", ["X", "Y"])
+    for offset, attribute in enumerate(("X", "Y"), start=1):
+        for threshold in distinct_comparison_thresholds(
+                DOMAIN, warm_queries, seed=base + 31 * offset):
+            db.query(f"SELECT * FROM t WHERE {attribute} "
+                     f"< {int(threshold)}")
+    db.counter.reset()
+    planner = db.planner
+    planner.cache_hits = 0
+    planner.cache_misses = 0
+    planner.cache_invalidations = 0
+    planner.strategy_counts.clear()
+    return db
+
+
+def _workload(size: int) -> list[str]:
+    """Mixed statements: singles (with repeats), 1-D/2-D ranges, Z scans."""
+    rng = np.random.default_rng(bench_seed() + 9)
+    lo, hi = DOMAIN
+    sqls: list[str] = []
+    for i in range(size):
+        shape = i % 5
+        a = int(rng.integers(lo, hi))
+        b = int(rng.integers(lo, hi))
+        low, high = min(a, b), max(a, b) + 1
+        if shape == 0:
+            sqls.append(f"SELECT * FROM t WHERE X < {a}")
+        elif shape == 1:
+            sqls.append(f"SELECT * FROM t WHERE X > {low} "
+                        f"AND X < {high}")
+        elif shape == 2:
+            sqls.append(f"SELECT * FROM t WHERE X > {low} AND X < {high} "
+                        f"AND Y > {low} AND Y < {high}")
+        elif shape == 3:
+            sqls.append(f"SELECT * FROM t WHERE Z < {a}")
+        else:
+            # Immediate repeat: no refinement in between, so the
+            # cached plan's fingerprint still matches -> plan-cache hit.
+            sqls.append(sqls[-1])
+    return sqls
+
+
+def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
+    sqls = _workload(workload_size)
+    results: dict[str, dict] = {}
+    answers: dict[str, list] = {}
+    plan_stats: dict[str, dict] = {}
+    for mode, strategy in MODES.items():
+        db = _build(n, warm_queries)
+        start = time.perf_counter()
+        answers[mode] = [db.query(sql, strategy=strategy)
+                         for sql in sqls]
+        elapsed = time.perf_counter() - start
+        planner = db.planner
+        results[mode] = {
+            "qpf_total": db.counter.qpf_uses,
+            "qpf_per_query": db.counter.qpf_uses / workload_size,
+            "wall_seconds": elapsed,
+            "queries_per_sec": workload_size / max(elapsed, 1e-9),
+        }
+        plan_stats[mode] = {
+            "plan_cache_hits": planner.cache_hits,
+            "plan_cache_misses": planner.cache_misses,
+            "plan_cache_invalidations": planner.cache_invalidations,
+            "strategies": dict(planner.strategy_counts),
+        }
+    for mode in ("forced_prkb", "forced_scan"):
+        for adaptive, other in zip(answers["adaptive"], answers[mode]):
+            assert np.array_equal(adaptive.uids, other.uids), \
+                f"{mode} winners differ from adaptive"
+    results["plan_cache"] = plan_stats["adaptive"]
+    results["seed"] = bench_seed()
+    return results
+
+
+def _report(results: dict, n: int, out=None) -> None:
+    rows = [[mode,
+             f"{results[mode]['qpf_total']}",
+             f"{results[mode]['qpf_per_query']:.1f}",
+             f"{results[mode]['queries_per_sec']:.0f}"]
+            for mode in MODES]
+    emit(
+        "planner_dispatch",
+        f"Cost-based dispatch: adaptive vs forced strategies (n={n})",
+        ["policy", "QPF total", "QPF/query", "queries/s"],
+        rows,
+    )
+    cache = results["plan_cache"]
+    emit_note("planner_dispatch",
+              f"adaptive plan cache: {cache['plan_cache_hits']} hits / "
+              f"{cache['plan_cache_misses']} misses / "
+              f"{cache['plan_cache_invalidations']} invalidations | "
+              f"strategies={cache['strategies']} | "
+              f"seed={results['seed']}")
+    metrics = {k: v for k, v in results.items() if k != "seed"}
+    write_bench_json(out or JSON_PATH, "planner_dispatch",
+                     results["seed"], metrics)
+
+
+def _check(results: dict) -> None:
+    adaptive = results["adaptive"]["qpf_total"]
+    scan = results["forced_scan"]["qpf_total"]
+    assert adaptive <= scan, \
+        f"adaptive dispatch must not lose to forced scans: " \
+        f"{adaptive} vs {scan}"
+    cache = results["plan_cache"]
+    assert cache["plan_cache_hits"] > 0, "repeats must hit the plan cache"
+    assert cache["plan_cache_invalidations"] <= \
+        cache["plan_cache_misses"]
+
+
+def test_planner_dispatch(benchmark):
+    n = scaled(4_000)
+    results = _measure(n, warm_queries=40, workload_size=50)
+    _report(results, n)
+    _check(results)
+    # Benchmark the planning fast path: repeat plans served from cache.
+    db = _build(n, warm_queries=40)
+    sql = "SELECT * FROM t WHERE X > 1000 AND X < 500000"
+    db.query(sql)
+    benchmark(lambda: db.explain(sql))
+
+
+def main(argv: list[str]) -> int:
+    args = parse_bench_args(argv)
+    tiny = args.tiny
+    n = 800 if tiny else scaled(4_000)
+    warm = 15 if tiny else 40
+    workload = 20 if tiny else 50
+    results = _measure(n, warm_queries=warm, workload_size=workload)
+    _report(results, n, out=args.out)
+    _check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

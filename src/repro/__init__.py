@@ -24,6 +24,7 @@ Quick start::
 from . import crypto  # noqa: F401
 from . import edbms  # noqa: F401
 from . import core  # noqa: F401
+from . import plan  # noqa: F401
 from . import baselines  # noqa: F401
 from . import attacks  # noqa: F401
 from . import workloads  # noqa: F401

@@ -25,6 +25,11 @@ class LinearScanProcessor:
         self.table = table
         self.qpf = qpf
 
+    @staticmethod
+    def estimate_qpf(table: EncryptedTable) -> int:
+        """Expected QPF uses of one scan: exactly one per stored tuple."""
+        return table.num_rows
+
     def select(self, trapdoor: EncryptedPredicate) -> np.ndarray:
         """One predicate: n QPF uses."""
         labels = self.qpf.batch(trapdoor, self.table, self.table.uids)

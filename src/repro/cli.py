@@ -6,6 +6,9 @@ Three commands cover the library's everyday entry points:
   data (no inputs needed).
 * ``query``   — load an integer CSV, encrypt it, build PRKB on chosen
   columns and run a SQL statement, reporting the answer and its cost.
+* ``plan``    — print the cost-based operator tree the planner would
+  execute for a SQL statement, with per-step estimates and the rejected
+  alternative strategies (no query is executed).
 * ``rpoi``    — the Sec. 8.1 security study on one CSV column: how much
   ordering information a given query volume would leak.
 * ``stats``   — run a traced workload (CSV or synthetic) with full
@@ -63,6 +66,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pre-warm each index with N DO-generated "
                             "queries before executing (Sec. 8.2.6)")
     query.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser(
+        "plan", help="print the operator tree for a SQL statement")
+    plan.add_argument("sql", nargs="+",
+                      help="SQL statement(s) to plan (not executed)")
+    plan.add_argument("--csv", required=True,
+                      help="CSV file with integer columns and a header")
+    plan.add_argument("--table", default="data",
+                      help="table name used in the SQL (default 'data')")
+    plan.add_argument("--index", default=None,
+                      help="comma-separated columns to index "
+                           "(default: all)")
+    plan.add_argument("--strategy", default="auto",
+                      choices=("auto", "md", "sd+", "baseline"),
+                      help="override the adaptive dispatch")
+    plan.add_argument("--prime", type=int, default=0, metavar="N",
+                      help="pre-warm each index with N DO-generated "
+                           "queries before planning (shows how estimates "
+                           "react to refinement)")
+    plan.add_argument("--seed", type=int, default=0)
 
     rpoi = sub.add_parser("rpoi",
                           help="order-reconstruction study on one column")
@@ -180,6 +203,38 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from .edbms.engine import EncryptedDatabase
+    from .edbms.sql import parse_select
+
+    columns = _load_csv(args.csv)
+    domains = {
+        name: (int(values.min()) - 1, int(values.max()) + 1)
+        for name, values in columns.items()
+    }
+    db = EncryptedDatabase(seed=args.seed)
+    db.create_table(args.table, domains, columns)
+    indexed = (args.index.split(",") if args.index
+               else list(columns))
+    missing = [a for a in indexed if a not in columns]
+    if missing:
+        raise SystemExit(f"--index columns not in CSV: {missing}")
+    db.enable_prkb(args.table, indexed)
+    if args.prime:
+        from .core import prime_index
+        for attribute in indexed:
+            report = prime_index(
+                db.owner, db.server.index(args.table, attribute),
+                domains[attribute], args.prime, seed=args.seed)
+            print(f"primed {attribute!r}: k={report.partitions_after} "
+                  f"({report.qpf_spent} QPF)")
+    for sql in args.sql:
+        physical = db.planner.plan(parse_select(sql),
+                                   strategy=args.strategy)
+        print(physical.render_tree())
+    return 0
+
+
 def _cmd_rpoi(args) -> int:
     from .attacks import rpoi_trajectory
 
@@ -273,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "rpoi":
         return _cmd_rpoi(args)
     if args.command == "stats":

@@ -40,6 +40,22 @@ class AggregateResolver:
 
     # -- server-side candidate pruning ------------------------------------ #
 
+    @staticmethod
+    def candidate_count(index: PRKBIndex) -> int:
+        """Exact size of the MIN/MAX candidate set for ``index``.
+
+        The cost of an unfiltered MIN/MAX is precisely this many TM
+        decryptions, so the planner's estimate for ``aggregate-ends``
+        steps is exact (no key material needed — pure POP inspection).
+        """
+        pop = index.pop
+        k = pop.num_partitions
+        if k == 0:
+            return 0
+        if k == 1:
+            return len(pop[0])
+        return len(pop[0]) + len(pop[k - 1])
+
     def min_max_candidates(self) -> np.ndarray:
         """Uids that may hold the minimum or the maximum.
 

@@ -46,7 +46,22 @@ from .partitions import Partition
 from .prkb import PRKBIndex
 from .single import SingleDimensionProcessor
 
-__all__ = ["DimensionRange", "MultiDimensionProcessor"]
+__all__ = ["DimensionRange", "MultiDimensionProcessor", "estimate_grid_qpf"]
+
+
+def estimate_grid_qpf(per_dimension_qpf: list[int] | tuple[int, ...],
+                      bonus: bool = True) -> int:
+    """Expected QPF uses of one grid query given per-dimension SD costs.
+
+    The grid's QFilter passes pay roughly the per-dimension SD scans, but
+    OUT-pruning and NS short-circuiting typically halve the tuples that
+    reach the QPF (Sec. 6.2) — the ``bonus``.  ``bonus=False`` prices the
+    naive ``SD+`` composition of the same dimensions instead.
+    """
+    estimated = sum(per_dimension_qpf)
+    if bonus:
+        estimated = max(1, estimated // 2)  # grid pruning bonus
+    return estimated
 
 _EMPTY = np.zeros(0, dtype=np.uint64)
 _NO_POSITIONS = np.zeros(0, dtype=np.int64)

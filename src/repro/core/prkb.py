@@ -369,6 +369,16 @@ class PRKBIndex:
         """Number of stored past predicates (k - 1 for a live chain)."""
         return len(self._separators)
 
+    def plan_fingerprint(self) -> tuple[int, int, int]:
+        """Cheap token identifying the index state a plan was costed on.
+
+        Changes whenever a refinement lands (split committed, separator
+        stored) or the chain shape moves, so cached physical plans are
+        invalidated by ``fingerprint mismatch`` instead of a TTL.  O(1).
+        """
+        return (self.pop.num_partitions, len(self._separators),
+                self._splits_committed)
+
     def storage_bytes(self) -> int:
         """Index footprint: uid membership lists + stored trapdoors.
 

@@ -37,6 +37,19 @@ class SingleDimensionProcessor:
         """The encrypted attribute this processor serves."""
         return self.index.attribute
 
+    @staticmethod
+    def estimate_qpf(n: int, k: int) -> int:
+        """Expected QPF uses of one PRKB(SD) range query (Sec. 5).
+
+        Analytic model only — the planner's :class:`~repro.plan.estimator.
+        CostEstimator` tightens this with the index's observed Not-Sure
+        scan widths when history is available.
+        """
+        if k <= 1:
+            return n
+        ns_scan = 4 * max(1, n // k)  # two NS-pairs of ~n/k tuples
+        return ns_scan + 2 * max(1, int(np.log2(k)))
+
     def select(self, trapdoor: EncryptedPredicate,
                update: bool = True) -> np.ndarray:
         """Answer a single comparison predicate; returns winner uids."""

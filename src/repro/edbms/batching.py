@@ -165,6 +165,23 @@ class BatchJob:
     table: object
     index: "PRKBIndex | None" = None
 
+    @classmethod
+    def dispatch(cls, trapdoor: "EncryptedPredicate", table: object,
+                 index: "PRKBIndex | None") -> "BatchJob":
+        """Build the job for one trapdoor from catalog facts.
+
+        ``index`` is the attribute's PRKB index or ``None`` — unindexed
+        predicates scan, indexed BETWEEN takes the serial fallback, and
+        indexed comparisons join the lock-step window.  Keeping the
+        kind-dispatch here (next to the executor that interprets it)
+        means callers only supply what the catalog knows.
+        """
+        if index is None:
+            return cls("scan", trapdoor, table)
+        if trapdoor.kind == "between":
+            return cls("between", trapdoor, table, index)
+        return cls("prkb", trapdoor, table, index)
+
 
 @dataclass(frozen=True)
 class BatchAnswer:

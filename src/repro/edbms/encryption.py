@@ -55,6 +55,7 @@ class EncryptedTable:
             self._position_lookup[self._uids] = np.arange(
                 len(self._uids), dtype=np.int64)
         self._next_uid = capacity
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # read access                                                         #
@@ -64,6 +65,16 @@ class EncryptedTable:
     def num_rows(self) -> int:
         """Number of encrypted tuples currently stored."""
         return len(self._uids)
+
+    @property
+    def version(self) -> int:
+        """Monotonic update counter, bumped on every insert/delete.
+
+        Part of the planner's cache fingerprint: a cached physical plan
+        costed against version v is invalid once the table has moved on,
+        even when the row count happens to return to its old value.
+        """
+        return self._version
 
     @property
     def uids(self) -> np.ndarray:
@@ -142,6 +153,7 @@ class EncryptedTable:
                 self._position_lookup = grown
             self._position_lookup[uids] = np.arange(
                 base, base + len(uids), dtype=np.int64)
+        self._version += 1
 
     def delete_rows(self, uids: np.ndarray) -> None:
         """Remove rows by uid (compacting the columnar storage)."""
@@ -167,6 +179,7 @@ class EncryptedTable:
         if len(self._uids):
             self._position_lookup[self._uids] = np.arange(
                 len(self._uids), dtype=np.int64)
+        self._version += 1
 
 
 def encrypt_table(key: SecretKey, table) -> EncryptedTable:

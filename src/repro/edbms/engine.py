@@ -1,27 +1,37 @@
 """High-level facade: an encrypted database you can talk SQL to.
 
 :class:`EncryptedDatabase` wires together the data owner, the trusted
-machine, the QPF and the service provider, plans parsed mini-SQL against
-the available PRKB indexes, and reports per-query cost.  This is the entry
-point the examples use; research code that wants finer control composes
-the lower-level pieces directly.
+machine, the QPF and the service provider, and reports per-query cost.
+The query path is parse → plan → execute: parsing lives in
+:mod:`repro.edbms.sql`, planning (cost-based adaptive dispatch, plan
+caching) and execution (Volcano-style physical operators) live in
+:mod:`repro.plan`, and this module only orchestrates them plus the
+cross-cutting concerns (observability, durability, updates).  This is
+the entry point the examples use; research code that wants finer
+control composes the lower-level pieces directly.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, fields
 
 import numpy as np
 
-from ..core.aggregates import AggregateResolver
-from ..core.multi import DimensionRange
 from ..crypto.primitives import generate_key
 from ..obs import (
     DEFAULT_RATIO_BUCKETS,
     MetricsRegistry,
     Tracer,
+)
+from ..plan import (
+    TRAPDOOR_MEMO_SIZE,
+    PhysicalPlan,
+    PlanAnalysis,
+    Planner,
+    PlanStep,
+    QueryPlan,
+    StepAnalysis,
 )
 from .costs import CostCounter, CostModel, DEFAULT_COST_MODEL
 from .owner import DataOwner
@@ -34,68 +44,13 @@ from .qpf import (
 from .schema import AttributeSpec, PlainTable, Schema
 from .server import ObservabilityEndpoint, ServiceProvider
 from .sql import (
-    BetweenCondition,
     ComparisonCondition,
     SelectStatement,
     parse_select,
 )
 
 __all__ = ["EncryptedDatabase", "QueryAnswer", "QueryPlan", "PlanStep",
-           "StepAnalysis", "PlanAnalysis"]
-
-_LOWER_OPS = (">", ">=")
-_UPPER_OPS = ("<", "<=")
-
-#: DO-side LRU of sealed comparison trapdoors.  Re-asking the same
-#: predicate reuses the same sealed object, which is what lets the SP's
-#: equivalence cache (keyed by trapdoor serial) answer repeats in 0 QPF
-#: through the SQL layer — and what makes the planner's cache-aware
-#: estimate (``PlanStep.cached``) actually come true at execution time.
-TRAPDOOR_MEMO_SIZE = 512
-
-
-@dataclass(frozen=True)
-class PlanStep:
-    """One step of an explained query plan."""
-
-    kind: str  # "md-grid" | "prkb-sd" | "prkb-between" | "baseline-scan"
-    attributes: tuple[str, ...]
-    indexed: bool
-    partitions: int | None
-    estimated_qpf: int
-    #: The planner expects the SP's equivalence cache to answer this step
-    #: (a repeat of a known predicate): estimated cost collapses to ~0.
-    cached: bool = False
-
-    def render(self) -> str:
-        """Human-readable single line."""
-        attrs = ", ".join(self.attributes)
-        index_note = (f"PRKB k={self.partitions}" if self.indexed
-                      else "no index")
-        cache_note = " [cached]" if self.cached else ""
-        return (f"{self.kind}({attrs}) [{index_note}]{cache_note} "
-                f"~{self.estimated_qpf} QPF")
-
-
-@dataclass(frozen=True)
-class QueryPlan:
-    """EXPLAIN output: the steps the engine would execute."""
-
-    table: str
-    projection: object
-    steps: tuple[PlanStep, ...]
-
-    @property
-    def estimated_qpf(self) -> int:
-        """Total estimated QPF uses across all steps."""
-        return sum(step.estimated_qpf for step in self.steps)
-
-    def render(self) -> str:
-        """Multi-line human-readable plan."""
-        lines = [f"SELECT {self.projection} FROM {self.table}"]
-        lines.extend("  -> " + step.render() for step in self.steps)
-        lines.append(f"  estimated total: ~{self.estimated_qpf} QPF uses")
-        return "\n".join(lines)
+           "StepAnalysis", "PlanAnalysis", "TRAPDOOR_MEMO_SIZE"]
 
 
 @dataclass(frozen=True)
@@ -114,82 +69,6 @@ class QueryAnswer:
     def count(self) -> int:
         """Number of matching tuples."""
         return int(self.uids.size)
-
-
-@dataclass(frozen=True)
-class StepAnalysis:
-    """One plan step annotated with what execution actually spent."""
-
-    step: PlanStep
-    actual_qpf: int
-    wall_ms: float
-
-    @property
-    def error_ratio(self) -> float:
-        """``(actual+1)/(estimated+1)`` — 1.0 means a perfect estimate."""
-        return (self.actual_qpf + 1) / (self.step.estimated_qpf + 1)
-
-    def render(self) -> str:
-        return (f"{self.step.render()}  "
-                f"(actual {self.actual_qpf} QPF, "
-                f"{self.wall_ms:.3f} ms, x{self.error_ratio:.2f})")
-
-
-@dataclass(frozen=True)
-class PlanAnalysis:
-    """EXPLAIN ANALYZE output: the plan, per-step actuals, the answer."""
-
-    plan: QueryPlan
-    steps: tuple[StepAnalysis, ...]
-    answer: QueryAnswer
-
-    @property
-    def estimated_qpf(self) -> int:
-        return self.plan.estimated_qpf
-
-    @property
-    def actual_qpf(self) -> int:
-        return self.answer.qpf_uses
-
-    @property
-    def error_ratio(self) -> float:
-        """``(actual+1)/(estimated+1)`` over the whole query."""
-        return (self.actual_qpf + 1) / (self.estimated_qpf + 1)
-
-    def render(self) -> str:
-        lines = [f"SELECT {self.plan.projection} FROM {self.plan.table}"]
-        lines.extend("  -> " + step.render() for step in self.steps)
-        lines.append(f"  estimated ~{self.estimated_qpf} QPF, "
-                     f"actual {self.actual_qpf} QPF "
-                     f"(x{self.error_ratio:.2f})")
-        return "\n".join(lines)
-
-
-class _audited:
-    """EXPLAIN ANALYZE helper: append ``(attrs, qpf_delta, seconds)`` to
-    ``audit`` around a block.  A ``None`` audit makes it a no-op, so the
-    regular query path shares the execution code without paying for
-    step attribution."""
-
-    __slots__ = ("audit", "attrs", "counter", "qpf_before", "start")
-
-    def __init__(self, audit, attrs, counter):
-        self.audit = audit
-        self.attrs = attrs
-        self.counter = counter
-
-    def __enter__(self):
-        if self.audit is not None:
-            self.qpf_before = self.counter.qpf_uses
-            self.start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        if self.audit is not None and exc_type is None:
-            self.audit.append((self.attrs,
-                               self.counter.qpf_uses - self.qpf_before,
-                               time.perf_counter() - self.start))
-        return False
 
 
 class EncryptedDatabase:
@@ -233,7 +112,9 @@ class EncryptedDatabase:
         self.recovery_stats = None
         self.tracer = None
         self.metrics = None
-        self._trapdoor_memo: OrderedDict = OrderedDict()
+        #: Cost-based planner: owns the DO-side trapdoor memo, the live
+        #: cost estimator and the fingerprint-validated plan cache.
+        self.planner = Planner(self.owner, self.server, self.counter)
 
     # -- observability ------------------------------------------------------- #
 
@@ -309,6 +190,17 @@ class EncryptedDatabase:
         registry.histogram("repro_plan_estimate_error_ratio",
                            "(actual+1)/(estimated+1) QPF per query",
                            buckets=DEFAULT_RATIO_BUCKETS)
+        # Planner telemetry: pre-register so /metrics shows the series
+        # (at zero) before the first planned query after enabling.
+        registry.counter("repro_plan_cache_hits_total",
+                         "physical plans served from the plan cache")
+        registry.counter("repro_plan_cache_misses_total",
+                         "plan-cache misses (fresh planning runs)")
+        registry.counter("repro_plan_cache_invalidations_total",
+                         "cached plans dropped on fingerprint mismatch")
+        registry.counter("repro_plan_strategy_total",
+                         "executed plan steps by dispatched strategy",
+                         ("strategy",))
 
     def observability_endpoint(self) -> "ObservabilityEndpoint":
         """An HTTP-ready introspection surface for this database.
@@ -441,22 +333,27 @@ class EncryptedDatabase:
     def query(self, sql: str, strategy: str = "auto") -> QueryAnswer:
         """Parse, plan and execute one SELECT statement.
 
-        ``strategy`` constrains multi-dimensional planning: ``"auto"``
-        (PRKB(MD) when two or more fully-bounded indexed dimensions exist),
-        ``"md"``, ``"sd+"``, or ``"baseline"`` (ignore PRKB entirely).
+        ``strategy`` constrains the planner's dispatch: ``"auto"``
+        (cost-based adaptive choice; PRKB(MD) when two or more
+        fully-bounded indexed dimensions exist), ``"md"``, ``"sd+"``, or
+        ``"baseline"`` (ignore PRKB entirely).  Planning spends no QPF
+        and is cached per normalized statement; see
+        :class:`repro.plan.Planner`.
         """
         statement = parse_select(sql)
+        plan = self.planner.plan(statement, strategy)
         tracer = self.counter.tracer
         metrics = self.counter.metrics
         start = time.perf_counter() if metrics is not None else 0.0
         before = self.counter.snapshot()
         query_id = None
+        ctx = self.planner.execution_context()
         if tracer is None:
-            uids, value = self._execute(statement, strategy)
+            uids, value = plan.execute(ctx)
             spent = self.counter.diff(before)
         else:
             with tracer.span("query", sql=sql, strategy=strategy) as span:
-                uids, value = self._execute(statement, strategy)
+                uids, value = plan.execute(ctx)
                 spent = self.counter.diff(before)
                 # Totals go in attrs, not cost: span costs stay exclusive
                 # (phase spans below already own every QPF use).
@@ -464,11 +361,11 @@ class EncryptedDatabase:
                          qpf_roundtrips=spent.qpf_roundtrips,
                          rows=int(uids.size))
                 query_id = span.trace_id
+        self.planner.record_execution(plan)
         if metrics is not None:
             metrics.histogram("repro_query_latency_seconds").observe(
                 time.perf_counter() - start)
-            self._record_estimate_error(statement, strategy,
-                                        spent.qpf_uses)
+            self._record_estimate_error(plan, spent.qpf_uses)
         return QueryAnswer(
             uids=uids,
             value=value,
@@ -477,13 +374,10 @@ class EncryptedDatabase:
             query_id=query_id,
         )
 
-    def _record_estimate_error(self, statement: SelectStatement,
-                               strategy: str, actual_qpf: int) -> None:
-        """Feed the planner-quality histogram (metrics enabled only)."""
-        try:
-            plan = self._plan_statement(statement, strategy)
-        except Exception:
-            return  # unplannable statements don't poison the query path
+    def _record_estimate_error(self, plan: PhysicalPlan,
+                               actual_qpf: int) -> None:
+        """Feed the planner-quality histogram (metrics enabled only)
+        from the *executed* plan — no second planning pass."""
         self.counter.metrics.histogram(
             "repro_plan_estimate_error_ratio",
             buckets=DEFAULT_RATIO_BUCKETS,
@@ -519,22 +413,11 @@ class EncryptedDatabase:
             else:
                 answers[position] = self.query(statements[position],
                                                strategy=strategy)
-        tracer = self.counter.tracer
         for table, group in batchable.items():
-            trapdoors = []
-            for _, statement in group:
-                condition = statement.conditions[0]
-                trapdoors.append(self._sealed_comparison(
-                    condition.attribute, condition.operator,
-                    condition.constant))
-            if tracer is None:
-                batch = self.server.answer_batch(table, trapdoors,
-                                                 window=window)
-            else:
-                with tracer.span("execute_many.window", table=table,
-                                 queries=len(group)):
-                    batch = self.server.answer_batch(table, trapdoors,
-                                                     window=window)
+            probe = self.planner.plan_batch(
+                table, [statement for __, statement in group])
+            batch = probe.execute(self.planner.execution_context(),
+                                  window=window)
             for (position, _), answer in zip(group, batch):
                 logical = CostCounter(qpf_uses=answer.qpf_uses,
                                       tuples_retrieved=answer.qpf_uses)
@@ -550,27 +433,6 @@ class EncryptedDatabase:
                 )
         return answers  # type: ignore[return-value]
 
-    def _sealed_comparison(self, attribute: str, operator: str,
-                           constant: int):
-        """Seal (or reuse) the trapdoor for ``attribute op constant``.
-
-        A DO-side LRU: re-asking a predicate returns the *same* sealed
-        object, so the SP's serial-keyed equivalence cache can answer
-        the repeat in 0 QPF.  Capped at :data:`TRAPDOOR_MEMO_SIZE`.
-        """
-        key = (attribute, operator, constant)
-        memo = self._trapdoor_memo
-        trapdoor = memo.get(key)
-        if trapdoor is None:
-            trapdoor = self.owner.comparison_trapdoor(attribute, operator,
-                                                      constant)
-            memo[key] = trapdoor
-            while len(memo) > TRAPDOOR_MEMO_SIZE:
-                memo.popitem(last=False)
-        else:
-            memo.move_to_end(key)
-        return trapdoor
-
     def explain(self, sql: str, strategy: str = "auto") -> QueryPlan:
         """Describe how a statement would be planned, without running it.
 
@@ -578,78 +440,7 @@ class EncryptedDatabase:
         comparison costs ~``2·(2n/k) + log2 k`` QPF uses (two NS-pair
         scans plus the binary search), an unindexed one costs ``n``.
         """
-        return self._plan_statement(parse_select(sql), strategy)
-
-    def _plan_statement(self, statement: SelectStatement,
-                        strategy: str) -> QueryPlan:
-        table = self.server.table(statement.table)
-        n = table.num_rows
-        md_dimensions, leftovers = self._plan(statement)
-        use_md = (strategy in ("auto", "md", "sd+")
-                  and len(md_dimensions) >= (1 if strategy != "auto"
-                                             else 2))
-        if strategy == "baseline" or (md_dimensions and not use_md):
-            leftovers = list(statement.conditions)
-            md_dimensions = []
-        steps: list[PlanStep] = []
-        if md_dimensions:
-            attrs = tuple(d.attribute for d in md_dimensions)
-            ks = [self.server.index(statement.table, a).num_partitions
-                  for a in attrs]
-            estimated = sum(self._estimate_sd_qpf(n, k) for k in ks)
-            if strategy != "sd+":
-                estimated = max(1, estimated // 2)  # grid pruning bonus
-            steps.append(PlanStep(
-                kind="md-grid" if strategy != "sd+" else "prkb-sd",
-                attributes=attrs,
-                indexed=True,
-                partitions=min(ks),
-                estimated_qpf=estimated,
-            ))
-        for condition in leftovers:
-            attribute = condition.attribute
-            indexed = (strategy != "baseline"
-                       and self.server.has_index(statement.table,
-                                                 attribute))
-            if indexed:
-                index = self.server.index(statement.table, attribute)
-                k = index.num_partitions
-                kind = ("prkb-between" if hasattr(condition, "low")
-                        and hasattr(condition, "high") else "prkb-sd")
-                cached = (kind == "prkb-sd"
-                          and self._estimate_cached(index, condition))
-                steps.append(PlanStep(
-                    kind, (attribute,), True, k,
-                    # A predicate the equivalence cache already knows is
-                    # one chain slice: 0 QPF, not a cold NS-pair scan.
-                    0 if cached else self._estimate_sd_qpf(n, k),
-                    cached=cached))
-            else:
-                steps.append(PlanStep("baseline-scan", (attribute,),
-                                      False, None, n))
-        if not statement.conditions and statement.projection not in (
-                "*", ("count",)):
-            __, attribute = statement.projection
-            k = (self.server.index(statement.table,
-                                   attribute).num_partitions
-                 if self.server.has_index(statement.table, attribute)
-                 else 1)
-            steps.append(PlanStep("aggregate-ends", (attribute,),
-                                  k > 1, k, max(1, 2 * n // max(1, k))))
-        return QueryPlan(table=statement.table,
-                         projection=statement.projection,
-                         steps=tuple(steps))
-
-    def _estimate_cached(self, index, condition) -> bool:
-        """Whether re-running ``condition`` would hit the SP's
-        equivalence cache: the DO would reuse its memoized trapdoor
-        (same serial) and the index still holds a Case-1 entry for it.
-        Pure catalog inspection — nothing is sealed or executed.
-        """
-        trapdoor = self._trapdoor_memo.get(
-            (condition.attribute, condition.operator, condition.constant))
-        return (trapdoor is not None
-                and index.has_cached_equivalence(trapdoor.serial))
+        return self.planner.plan(parse_select(sql), strategy).query_plan()
 
     def explain_analyze(self, sql: str,
                         strategy: str = "auto") -> PlanAnalysis:
@@ -666,23 +457,25 @@ class EncryptedDatabase:
         synthetic step so the per-step actuals always sum to the total.
         """
         statement = parse_select(sql)
-        plan = self._plan_statement(statement, strategy)
+        physical = self.planner.plan(statement, strategy)
+        plan = physical.query_plan()
         audit: list[tuple[tuple[str, ...], int, float]] = []
+        ctx = self.planner.execution_context(audit=audit)
         tracer = self.counter.tracer
         before = self.counter.snapshot()
         start = time.perf_counter()
         query_id = None
         if tracer is None:
-            uids, value = self._execute(statement, strategy, audit=audit)
+            uids, value = physical.execute(ctx)
             spent = self.counter.diff(before)
         else:
             with tracer.span("explain_analyze", sql=sql,
                              strategy=strategy) as span:
-                uids, value = self._execute(statement, strategy,
-                                            audit=audit)
+                uids, value = physical.execute(ctx)
                 spent = self.counter.diff(before)
                 span.set(qpf_uses=spent.qpf_uses, rows=int(uids.size))
                 query_id = span.trace_id
+        self.planner.record_execution(physical)
         wall_ms = (time.perf_counter() - start) * 1e3
         answer = QueryAnswer(
             uids=uids, value=value, qpf_uses=spent.qpf_uses,
@@ -710,153 +503,6 @@ class EncryptedDatabase:
                 buckets=DEFAULT_RATIO_BUCKETS,
             ).observe((spent.qpf_uses + 1) / (plan.estimated_qpf + 1))
         return PlanAnalysis(plan=plan, steps=tuple(steps), answer=answer)
-
-    @staticmethod
-    def _estimate_sd_qpf(n: int, k: int) -> int:
-        """Expected QPF uses of one PRKB(SD) range query (Sec. 5)."""
-        if k <= 1:
-            return n
-        ns_scan = 4 * max(1, n // k)  # two NS-pairs of ~n/k tuples
-        return ns_scan + 2 * max(1, int(np.log2(k)))
-
-    def _execute(self, statement: SelectStatement, strategy: str,
-                 audit: list | None = None
-                 ) -> tuple[np.ndarray, int | None]:
-        if statement.projection in ("*", ("count",)) or isinstance(
-                statement.projection, str):
-            uids = self._execute_selection(statement, strategy,
-                                           audit=audit)
-            return uids, None
-        func, attribute = statement.projection
-        return self._execute_aggregate(statement, func, attribute,
-                                       strategy, audit=audit)
-
-    def _execute_aggregate(self, statement: SelectStatement, func: str,
-                           attribute: str, strategy: str,
-                           audit: list | None = None
-                           ) -> tuple[np.ndarray, int]:
-        if not self.server.has_index(statement.table, attribute):
-            # No POP to prune with: the trusted machine decrypts every
-            # candidate (the unindexed EDBMS cost).
-            return self._aggregate_by_full_decrypt(statement, func,
-                                                   attribute, strategy,
-                                                   audit=audit)
-        resolver = AggregateResolver(
-            self.server.index(statement.table, attribute), self.owner.key)
-        if statement.conditions:
-            # Filtered MIN/MAX: resolve the selection, then decrypt only
-            # the winner set's extreme-candidate partitions.
-            winners = self._execute_selection(statement, strategy,
-                                              audit=audit)
-            if winners.size == 0:
-                raise ValueError("aggregate over an empty selection")
-            uid, value = (resolver.minimum_among(winners) if func == "min"
-                          else resolver.maximum_among(winners))
-        else:
-            with _audited(audit, (attribute,), self.counter):
-                uid, value = (resolver.minimum() if func == "min"
-                              else resolver.maximum())
-        return np.asarray([uid], dtype=np.uint64), value
-
-    def _aggregate_by_full_decrypt(self, statement: SelectStatement,
-                                   func: str, attribute: str,
-                                   strategy: str,
-                                   audit: list | None = None
-                                   ) -> tuple[np.ndarray, int]:
-        from .encryption import decrypt_column
-
-        table = self.server.table(statement.table)
-        if statement.conditions:
-            candidates = self._execute_selection(statement, strategy,
-                                                 audit=audit)
-        else:
-            candidates = table.uids
-        if candidates.size == 0:
-            raise ValueError("aggregate over an empty selection")
-        with _audited(audit, (attribute,), self.counter):
-            self.counter.qpf_uses += int(candidates.size)
-            self.counter.tuples_retrieved += int(candidates.size)
-            values = decrypt_column(self.owner.key, table, attribute,
-                                    candidates)
-        best = int(np.argmin(values) if func == "min"
-                   else np.argmax(values))
-        return (np.asarray([candidates[best]], dtype=np.uint64),
-                int(values[best]))
-
-    def _execute_selection(self, statement: SelectStatement,
-                           strategy: str,
-                           audit: list | None = None) -> np.ndarray:
-        if not statement.conditions:
-            return np.sort(self.server.table(statement.table).uids)
-        md_dimensions, leftovers = self._plan(statement)
-        use_md = (strategy in ("auto", "md", "sd+")
-                  and len(md_dimensions) >= (1 if strategy != "auto" else 2))
-        winners: np.ndarray | None = None
-        if strategy == "baseline":
-            leftovers = list(statement.conditions)
-            md_dimensions = []
-            use_md = False
-        if use_md and md_dimensions:
-            md_strategy = "sd+" if strategy == "sd+" else "md"
-            with _audited(audit,
-                          tuple(d.attribute for d in md_dimensions),
-                          self.counter):
-                winners = self.server.select_range(
-                    statement.table, md_dimensions, strategy=md_strategy)
-        elif md_dimensions:
-            # Too few dimensions for the grid: fall back to per-condition.
-            leftovers = list(statement.conditions)
-        for condition in leftovers:
-            with _audited(audit, (condition.attribute,), self.counter):
-                part = self._execute_condition(statement.table, condition,
-                                               strategy)
-            winners = part if winners is None else np.intersect1d(
-                winners, part, assume_unique=True)
-        assert winners is not None
-        return np.sort(winners)
-
-    def _plan(self, statement: SelectStatement
-              ) -> tuple[list[DimensionRange], list]:
-        """Pair up fully-bounded indexed attributes into MD dimensions."""
-        by_attribute: dict[str, list[ComparisonCondition]] = {}
-        others: list = []
-        for condition in statement.conditions:
-            if isinstance(condition, ComparisonCondition):
-                by_attribute.setdefault(condition.attribute,
-                                        []).append(condition)
-            else:
-                others.append(condition)
-        dimensions: list[DimensionRange] = []
-        for attribute, conditions in by_attribute.items():
-            lows = [c for c in conditions if c.operator in _LOWER_OPS]
-            highs = [c for c in conditions if c.operator in _UPPER_OPS]
-            indexed = self.server.has_index(statement.table, attribute)
-            if indexed and len(conditions) == 2 and len(lows) == 1 \
-                    and len(highs) == 1:
-                dimensions.append(DimensionRange(
-                    attribute=attribute,
-                    low=self.owner.comparison_trapdoor(
-                        attribute, lows[0].operator, lows[0].constant),
-                    high=self.owner.comparison_trapdoor(
-                        attribute, highs[0].operator, highs[0].constant),
-                ))
-            else:
-                others.extend(conditions)
-        return dimensions, others
-
-    def _execute_condition(self, table: str, condition,
-                           strategy: str) -> np.ndarray:
-        if isinstance(condition, ComparisonCondition):
-            trapdoor = self._sealed_comparison(
-                condition.attribute, condition.operator, condition.constant)
-        elif isinstance(condition, BetweenCondition):
-            trapdoor = self.owner.between_trapdoor(
-                condition.attribute, condition.low, condition.high)
-        else:  # pragma: no cover - parser only emits the two kinds
-            raise TypeError(f"unknown condition {condition!r}")
-        if strategy == "baseline":
-            return np.sort(self.server.select_baseline(table, trapdoor))
-        return np.sort(self.server.select(table, trapdoor))
 
     # -- result materialisation (DO side) ------------------------------------ #
 

@@ -164,18 +164,14 @@ class ServiceProvider:
         from .batching import BatchExecutor, BatchJob
 
         table = self.table(table_name)
-        jobs = []
-        for trapdoor in trapdoors:
-            if not self.has_index(table_name, trapdoor.attribute):
-                jobs.append(BatchJob("scan", trapdoor, table))
-            elif trapdoor.kind == "between":
-                jobs.append(BatchJob(
-                    "between", trapdoor, table,
-                    self.index(table_name, trapdoor.attribute)))
-            else:
-                jobs.append(BatchJob(
-                    "prkb", trapdoor, table,
-                    self.index(table_name, trapdoor.attribute)))
+        jobs = [
+            BatchJob.dispatch(
+                trapdoor, table,
+                self.index(table_name, trapdoor.attribute)
+                if self.has_index(table_name, trapdoor.attribute)
+                else None)
+            for trapdoor in trapdoors
+        ]
         return BatchExecutor(self.qpf).run(jobs, update=update,
                                            window=window)
 

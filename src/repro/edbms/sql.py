@@ -107,6 +107,29 @@ class SelectStatement:
     projection: object
     conditions: tuple
 
+    @property
+    def aggregate(self) -> tuple[str, str] | None:
+        """``(func, attribute)`` for MIN/MAX projections, else ``None``."""
+        if isinstance(self.projection, tuple) and len(self.projection) == 2:
+            return self.projection  # type: ignore[return-value]
+        return None
+
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes this statement touches, first-seen order.
+
+        Condition attributes (deduplicated) followed by the aggregate's
+        attribute when projected — the exact set whose catalog state the
+        planner's cache fingerprint must cover.
+        """
+        seen: list[str] = []
+        for condition in self.conditions:
+            if condition.attribute not in seen:
+                seen.append(condition.attribute)
+        aggregate = self.aggregate
+        if aggregate is not None and aggregate[1] not in seen:
+            seen.append(aggregate[1])
+        return tuple(seen)
+
 
 class _Parser:
     """Recursive-descent parser over the token list."""

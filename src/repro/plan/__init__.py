@@ -1,0 +1,67 @@
+"""Planner/executor layer: logical plans, cost estimation, operators.
+
+The query path of :class:`~repro.edbms.engine.EncryptedDatabase` is
+parse → plan → execute:
+
+* :mod:`repro.plan.logical` normalises a parsed statement against the
+  catalog (grid-candidate dimensions vs. residual predicates);
+* :mod:`repro.plan.estimator` prices candidate operators in expected
+  QPF uses from live POP statistics (chain shape, observed Not-Sure
+  scan widths, equivalence-cache state);
+* :mod:`repro.plan.operators` are the Volcano-style physical operators
+  that spend real QPF;
+* :mod:`repro.plan.planner` performs the cost-based adaptive dispatch
+  (PRKB vs. linear scan vs. grid, cache-hit fast paths) and caches the
+  resulting :class:`PhysicalPlan` per normalized statement;
+* :mod:`repro.plan.report` holds the EXPLAIN / EXPLAIN ANALYZE
+  dataclasses rendered from the *same* plan tree the executor runs.
+
+See DESIGN.md ("Planner/executor split") and API.md ("repro.plan").
+"""
+
+from .estimator import ESTIMATE_BOUND, ESTIMATE_SLACK, CostEstimator
+from .logical import BoundedDimension, LogicalSelect, build_logical
+from .operators import (
+    AggregateOp,
+    BatchProbeOp,
+    CacheHitOp,
+    ExecutionContext,
+    GridIntersectOp,
+    LinearScanOp,
+    PhysicalOperator,
+    PRKBSelectOp,
+    SelectionRoot,
+)
+from .planner import (
+    PLAN_CACHE_SIZE,
+    TRAPDOOR_MEMO_SIZE,
+    PhysicalPlan,
+    Planner,
+)
+from .report import PlanAnalysis, PlanStep, QueryPlan, StepAnalysis
+
+__all__ = [
+    "BoundedDimension",
+    "LogicalSelect",
+    "build_logical",
+    "CostEstimator",
+    "ESTIMATE_BOUND",
+    "ESTIMATE_SLACK",
+    "ExecutionContext",
+    "PhysicalOperator",
+    "PRKBSelectOp",
+    "CacheHitOp",
+    "LinearScanOp",
+    "GridIntersectOp",
+    "SelectionRoot",
+    "AggregateOp",
+    "BatchProbeOp",
+    "Planner",
+    "PhysicalPlan",
+    "PLAN_CACHE_SIZE",
+    "TRAPDOOR_MEMO_SIZE",
+    "PlanStep",
+    "QueryPlan",
+    "StepAnalysis",
+    "PlanAnalysis",
+]

@@ -1,0 +1,114 @@
+"""Logical plan: the normalized predicate tree of one SELECT statement.
+
+The parser (:mod:`repro.edbms.sql`) already normalises conditions to
+attribute-first form; this module adds the *catalog-bound* normalisation
+the planner works from:
+
+* comparison conditions are grouped per attribute and paired into
+  :class:`BoundedDimension` candidates (one lower + one upper bound on an
+  indexed attribute — the shapes the Sec. 6 grid algorithm accepts);
+* everything else stays in ``residual`` in the order the pre-planner
+  engine executed it, so physical plans built from the logical plan
+  reproduce the legacy operator order (and therefore its exact QPF
+  trace) bit-for-bit.
+
+The logical plan is pure description: nothing is sealed, nothing is
+executed, no QPF is spent building it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..edbms.sql import ComparisonCondition, SelectStatement
+
+__all__ = ["BoundedDimension", "LogicalSelect", "build_logical"]
+
+_LOWER_OPS = (">", ">=")
+_UPPER_OPS = ("<", "<=")
+
+
+@dataclass(frozen=True)
+class BoundedDimension:
+    """A fully-bounded indexed attribute: one lower + one upper predicate.
+
+    These are the per-dimension inputs of the grid algorithm; the
+    trapdoors are sealed by the executing operator, never here.
+    """
+
+    attribute: str
+    low: ComparisonCondition
+    high: ComparisonCondition
+
+    def conditions(self) -> tuple[ComparisonCondition, ComparisonCondition]:
+        """Both predicates of this dimension."""
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogicalSelect:
+    """Catalog-bound normal form of one SELECT statement.
+
+    ``dimensions`` are the grid *candidates*; whether they are actually
+    answered by the grid is the planner's cost-based decision.
+    ``residual`` holds every condition that cannot ride the grid, in
+    legacy execution order.  ``statement`` keeps the raw parse (also the
+    plan-cache key, joined with the strategy).
+    """
+
+    statement: SelectStatement
+    dimensions: tuple[BoundedDimension, ...]
+    residual: tuple
+
+    @property
+    def table(self) -> str:
+        return self.statement.table
+
+    @property
+    def projection(self) -> object:
+        return self.statement.projection
+
+    @property
+    def conditions(self) -> tuple:
+        return self.statement.conditions
+
+    @property
+    def aggregate(self) -> tuple[str, str] | None:
+        """``(func, attribute)`` for MIN/MAX projections, else ``None``."""
+        return self.statement.aggregate
+
+
+def build_logical(statement: SelectStatement,
+                  has_index: Callable[[str, str], bool]) -> LogicalSelect:
+    """Bind one parsed statement to the catalog.
+
+    ``has_index`` answers whether PRKB covers ``(table, attribute)`` —
+    the only catalog fact the logical layer needs.  The grouping rules
+    (and crucially the *order* of ``residual``) mirror the pre-planner
+    engine: BETWEEN and unpaired comparisons keep their first-seen
+    order, grouped-but-unpairable comparisons are appended per
+    attribute.
+    """
+    by_attribute: dict[str, list[ComparisonCondition]] = {}
+    residual: list = []
+    for condition in statement.conditions:
+        if isinstance(condition, ComparisonCondition):
+            by_attribute.setdefault(condition.attribute,
+                                    []).append(condition)
+        else:
+            residual.append(condition)
+    dimensions: list[BoundedDimension] = []
+    for attribute, conditions in by_attribute.items():
+        lows = [c for c in conditions if c.operator in _LOWER_OPS]
+        highs = [c for c in conditions if c.operator in _UPPER_OPS]
+        if (has_index(statement.table, attribute)
+                and len(conditions) == 2
+                and len(lows) == 1 and len(highs) == 1):
+            dimensions.append(BoundedDimension(
+                attribute=attribute, low=lows[0], high=highs[0]))
+        else:
+            residual.extend(conditions)
+    return LogicalSelect(statement=statement,
+                         dimensions=tuple(dimensions),
+                         residual=tuple(residual))

@@ -1,0 +1,311 @@
+"""Volcano-style physical operators over the encrypted catalog.
+
+Each operator owns exactly one :class:`~repro.plan.report.PlanStep` — the
+step the planner costed it with — and an ``execute(ctx)`` method that
+spends real QPF.  The same operator tree backs ``query``, ``explain``
+(render without executing) and ``explain_analyze`` (execute with the
+audit enabled), which is what guarantees rendered estimates are the
+estimates the executor ran with.
+
+Trapdoor sealing happens *here*, at execute time, never at plan time:
+a cached physical plan re-seals on every run exactly like the
+pre-planner engine did, so the DO-side trapdoor memo and the SP-side
+equivalence cache keep their observable behaviour (identical repeats
+answered in 0 QPF) bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.aggregates import AggregateResolver
+from ..core.multi import DimensionRange
+from ..edbms.sql import BetweenCondition, ComparisonCondition
+from .logical import BoundedDimension
+from .report import PlanStep
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "PRKBSelectOp",
+    "CacheHitOp",
+    "LinearScanOp",
+    "GridIntersectOp",
+    "SelectionRoot",
+    "AggregateOp",
+    "BatchProbeOp",
+]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs at run time (nothing at plan time).
+
+    ``seal_comparison`` is the planner's DO-side trapdoor memo
+    (``(attribute, operator, constant) -> EncryptedPredicate``); sharing
+    it across operators is what makes repeats equivalence-cache hits.
+    ``audit`` is EXPLAIN ANALYZE's per-step ledger (``None`` on the
+    regular query path — attribution then costs one ``is None`` test).
+    """
+
+    owner: object
+    server: object
+    counter: object
+    seal_comparison: Callable
+    audit: list | None = None
+
+
+class _audited:
+    """Append ``(attrs, qpf_delta, seconds)`` to ``ctx.audit`` around a
+    block; a ``None`` audit makes it a no-op, so the regular query path
+    shares the execution code without paying for step attribution."""
+
+    __slots__ = ("audit", "attrs", "counter", "qpf_before", "start")
+
+    def __init__(self, audit, attrs, counter):
+        self.audit = audit
+        self.attrs = attrs
+        self.counter = counter
+
+    def __enter__(self):
+        if self.audit is not None:
+            self.qpf_before = self.counter.qpf_uses
+            self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.audit is not None and exc_type is None:
+            self.audit.append((self.attrs,
+                               self.counter.qpf_uses - self.qpf_before,
+                               time.perf_counter() - self.start))
+        return False
+
+
+class PhysicalOperator:
+    """Base: one plan step + one execute method."""
+
+    __slots__ = ("step",)
+
+    def __init__(self, step: PlanStep):
+        self.step = step
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Run this operator under ``ctx``; returns sorted matching UIDs."""
+        raise NotImplementedError
+
+    def _seal_condition(self, ctx: ExecutionContext, condition):
+        """The condition's trapdoor, exactly as the legacy engine sealed
+        it: comparisons go through the DO memo (repeats reuse the same
+        sealed object — the equivalence-cache key), BETWEEN is sealed
+        fresh each run (its refinement pattern depends on it)."""
+        if isinstance(condition, ComparisonCondition):
+            return ctx.seal_comparison(condition.attribute,
+                                       condition.operator,
+                                       condition.constant)
+        if isinstance(condition, BetweenCondition):
+            return ctx.owner.between_trapdoor(
+                condition.attribute, condition.low, condition.high)
+        raise TypeError(f"unknown condition {condition!r}")
+
+
+class PRKBSelectOp(PhysicalOperator):
+    """One predicate through the PRKB pipeline (QFilter/QScan, Sec. 4)."""
+
+    __slots__ = ("table", "condition")
+
+    def __init__(self, table: str, condition, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Seal the predicate and answer it via the PRKB index."""
+        with _audited(ctx.audit, (self.condition.attribute,), ctx.counter):
+            trapdoor = self._seal_condition(ctx, self.condition)
+            return np.sort(ctx.server.select(self.table, trapdoor))
+
+
+class CacheHitOp(PRKBSelectOp):
+    """A :class:`PRKBSelectOp` the planner expects the SP's equivalence
+    cache to answer (~0 QPF).  Execution is identical — the *server*
+    decides the hit from the trapdoor serial; the distinct operator
+    exists so plans/metrics show the expected fast path."""
+
+    __slots__ = ()
+
+
+class LinearScanOp(PhysicalOperator):
+    """One predicate tested against every tuple (Fig. 2a baseline)."""
+
+    __slots__ = ("table", "condition")
+
+    def __init__(self, table: str, condition, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Seal the predicate and test it against every tuple."""
+        with _audited(ctx.audit, (self.condition.attribute,), ctx.counter):
+            trapdoor = self._seal_condition(ctx, self.condition)
+            return np.sort(ctx.server.select_baseline(self.table, trapdoor))
+
+
+class GridIntersectOp(PhysicalOperator):
+    """All fully-bounded dimensions through PRKB(MD)'s grid (Sec. 6.2),
+    or the naive per-dimension composition when ``mode == "sd+"``.
+
+    Dimension trapdoors are sealed fresh at execute time (low then high,
+    dimension order), matching the legacy engine's per-query sealing."""
+
+    __slots__ = ("table", "dimensions", "mode")
+
+    def __init__(self, table: str,
+                 dimensions: tuple[BoundedDimension, ...],
+                 mode: str, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.dimensions = dimensions
+        self.mode = mode
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Seal all dimension trapdoors and run the grid selection."""
+        with _audited(ctx.audit, self.step.attributes, ctx.counter):
+            ranges = [
+                DimensionRange(
+                    attribute=d.attribute,
+                    low=ctx.owner.comparison_trapdoor(
+                        d.attribute, d.low.operator, d.low.constant),
+                    high=ctx.owner.comparison_trapdoor(
+                        d.attribute, d.high.operator, d.high.constant),
+                )
+                for d in self.dimensions
+            ]
+            return ctx.server.select_range(self.table, ranges,
+                                           strategy=self.mode)
+
+
+class SelectionRoot:
+    """Intersect the child operators' winner sets (conjunctive AND).
+
+    Every child runs even when an earlier one returned nothing — index
+    refinement is a side effect the legacy engine also paid for, and the
+    EXPLAIN ANALYZE audit expects one entry per planned step.
+    """
+
+    __slots__ = ("table", "children")
+
+    def __init__(self, table: str, children: tuple[PhysicalOperator, ...]):
+        self.table = table
+        self.children = children
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Run every child and intersect their sorted winner sets."""
+        if not self.children:
+            return np.sort(ctx.server.table(self.table).uids)
+        winners: np.ndarray | None = None
+        for child in self.children:
+            part = child.execute(ctx)
+            winners = part if winners is None else np.intersect1d(
+                winners, part, assume_unique=True)
+        assert winners is not None
+        return np.sort(winners)
+
+
+class AggregateOp:
+    """MIN/MAX resolution over a child selection (or the whole table).
+
+    ``indexed`` (a plan-time catalog fact, part of the cache
+    fingerprint) picks between POP end-partition pruning
+    (:class:`~repro.core.aggregates.AggregateResolver`) and the
+    unindexed EDBMS fallback of decrypting every candidate in the TM.
+    """
+
+    __slots__ = ("table", "func", "attribute", "child", "indexed", "step")
+
+    def __init__(self, table: str, func: str, attribute: str,
+                 child: SelectionRoot | None, indexed: bool,
+                 step: PlanStep | None):
+        self.table = table
+        self.func = func
+        self.attribute = attribute
+        self.child = child
+        self.indexed = indexed
+        self.step = step  # the "aggregate-ends" step; None when filtered
+
+    def execute(self, ctx: ExecutionContext
+                ) -> tuple[np.ndarray, int]:
+        """Resolve the aggregate; returns ``([winner_uid], value)``."""
+        if not self.indexed:
+            return self._full_decrypt(ctx)
+        resolver = AggregateResolver(
+            ctx.server.index(self.table, self.attribute), ctx.owner.key)
+        if self.child is not None:
+            # Filtered MIN/MAX: resolve the selection, then decrypt only
+            # the winner set's extreme-candidate partitions.
+            winners = self.child.execute(ctx)
+            if winners.size == 0:
+                raise ValueError("aggregate over an empty selection")
+            uid, value = (resolver.minimum_among(winners)
+                          if self.func == "min"
+                          else resolver.maximum_among(winners))
+        else:
+            with _audited(ctx.audit, (self.attribute,), ctx.counter):
+                uid, value = (resolver.minimum() if self.func == "min"
+                              else resolver.maximum())
+        return np.asarray([uid], dtype=np.uint64), value
+
+    def _full_decrypt(self, ctx: ExecutionContext
+                      ) -> tuple[np.ndarray, int]:
+        # No POP to prune with: the trusted machine decrypts every
+        # candidate (the unindexed EDBMS cost).
+        from ..edbms.encryption import decrypt_column
+
+        table = ctx.server.table(self.table)
+        if self.child is not None:
+            candidates = self.child.execute(ctx)
+        else:
+            candidates = table.uids
+        if candidates.size == 0:
+            raise ValueError("aggregate over an empty selection")
+        with _audited(ctx.audit, (self.attribute,), ctx.counter):
+            ctx.counter.qpf_uses += int(candidates.size)
+            ctx.counter.tuples_retrieved += int(candidates.size)
+            values = decrypt_column(ctx.owner.key, table, self.attribute,
+                                    candidates)
+        best = int(np.argmin(values) if self.func == "min"
+                   else np.argmax(values))
+        return (np.asarray([candidates[best]], dtype=np.uint64),
+                int(values[best]))
+
+
+class BatchProbeOp:
+    """A burst of single-comparison selections on one table, coalesced
+    through :meth:`ServiceProvider.answer_batch` so their PRKB pipelines
+    advance in lock step (one enclave roundtrip per step for the whole
+    burst, duplicate predicates answered once)."""
+
+    __slots__ = ("table", "conditions")
+
+    def __init__(self, table: str,
+                 conditions: tuple[ComparisonCondition, ...]):
+        self.table = table
+        self.conditions = conditions
+
+    def execute(self, ctx: ExecutionContext, window: int | None = None):
+        """Seal all predicates and answer them as one coalesced batch."""
+        trapdoors = [ctx.seal_comparison(c.attribute, c.operator,
+                                         c.constant)
+                     for c in self.conditions]
+        tracer = ctx.counter.tracer
+        if tracer is None:
+            return ctx.server.answer_batch(self.table, trapdoors,
+                                           window=window)
+        with tracer.span("execute_many.window", table=self.table,
+                         queries=len(self.conditions)):
+            return ctx.server.answer_batch(self.table, trapdoors,
+                                           window=window)

@@ -1,0 +1,386 @@
+"""Cost-based planner: logical plan -> cached physical operator tree.
+
+``Planner.plan`` is the single planning entry point for ``query``,
+``explain`` and ``explain_analyze`` — all three hold the *same*
+:class:`PhysicalPlan`, so rendered estimates are the estimates the
+executor ran with and nothing ever plans twice.
+
+Dispatch (per residual predicate, adaptive à la Enc2DB):
+
+* unindexed attribute → :class:`LinearScanOp` (the only legal operator);
+* indexed predicate the equivalence cache already knows →
+  :class:`CacheHitOp` (~0 QPF);
+* otherwise PRKB vs. linear scan by estimated QPF, with the estimator's
+  *refinement credit* (a growable chain is never priced above the scan,
+  and ties prefer PRKB — scanning would freeze the index).  A genuinely
+  degenerate index (capped chain whose model cost exceeds ``n``) loses
+  to the scan: that is the adaptive win over the legacy fixed branching.
+
+For fully-bounded dimensions the grid is taken under ``auto`` when at
+least two dimensions exist *and* its estimate beats composing the same
+predicates one by one (``md``/``sd+`` force it from one dimension up).
+
+Plans are cached per ``(statement, strategy)`` and validated against a
+live fingerprint (table row count + update version, per-index chain
+shape via :meth:`~repro.core.prkb.PRKBIndex.plan_fingerprint`, and the
+per-predicate cached bit), so PRKB refinement, table updates and
+equivalence-cache churn all invalidate exactly the plans they affect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..edbms.sql import BetweenCondition, ComparisonCondition, SelectStatement
+from .estimator import CostEstimator
+from .logical import LogicalSelect, build_logical
+from .operators import (
+    AggregateOp,
+    BatchProbeOp,
+    CacheHitOp,
+    ExecutionContext,
+    GridIntersectOp,
+    LinearScanOp,
+    PhysicalOperator,
+    PRKBSelectOp,
+    SelectionRoot,
+)
+from .report import PlanStep, QueryPlan
+
+__all__ = ["Planner", "PhysicalPlan", "TRAPDOOR_MEMO_SIZE",
+           "PLAN_CACHE_SIZE"]
+
+#: DO-side LRU of sealed comparison trapdoors.  Re-asking the same
+#: predicate reuses the same sealed object, which is what lets the SP's
+#: equivalence cache (keyed by trapdoor serial) answer repeats in 0 QPF
+#: through the SQL layer — and what makes the planner's cache-aware
+#: estimate (``PlanStep.cached``) actually come true at execution time.
+TRAPDOOR_MEMO_SIZE = 512
+
+#: Physical plans retained per database, keyed ``(statement, strategy)``.
+PLAN_CACHE_SIZE = 256
+
+_STRATEGIES = ("auto", "md", "sd+", "baseline")
+
+
+class PhysicalPlan:
+    """One executable operator tree plus its costed steps.
+
+    ``steps`` is what EXPLAIN renders and what the audit of EXPLAIN
+    ANALYZE zips against (one audited entry per selection/aggregate-ends
+    step, in execution order).  ``fingerprint`` is the catalog state the
+    costs were computed from; the planner revalidates it on every cache
+    hit.
+    """
+
+    __slots__ = ("statement", "strategy", "root", "steps", "fingerprint")
+
+    def __init__(self, statement: SelectStatement, strategy: str,
+                 root: SelectionRoot | AggregateOp,
+                 steps: tuple[PlanStep, ...], fingerprint: tuple):
+        self.statement = statement
+        self.strategy = strategy
+        self.root = root
+        self.steps = steps
+        self.fingerprint = fingerprint
+
+    @property
+    def estimated_qpf(self) -> int:
+        return sum(step.estimated_qpf for step in self.steps)
+
+    def execute(self, ctx: ExecutionContext):
+        """Run the tree; returns ``(uids, aggregate_value_or_None)``."""
+        if isinstance(self.root, AggregateOp):
+            return self.root.execute(ctx)
+        return self.root.execute(ctx), None
+
+    def query_plan(self) -> QueryPlan:
+        """The EXPLAIN view — same steps object the executor carries."""
+        return QueryPlan(table=self.statement.table,
+                         projection=self.statement.projection,
+                         steps=self.steps)
+
+    def render_tree(self) -> str:
+        """Operator tree with per-step estimates and rejected
+        alternatives — the ``repro plan`` CLI output."""
+        lines = [f"SELECT {self.statement.projection} "
+                 f"FROM {self.statement.table} [strategy={self.strategy}] "
+                 f"~{self.estimated_qpf} QPF estimated"]
+
+        def emit_step(op, pad: str) -> None:
+            lines.append(f"{pad}-> {type(op).__name__}: {op.step.render()}")
+            if op.step.alternatives:
+                lines.append(f"{pad}     {op.step.render_alternatives()}")
+
+        def emit_selection(root: SelectionRoot, pad: str) -> None:
+            if not root.children:
+                lines.append(f"{pad}-> FullTable({root.table}): "
+                             f"all uids, 0 QPF")
+                return
+            if len(root.children) > 1:
+                lines.append(f"{pad}-> Intersect"
+                             f"[{len(root.children)} inputs]")
+                pad += "   "
+            for child in root.children:
+                emit_step(child, pad)
+
+        root = self.root
+        if isinstance(root, AggregateOp):
+            note = (root.step.render() if root.step is not None
+                    else "resolve over selection winners")
+            lines.append(f"  -> AggregateOp {root.func}"
+                         f"({root.attribute}): {note}")
+            if root.child is not None:
+                emit_selection(root.child, "     ")
+        else:
+            emit_selection(root, "  ")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Owns the trapdoor memo, the cost estimator and the plan cache."""
+
+    def __init__(self, owner, server, counter):
+        self.owner = owner
+        self.server = server
+        self.counter = counter
+        self._trapdoor_memo: OrderedDict = OrderedDict()
+        self._plan_cache: OrderedDict = OrderedDict()
+        self.estimator = CostEstimator(server, self._trapdoor_memo.get)
+        # Python-side telemetry (mirrored into the metrics registry when
+        # observability is enabled; always available to tests/CLI).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.strategy_counts: dict[str, int] = {}
+
+    # -- DO-side trapdoor memo -------------------------------------------- #
+
+    def seal_comparison(self, attribute: str, operator: str,
+                        constant: int):
+        """Seal (or reuse) the trapdoor for ``attribute op constant``.
+
+        A DO-side LRU: re-asking a predicate returns the *same* sealed
+        object, so the SP's serial-keyed equivalence cache can answer
+        the repeat in 0 QPF.  Capped at :data:`TRAPDOOR_MEMO_SIZE`.
+        """
+        key = (attribute, operator, constant)
+        memo = self._trapdoor_memo
+        trapdoor = memo.get(key)
+        if trapdoor is None:
+            trapdoor = self.owner.comparison_trapdoor(attribute, operator,
+                                                      constant)
+            memo[key] = trapdoor
+            while len(memo) > TRAPDOOR_MEMO_SIZE:
+                memo.popitem(last=False)
+        else:
+            memo.move_to_end(key)
+        return trapdoor
+
+    # -- planning entry points -------------------------------------------- #
+
+    def plan(self, statement: SelectStatement,
+             strategy: str = "auto") -> PhysicalPlan:
+        """The cached physical plan for ``(statement, strategy)``.
+
+        Cache hits revalidate the stored fingerprint against the live
+        catalog; any index refinement, table update or equivalence-cache
+        change since planning evicts and replans.
+        """
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; "
+                             f"expected one of {_STRATEGIES}")
+        key = (statement, strategy)
+        fingerprint = self._fingerprint(statement)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            if cached.fingerprint == fingerprint:
+                self.cache_hits += 1
+                self._bump("repro_plan_cache_hits_total",
+                           "physical plans served from the plan cache")
+                self._plan_cache.move_to_end(key)
+                return cached
+            self.cache_invalidations += 1
+            self._bump("repro_plan_cache_invalidations_total",
+                       "cached plans dropped on fingerprint mismatch")
+            del self._plan_cache[key]
+        self.cache_misses += 1
+        self._bump("repro_plan_cache_misses_total",
+                   "plan-cache misses (fresh planning runs)")
+        plan = self._build(statement, strategy, fingerprint)
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def plan_batch(self, table: str,
+                   statements: list[SelectStatement]) -> BatchProbeOp:
+        """A coalesced probe for single-comparison statements on one
+        table (the ``execute_many`` fast path)."""
+        return BatchProbeOp(table, tuple(
+            statement.conditions[0] for statement in statements))
+
+    def record_execution(self, plan: PhysicalPlan) -> None:
+        """Count the dispatched strategies of one executed plan."""
+        metrics = self.counter.metrics
+        for step in plan.steps:
+            self.strategy_counts[step.kind] = (
+                self.strategy_counts.get(step.kind, 0) + 1)
+            if metrics is not None:
+                metrics.counter(
+                    "repro_plan_strategy_total",
+                    "executed plan steps by dispatched strategy",
+                    ("strategy",),
+                ).inc(strategy=step.kind)
+
+    def execution_context(self, audit: list | None = None
+                          ) -> ExecutionContext:
+        """A fresh per-query context wired to this planner's memo."""
+        return ExecutionContext(owner=self.owner, server=self.server,
+                                counter=self.counter,
+                                seal_comparison=self.seal_comparison,
+                                audit=audit)
+
+    # -- internals --------------------------------------------------------- #
+
+    def _bump(self, name: str, help_text: str) -> None:
+        metrics = self.counter.metrics
+        if metrics is not None:
+            metrics.counter(name, help_text).inc()
+
+    def _fingerprint(self, statement: SelectStatement) -> tuple:
+        """Catalog state this statement's costs depend on.  O(conditions)."""
+        table = self.server.table(statement.table)
+        parts: list = [table.num_rows, table.version]
+        for attribute in statement.attributes():
+            if self.server.has_index(statement.table, attribute):
+                index = self.server.index(statement.table, attribute)
+                parts.append((attribute,) + index.plan_fingerprint())
+            else:
+                parts.append((attribute, None))
+        for condition in statement.conditions:
+            if isinstance(condition, ComparisonCondition):
+                parts.append(self.estimator.is_cached(statement.table,
+                                                      condition))
+        return tuple(parts)
+
+    def _build(self, statement: SelectStatement, strategy: str,
+               fingerprint: tuple) -> PhysicalPlan:
+        logical = build_logical(statement, self.server.has_index)
+        aggregate = logical.aggregate
+        selection_ops, steps = self._build_selection(logical, strategy)
+        if aggregate is None:
+            root: SelectionRoot | AggregateOp = SelectionRoot(
+                statement.table, tuple(selection_ops))
+            return PhysicalPlan(statement, strategy, root, tuple(steps),
+                                fingerprint)
+        func, attribute = aggregate
+        indexed = self.server.has_index(statement.table, attribute)
+        child = (SelectionRoot(statement.table, tuple(selection_ops))
+                 if statement.conditions else None)
+        step = None
+        if not statement.conditions:
+            estimated, k, pruned = self.estimator.aggregate_ends_qpf(
+                statement.table, attribute)
+            step = PlanStep("aggregate-ends", (attribute,), pruned, k,
+                            estimated)
+            steps.append(step)
+        root = AggregateOp(statement.table, func, attribute, child,
+                           indexed, step)
+        return PhysicalPlan(statement, strategy, root, tuple(steps),
+                            fingerprint)
+
+    def _build_selection(self, logical: LogicalSelect, strategy: str
+                         ) -> tuple[list[PhysicalOperator], list[PlanStep]]:
+        """Dispatch the predicate tree onto physical operators."""
+        estimator = self.estimator
+        table = logical.table
+        scan_cost = estimator.scan_qpf(table)
+        dimensions = logical.dimensions
+        residual = list(logical.residual)
+        ops: list[PhysicalOperator] = []
+        steps: list[PlanStep] = []
+
+        grid_alternatives: tuple = ()
+        use_md = (strategy in ("auto", "md", "sd+")
+                  and len(dimensions) >= (1 if strategy != "auto" else 2))
+        if use_md and strategy == "auto":
+            # Adaptive check: the grid must actually beat composing the
+            # same predicates one by one (it essentially always does —
+            # one probe per dimension instead of one per predicate, plus
+            # cross-dimension pruning — but a cost-based planner checks).
+            grid_cost = estimator.grid_qpf(table, dimensions, bonus=True)
+            composed = sum(
+                0 if estimator.is_cached(table, condition)
+                else estimator.effective_prkb_qpf(table,
+                                                  condition.attribute)
+                for d in dimensions for condition in d.conditions())
+            if grid_cost > composed:
+                use_md = False
+            else:
+                grid_alternatives = (("prkb-sd", composed),)
+        if strategy == "baseline" or (dimensions and not use_md):
+            # Grid rejected: every predicate goes through the
+            # per-condition pipeline in original statement order.
+            residual = list(logical.conditions)
+            dimensions = ()
+
+        if dimensions:
+            mode = "sd+" if strategy == "sd+" else "md"
+            attrs = tuple(d.attribute for d in dimensions)
+            ks = [self.server.index(table, a).num_partitions
+                  for a in attrs]
+            estimated = estimator.grid_qpf(table, dimensions,
+                                           bonus=(mode == "md"))
+            step = PlanStep(
+                kind="md-grid" if mode == "md" else "prkb-sd",
+                attributes=attrs,
+                indexed=True,
+                partitions=min(ks),
+                estimated_qpf=estimated,
+                alternatives=grid_alternatives,
+            )
+            steps.append(step)
+            ops.append(GridIntersectOp(table, dimensions, mode, step))
+
+        for condition in residual:
+            op = self._dispatch_condition(table, condition, strategy,
+                                          scan_cost)
+            ops.append(op)
+            steps.append(op.step)
+        return ops, steps
+
+    def _dispatch_condition(self, table: str, condition, strategy: str,
+                            scan_cost: int) -> PhysicalOperator:
+        """Cost-based PRKB / cache-hit / linear-scan choice for one
+        predicate (the Enc2DB-style adaptive dispatch)."""
+        attribute = condition.attribute
+        indexed = (strategy != "baseline"
+                   and self.server.has_index(table, attribute))
+        if not indexed:
+            step = PlanStep("baseline-scan", (attribute,), False, None,
+                            scan_cost)
+            return LinearScanOp(table, condition, step)
+        index = self.server.index(table, attribute)
+        k = index.num_partitions
+        kind = ("prkb-between"
+                if isinstance(condition, BetweenCondition) else "prkb-sd")
+        prkb_cost = self.estimator.comparison_qpf(table, attribute)
+        if kind == "prkb-sd" and self.estimator.is_cached(table, condition):
+            # A predicate the equivalence cache already knows is one
+            # chain slice: 0 QPF, not a cold NS-pair scan.
+            step = PlanStep(kind, (attribute,), True, k, 0, cached=True,
+                            alternatives=((kind, prkb_cost),
+                                          ("baseline-scan", scan_cost)))
+            return CacheHitOp(table, condition, step)
+        effective = min(prkb_cost, scan_cost) if index.can_grow \
+            else prkb_cost
+        if effective <= scan_cost:
+            step = PlanStep(kind, (attribute,), True, k, effective,
+                            alternatives=(("baseline-scan", scan_cost),))
+            return PRKBSelectOp(table, condition, step)
+        # Degenerate index (capped chain pricier than the scan, and no
+        # refinement to buy): the adaptive dispatch drops to the scan.
+        step = PlanStep("baseline-scan", (attribute,), False, None,
+                        scan_cost, alternatives=((kind, prkb_cost),))
+        return LinearScanOp(table, condition, step)

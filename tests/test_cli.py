@@ -122,6 +122,68 @@ class TestQuery:
                   "--sql", "SELECT * FROM data"])
 
 
+class TestPlan:
+    def test_plan_prints_operator_tree(self, csv_file, capsys):
+        code = main([
+            "plan", "--csv", str(csv_file),
+            "SELECT * FROM data WHERE price < 500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy=auto" in out
+        assert "QPF estimated" in out
+        assert "Op" in out  # operator class names are shown
+
+    def test_plan_requires_sql(self, csv_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--csv", str(csv_file)])
+
+    def test_plan_does_not_execute(self, csv_file, capsys):
+        # Planning is free: repeated planning never spends QPF, so the
+        # same command is idempotent and prints an identical tree.
+        argv = ["plan", "--csv", str(csv_file),
+                "SELECT COUNT(*) FROM data WHERE price > 300"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_strategy_override_changes_tree(self, csv_file, capsys):
+        sql = ("SELECT * FROM data WHERE 100 < price AND price < 400 "
+               "AND 10 < stock AND stock < 40")
+        assert main(["plan", "--csv", str(csv_file), sql]) == 0
+        auto = capsys.readouterr().out
+        assert main(["plan", "--csv", str(csv_file),
+                     "--strategy", "baseline", sql]) == 0
+        forced = capsys.readouterr().out
+        assert "GridIntersectOp" in auto
+        assert "rejected:" in auto
+        assert "GridIntersectOp" not in forced
+        assert "LinearScanOp" in forced
+
+    def test_plan_with_priming_shows_refined_estimate(self, csv_file,
+                                                      capsys):
+        sql = "SELECT * FROM data WHERE price < 500"
+        assert main(["plan", "--csv", str(csv_file), "--index", "price",
+                     sql]) == 0
+        cold = capsys.readouterr().out
+        assert main(["plan", "--csv", str(csv_file), "--index", "price",
+                     "--prime", "15", sql]) == 0
+        primed = capsys.readouterr().out
+        assert "primed 'price'" in primed
+        assert "PRKBSelectOp" in primed
+
+        def total(text):
+            return int(text.split("~")[1].split(" QPF")[0])
+
+        assert total(primed) < total(cold)
+
+    def test_unknown_index_column(self, csv_file):
+        with pytest.raises(SystemExit):
+            main(["plan", "--csv", str(csv_file), "--index", "nope",
+                  "SELECT * FROM data"])
+
+
 class TestRpoi:
     def test_rpoi_runs(self, csv_file, capsys):
         code = main([

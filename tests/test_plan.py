@@ -1,0 +1,278 @@
+"""Tests for the planner layer: logical plans, the cost estimator,
+the plan cache and its invalidation triggers, and the single-planning
+guarantee of the parse -> plan -> execute pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.edbms.engine import EncryptedDatabase
+from repro.edbms.sql import (
+    BetweenCondition,
+    ComparisonCondition,
+    parse_select,
+)
+from repro.plan import (
+    BoundedDimension,
+    CacheHitOp,
+    GridIntersectOp,
+    LinearScanOp,
+    PRKBSelectOp,
+    build_logical,
+)
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(7)
+    database = EncryptedDatabase(seed=7)
+    database.create_table(
+        "t",
+        {"X": (0, 1001), "Y": (0, 1001), "Z": (0, 1001)},
+        {"X": rng.integers(1, 1001, size=400, dtype=np.int64),
+         "Y": rng.integers(1, 1001, size=400, dtype=np.int64),
+         "Z": rng.integers(1, 1001, size=400, dtype=np.int64)},
+    )
+    database.enable_prkb("t", ["X", "Y"])
+    return database
+
+
+class TestBuildLogical:
+    def _logical(self, db, sql):
+        return build_logical(parse_select(sql), db.server.has_index)
+
+    def test_bounded_indexed_pair_becomes_dimension(self, db):
+        logical = self._logical(
+            db, "SELECT * FROM t WHERE X > 100 AND X < 300")
+        assert len(logical.dimensions) == 1
+        dim = logical.dimensions[0]
+        assert isinstance(dim, BoundedDimension)
+        assert dim.attribute == "X"
+        assert dim.low.operator == ">"
+        assert dim.high.operator == "<"
+        assert logical.residual == ()
+
+    def test_unindexed_pair_stays_residual(self, db):
+        logical = self._logical(
+            db, "SELECT * FROM t WHERE Z > 100 AND Z < 300")
+        assert logical.dimensions == ()
+        assert len(logical.residual) == 2
+
+    def test_three_bounds_on_one_attribute_stay_residual(self, db):
+        logical = self._logical(
+            db, "SELECT * FROM t WHERE X > 100 AND X < 300 AND X < 200")
+        assert logical.dimensions == ()
+        assert len(logical.residual) == 3
+
+    def test_between_is_residual_and_keeps_order(self, db):
+        logical = self._logical(
+            db, "SELECT * FROM t WHERE X BETWEEN 10 AND 90 AND Z > 5")
+        assert logical.dimensions == ()
+        assert isinstance(logical.residual[0], BetweenCondition)
+        assert isinstance(logical.residual[1], ComparisonCondition)
+
+    def test_mixed_dimensions_and_residual(self, db):
+        logical = self._logical(
+            db,
+            "SELECT * FROM t WHERE X > 1 AND X < 500 "
+            "AND Y > 1 AND Y < 500 AND Z < 900")
+        assert [d.attribute for d in logical.dimensions] == ["X", "Y"]
+        assert [c.attribute for c in logical.residual] == ["Z"]
+
+    def test_aggregate_projection_surfaces(self, db):
+        logical = self._logical(db, "SELECT MIN(X) FROM t")
+        assert logical.aggregate == ("min", "X")
+
+
+class TestEstimator:
+    def test_scan_cost_is_row_count(self, db):
+        assert db.planner.estimator.scan_qpf("t") == 400
+
+    def test_unrefined_index_costs_a_scan(self, db):
+        # k=1: the single partition covers the table, so the model cost
+        # degenerates to n.
+        assert db.planner.estimator.comparison_qpf("t", "X") == 400
+
+    def test_refinement_shrinks_the_estimate(self, db):
+        before = db.planner.estimator.comparison_qpf("t", "X")
+        for constant in (100, 300, 500, 700, 900):
+            db.query(f"SELECT * FROM t WHERE X < {constant}")
+        after = db.planner.estimator.comparison_qpf("t", "X")
+        assert after < before
+
+    def test_growable_index_never_priced_above_scan(self, db):
+        est = db.planner.estimator
+        assert est.effective_prkb_qpf("t", "X") <= est.scan_qpf("t")
+
+    def test_aggregate_ends_estimate_is_exact(self, db):
+        for constant in (200, 400, 600, 800):
+            db.query(f"SELECT * FROM t WHERE X < {constant}")
+        estimated, k, pruned = db.planner.estimator.aggregate_ends_qpf(
+            "t", "X")
+        assert pruned and k > 1
+        analysis = db.explain_analyze("SELECT MIN(X) FROM t")
+        assert analysis.steps[0].actual_qpf == estimated
+
+
+class TestPlanCache:
+    def test_repeat_plan_is_a_hit(self, db):
+        statement = parse_select("SELECT COUNT(*) FROM t WHERE Z < 500")
+        first = db.planner.plan(statement)
+        again = db.planner.plan(statement)
+        assert again is first
+        assert db.planner.cache_hits == 1
+        assert db.planner.cache_misses == 1
+
+    def test_strategy_is_part_of_the_key(self, db):
+        statement = parse_select("SELECT * FROM t WHERE X > 1 AND X < 99")
+        assert db.planner.plan(statement, "auto") is not \
+            db.planner.plan(statement, "baseline")
+        assert db.planner.cache_hits == 0
+
+    def test_prkb_refinement_invalidates(self, db):
+        statement = parse_select("SELECT COUNT(*) FROM t WHERE X < 500")
+        first = db.planner.plan(statement)
+        # Refine X's chain through a *different* predicate; the cached
+        # plan's fingerprint (chain shape) is now stale.
+        db.query("SELECT * FROM t WHERE X < 250")
+        replanned = db.planner.plan(statement)
+        assert replanned is not first
+        assert db.planner.cache_invalidations >= 1
+
+    def test_insert_invalidates(self, db):
+        statement = parse_select("SELECT COUNT(*) FROM t WHERE Z < 500")
+        first = db.planner.plan(statement)
+        db.insert("t", {"X": np.asarray([5], dtype=np.int64),
+                        "Y": np.asarray([5], dtype=np.int64),
+                        "Z": np.asarray([5], dtype=np.int64)})
+        replanned = db.planner.plan(statement)
+        assert replanned is not first
+        assert db.planner.cache_invalidations >= 1
+
+    def test_delete_invalidates(self, db):
+        statement = parse_select("SELECT COUNT(*) FROM t WHERE Z < 500")
+        first = db.planner.plan(statement)
+        uid = db.query("SELECT * FROM t").uids[0]
+        db.delete("t", np.asarray([uid], dtype=np.uint64))
+        replanned = db.planner.plan(statement)
+        assert replanned is not first
+
+    def test_equivalence_cache_flips_to_cache_hit_op(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE X < 321"
+        cold = db.planner.plan(parse_select(sql))
+        assert isinstance(cold.root.children[0], PRKBSelectOp)
+        assert not cold.steps[0].cached
+        db.query(sql)  # seals + answers; the SP now knows the predicate
+        warm = db.planner.plan(parse_select(sql))
+        assert isinstance(warm.root.children[0], CacheHitOp)
+        assert warm.steps[0].cached
+        assert warm.steps[0].estimated_qpf == 0
+        # And the promise holds: the repeat really is free.
+        assert db.query(sql).qpf_uses == 0
+
+    def test_lru_eviction_bounded(self, db):
+        from repro.plan import PLAN_CACHE_SIZE
+        for constant in range(PLAN_CACHE_SIZE + 10):
+            db.planner.plan(parse_select(
+                f"SELECT COUNT(*) FROM t WHERE Z < {constant}"))
+        assert len(db.planner._plan_cache) == PLAN_CACHE_SIZE
+
+
+class TestSinglePlanning:
+    def test_query_plans_once_including_estimate_error(self, db):
+        db.query("SELECT COUNT(*) FROM t WHERE Z < 123")
+        # One planning run total: execution and the estimate-error
+        # bookkeeping share the same PhysicalPlan (the old engine
+        # planned a second time just to record the error).
+        assert db.planner.cache_misses == 1
+        assert db.planner.cache_hits == 0
+
+    def test_explain_then_query_shares_the_plan(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE Z < 77"
+        db.explain(sql)
+        db.query(sql)
+        assert db.planner.cache_misses == 1
+        assert db.planner.cache_hits >= 1
+
+    def test_explain_analyze_estimates_match_executed_plan(self, db):
+        sql = "SELECT * FROM t WHERE X > 50 AND X < 600 AND Z < 800"
+        plan = db.explain(sql)
+        analysis = db.explain_analyze(sql)
+        assert analysis.plan.steps == plan.steps
+
+
+class TestAdaptiveDispatch:
+    def test_auto_takes_grid_for_two_dimensions(self, db):
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X > 1 AND X < 500 "
+            "AND Y > 1 AND Y < 500"))
+        assert isinstance(plan.root.children[0], GridIntersectOp)
+        assert plan.steps[0].kind == "md-grid"
+        assert plan.steps[0].alternatives  # records the rejected sd path
+
+    def test_auto_keeps_single_dimension_serial(self, db):
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X > 1 AND X < 500"))
+        assert not isinstance(plan.root.children[0], GridIntersectOp)
+        assert len(plan.root.children) == 2
+
+    def test_md_forces_grid_from_one_dimension(self, db):
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X > 1 AND X < 500"), "md")
+        assert isinstance(plan.root.children[0], GridIntersectOp)
+
+    def test_baseline_forces_scans(self, db):
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X > 1 AND X < 500 AND Z < 900"),
+            "baseline")
+        assert all(isinstance(op, LinearScanOp)
+                   for op in plan.root.children)
+
+    def test_unindexed_attribute_scans_under_auto(self, db):
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE Z < 900"))
+        assert isinstance(plan.root.children[0], LinearScanOp)
+        assert plan.steps[0].estimated_qpf == 400
+
+    def test_capped_degenerate_index_loses_to_scan(self):
+        rng = np.random.default_rng(3)
+        database = EncryptedDatabase(seed=3)
+        database.create_table(
+            "t", {"X": (0, 1001)},
+            {"X": rng.integers(1, 1001, size=300, dtype=np.int64)})
+        database.enable_prkb("t", ["X"], max_partitions=2)
+        database.query("SELECT * FROM t WHERE X < 500")  # reach the cap
+        index = database.server.index("t", "X")
+        assert not index.can_grow
+        plan = database.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X < 123"))
+        est = database.planner.estimator
+        if est.comparison_qpf("t", "X") > est.scan_qpf("t"):
+            assert isinstance(plan.root.children[0], LinearScanOp)
+            assert plan.steps[0].alternatives  # PRKB price was recorded
+
+
+class TestStrategyCounters:
+    def test_strategy_counts_accumulate(self, db):
+        db.query("SELECT * FROM t WHERE X < 500")
+        db.query("SELECT * FROM t WHERE Z < 500")
+        counts = db.planner.strategy_counts
+        assert counts.get("prkb-sd") == 1
+        assert counts.get("baseline-scan") == 1
+
+    def test_metrics_registry_exposes_planner_counters(self, db):
+        from repro.obs import render_prometheus
+
+        _, registry = db.enable_observability()
+        sql = "SELECT * FROM t WHERE X < 444"
+        db.query(sql)
+        db.query(sql)
+        text = render_prometheus(registry)
+        assert "repro_plan_cache_hits_total" in text
+        assert 'repro_plan_strategy_total{strategy="prkb-sd"}' in text
+
+    def test_plan_counters_on_metrics_endpoint(self, db):
+        db.enable_observability()
+        db.query("SELECT * FROM t WHERE X < 200")
+        status, _, body = db.observability_endpoint().handle("/metrics")
+        assert status == 200
+        assert "repro_plan_strategy_total" in body

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.crypto",
     "repro.edbms",
     "repro.core",
+    "repro.plan",
     "repro.baselines",
     "repro.attacks",
     "repro.workloads",
