@@ -23,15 +23,21 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def git_rev() -> str:
-    """Short hash of the checked-out revision ("unknown" outside git)."""
+    """Short hash of the checked-out revision ("unknown" outside git).
+
+    The repo directory is resolved from ``__file__`` and passed with
+    ``git -C``, so benches invoked from any working directory (tox dirs,
+    CI scratch paths, ``python /abs/path/bench_x.py``) still stamp their
+    JSON with the real revision instead of ``"unknown"``.
+    """
+    repo_dir = Path(__file__).resolve().parent.parent
     try:
         proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=Path(__file__).resolve().parent)
+            ["git", "-C", str(repo_dir), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
         rev = proc.stdout.strip()
         return rev if proc.returncode == 0 and rev else "unknown"
-    except OSError:
+    except (OSError, subprocess.SubprocessError):
         return "unknown"
 
 

@@ -74,43 +74,71 @@ def _workload(size: int) -> list[str]:
                 DOMAIN, size, seed=bench_seed() + 2)]
 
 
+#: Walls are best-of-``MEASURE_REPS`` over identical fresh twins (the
+#: workload is a *cold* burst, so each rep rebuilds its database).  The
+#: first ``WARMUP_REPS`` twins are discarded entirely: a cold process
+#: (allocator, CPU governor, numpy caches) runs the same window up to
+#: 1.7x slower than steady state, which otherwise drowns the effect
+#: being measured.  Work counts are deterministic and identical across
+#: reps — best-of only filters machine noise out of the wall clock.
+MEASURE_REPS = 3
+WARMUP_REPS = 3
+
+
+def _best_of(run):
+    """``(best_elapsed, record_of_best_rep)`` over the measured reps."""
+    best = None
+    for rep in range(WARMUP_REPS + MEASURE_REPS):
+        record = run()
+        if rep < WARMUP_REPS:
+            continue
+        if best is None or record[0] < best[0]:
+            best = record
+    return best
+
+
+def _stats(counter, workload_size: int, elapsed: float) -> dict:
+    return {
+        "queries_per_sec": workload_size / max(elapsed, 1e-9),
+        "roundtrips_per_query": counter.qpf_roundtrips / workload_size,
+        "qpf_per_query": counter.qpf_uses / workload_size,
+        "predicate_cache_hits": counter.predicate_cache_hits,
+        "predicate_cache_misses": counter.predicate_cache_misses,
+    }
+
+
 def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
     sqls = _workload(workload_size)
     results: dict[str, dict] = {}
 
-    db = _build(n, warm_queries)
-    start = time.perf_counter()
-    serial_answers = [db.query(sql) for sql in sqls]
-    elapsed = time.perf_counter() - start
-    results["serial"] = {
-        "queries_per_sec": workload_size / max(elapsed, 1e-9),
-        "roundtrips_per_query": db.counter.qpf_roundtrips / workload_size,
-        "qpf_per_query": db.counter.qpf_uses / workload_size,
-        "predicate_cache_hits": db.counter.predicate_cache_hits,
-        "predicate_cache_misses": db.counter.predicate_cache_misses,
-    }
-
-    cache_lines = {"serial": format_cache_stats(db.counter)}
-    for batch_size in BATCH_SIZES:
-        twin = _build(n, warm_queries)
-        answers = []
+    def run_serial():
+        db = _build(n, warm_queries)
         start = time.perf_counter()
-        for lo in range(0, workload_size, batch_size):
-            answers.extend(twin.execute_many(sqls[lo:lo + batch_size]))
-        elapsed = time.perf_counter() - start
+        answers = [db.query(sql) for sql in sqls]
+        return time.perf_counter() - start, answers, db.counter
+
+    elapsed, serial_answers, counter = _best_of(run_serial)
+    results["serial"] = _stats(counter, workload_size, elapsed)
+    cache_lines = {"serial": format_cache_stats(counter)}
+
+    for batch_size in BATCH_SIZES:
+
+        def run_batched(batch_size=batch_size):
+            twin = _build(n, warm_queries)
+            answers = []
+            start = time.perf_counter()
+            for lo in range(0, workload_size, batch_size):
+                answers.extend(
+                    twin.execute_many(sqls[lo:lo + batch_size]))
+            return time.perf_counter() - start, answers, twin.counter
+
+        elapsed, answers, counter = _best_of(run_batched)
         for serial_answer, batch_answer in zip(serial_answers, answers):
             assert np.array_equal(serial_answer.uids, batch_answer.uids), \
                 "batched winners differ from serial"
-        results[f"batch{batch_size}"] = {
-            "queries_per_sec": workload_size / max(elapsed, 1e-9),
-            "roundtrips_per_query":
-                twin.counter.qpf_roundtrips / workload_size,
-            "qpf_per_query": twin.counter.qpf_uses / workload_size,
-            "predicate_cache_hits": twin.counter.predicate_cache_hits,
-            "predicate_cache_misses": twin.counter.predicate_cache_misses,
-        }
-        cache_lines[f"batch{batch_size}"] = \
-            format_cache_stats(twin.counter)
+        results[f"batch{batch_size}"] = _stats(counter, workload_size,
+                                               elapsed)
+        cache_lines[f"batch{batch_size}"] = format_cache_stats(counter)
     results["seed"] = bench_seed()
     results["batch64_fix"] = BATCH64_FIX_RECORD
     results["cache"] = cache_lines

@@ -18,6 +18,12 @@ Metrics are flattened to dotted keys and classified:
 * **info** — everything else (cache tallies, record counts): reported,
   never fatal.
 
+``--floor KEY=FRACTION`` promotes one metric back to a hard gate even
+under ``--warn-wall``: the run fails when the current value drops below
+``FRACTION`` of the baseline's.  CI uses it to hold a throughput floor
+(e.g. ``--floor adaptive.queries_per_sec=0.8``) while ordinary
+wall-clock noise stays warn-only.
+
 Direction matters: throughput-like keys (``per_sec``, ``speedup``,
 ``saved``, ``hits``, ``hit_ratio``, ``recovered``, ``throughput``) are
 better *higher*; all other numeric keys are better *lower*.
@@ -30,7 +36,8 @@ import sys
 
 from _common import load_bench_json
 
-__all__ = ["flatten", "classify", "higher_is_better", "diff", "main"]
+__all__ = ["flatten", "classify", "higher_is_better", "diff",
+           "check_floors", "main"]
 
 #: Substrings marking a metric where bigger numbers are improvements.
 _HIGHER_BETTER = ("per_sec", "speedup", "saved", "hits", "hit_ratio",
@@ -99,6 +106,37 @@ def diff(baseline: dict, current: dict, threshold: float) -> list[dict]:
     return records
 
 
+def check_floors(baseline: dict, current: dict,
+                 floors: list[str]) -> list[str]:
+    """Evaluate ``KEY=FRACTION`` floor specs; returns failure messages.
+
+    A floor holds when ``current[KEY] >= FRACTION * baseline[KEY]``.
+    A key missing from either file is itself a failure — a floor that
+    silently stops measuring is not a floor.
+    """
+    base = flatten(baseline["metrics"])
+    cur = flatten(current["metrics"])
+    failures = []
+    for spec in floors:
+        key, __, fraction_text = spec.partition("=")
+        try:
+            fraction = float(fraction_text)
+        except ValueError:
+            raise SystemExit(
+                f"bad --floor spec {spec!r}; expected KEY=FRACTION")
+        if key not in base or key not in cur:
+            failures.append(
+                f"floor metric {key!r} missing from "
+                f"{'baseline' if key not in base else 'current'} file")
+            continue
+        minimum = fraction * base[key]
+        if cur[key] < minimum:
+            failures.append(
+                f"{key} fell below its floor: {cur[key]:.4g} < "
+                f"{fraction:g} x baseline {base[key]:.4g}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Diff two bench JSON files; nonzero on regression.")
@@ -109,6 +147,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warn-wall", action="store_true",
                         help="report wall-clock regressions without "
                              "failing (QPF regressions still fail)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="KEY=FRACTION",
+                        help="hard-fail when current KEY drops below "
+                             "FRACTION of the baseline value, even "
+                             "under --warn-wall (repeatable)")
     args = parser.parse_args(argv)
 
     baseline = load_bench_json(args.baseline)
@@ -154,7 +197,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: {record['kind']} metric {record['key']} regressed "
               f"{100 * record['worse_by']:.1f}% "
               f"({record['old']:.4g} -> {record['new']:.4g})")
-    if hard:
+    floor_failures = check_floors(baseline, current, args.floor)
+    for message in floor_failures:
+        print(f"FAIL: {message}")
+    if hard or floor_failures:
         return 1
     print("bench_diff: no fatal regressions")
     return 0

@@ -96,23 +96,48 @@ def _workload(size: int) -> list[str]:
     return sqls
 
 
+#: Measured repetitions of the steady-state pass; walls take the best
+#: (work counts are identical across reps), which filters scheduler
+#: noise on shared machines without inflating the workload.
+MEASURE_REPS = 3
+
+
 def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
+    """Steady-state dispatch: two warm passes, then a measured repeat.
+
+    The cold pass builds every plan and lets PRKB refine on first
+    contact; the second pass settles the remaining invalidations
+    (cold predicates flip to cached-equivalence, which is part of the
+    plan fingerprint).  The measured pass is the cached-plan workload
+    the tentpole targets: every repeat should be a plan-cache hit, and
+    adaptive dispatch should run within a few percent of forced PRKB.
+    """
     sqls = _workload(workload_size)
     results: dict[str, dict] = {}
     answers: dict[str, list] = {}
     plan_stats: dict[str, dict] = {}
     for mode, strategy in MODES.items():
         db = _build(n, warm_queries)
-        start = time.perf_counter()
-        answers[mode] = [db.query(sql, strategy=strategy)
-                         for sql in sqls]
-        elapsed = time.perf_counter() - start
         planner = db.planner
+        for _ in range(2):  # cold + stabilization passes (unmeasured)
+            for sql in sqls:
+                db.query(sql, strategy=strategy)
+        best = float("inf")
+        for _ in range(MEASURE_REPS):
+            db.counter.reset()
+            planner.cache_hits = 0
+            planner.cache_misses = 0
+            planner.cache_invalidations = 0
+            planner.strategy_counts.clear()
+            start = time.perf_counter()
+            answers[mode] = [db.query(sql, strategy=strategy)
+                             for sql in sqls]
+            best = min(best, time.perf_counter() - start)
         results[mode] = {
             "qpf_total": db.counter.qpf_uses,
             "qpf_per_query": db.counter.qpf_uses / workload_size,
-            "wall_seconds": elapsed,
-            "queries_per_sec": workload_size / max(elapsed, 1e-9),
+            "wall_seconds": best,
+            "queries_per_sec": workload_size / max(best, 1e-9),
         }
         plan_stats[mode] = {
             "plan_cache_hits": planner.cache_hits,
@@ -125,6 +150,10 @@ def _measure(n: int, warm_queries: int, workload_size: int) -> dict:
             assert np.array_equal(adaptive.uids, other.uids), \
                 f"{mode} winners differ from adaptive"
     results["plan_cache"] = plan_stats["adaptive"]
+    results["workload_size"] = workload_size
+    results["adaptive_vs_prkb_wall_ratio"] = (
+        results["adaptive"]["wall_seconds"]
+        / max(results["forced_prkb"]["wall_seconds"], 1e-9))
     results["seed"] = bench_seed()
     return results
 
@@ -146,6 +175,8 @@ def _report(results: dict, n: int, out=None) -> None:
               f"adaptive plan cache: {cache['plan_cache_hits']} hits / "
               f"{cache['plan_cache_misses']} misses / "
               f"{cache['plan_cache_invalidations']} invalidations | "
+              f"adaptive/prkb wall "
+              f"{results['adaptive_vs_prkb_wall_ratio']:.3f} | "
               f"strategies={cache['strategies']} | "
               f"seed={results['seed']}")
     metrics = {k: v for k, v in results.items() if k != "seed"}
@@ -160,9 +191,20 @@ def _check(results: dict) -> None:
         f"adaptive dispatch must not lose to forced scans: " \
         f"{adaptive} vs {scan}"
     cache = results["plan_cache"]
-    assert cache["plan_cache_hits"] > 0, "repeats must hit the plan cache"
+    floor = int(0.8 * results["workload_size"])
+    assert cache["plan_cache_hits"] >= floor, \
+        f"steady-state pass must serve >= {floor} plans from cache, " \
+        f"got {cache['plan_cache_hits']}"
     assert cache["plan_cache_invalidations"] <= \
         cache["plan_cache_misses"]
+    # Near-zero dispatch: the adaptive policy's steady-state wall must
+    # track forced PRKB (identical execution on cache hits).  The bound
+    # is looser than the committed baseline's ratio to keep CI smoke
+    # runs on loaded machines from flaking.
+    ratio = results["adaptive_vs_prkb_wall_ratio"]
+    assert ratio <= 1.25, \
+        f"adaptive steady-state wall drifted from forced PRKB: " \
+        f"{ratio:.3f}x"
 
 
 def test_planner_dispatch(benchmark):

@@ -6,10 +6,12 @@ a strictly smaller (or strictly larger — direction unknown to the SP) plain
 value than every tuple in ``P_{i+1}``.  The chain is refined one split at a
 time as inequivalent predicates are observed.
 
-The implementation keeps, per partition, a list-backed uid store (cheap
-append for inserts, lazily materialised numpy view for batched QPF calls)
-and a global ``uid -> partition`` map so multi-dimensional processing can
-classify tuples in O(1).
+The implementation keeps, per partition, a dense ``uint64`` uid array
+(appends buffer into a small pending list, folded in vectorised) and a
+global slot-based ``uid -> partition`` lookup (one gather into
+``_slot_of_uid`` plus one list index) so multi-dimensional processing can
+classify tuples in O(1) — no per-uid Python dict maintenance anywhere on
+the refinement path.
 
 Vectorised ordinal lookups
 --------------------------
@@ -64,43 +66,52 @@ class Partition:
     uid→ordinal lookups; ``-1`` for partitions not (yet) in a chain.
     """
 
-    __slots__ = ("_uids", "_array", "_dirty", "slot")
+    __slots__ = ("_array", "_pending", "slot")
 
     def __init__(self, uids, slot: int = -1):
-        self._uids = [int(u) for u in uids]
-        self._array: np.ndarray | None = None
-        self._dirty = True
+        # Own copy: callers routinely pass views into shared buffers.
+        self._array = np.array(uids, dtype=np.uint64, copy=True).ravel()
+        self._pending: list[int] = []
         self.slot = slot
 
     def __len__(self) -> int:
-        return len(self._uids)
+        return self._array.size + len(self._pending)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Partition(size={len(self._uids)})"
+        return f"Partition(size={len(self)})"
+
+    def _fold_pending(self) -> None:
+        self._array = np.concatenate([
+            self._array, np.asarray(self._pending, dtype=np.uint64)])
+        self._pending = []
 
     @property
     def uids(self) -> np.ndarray:
-        """Members as a numpy array (cached until the partition mutates)."""
-        if self._dirty:
-            self._array = np.asarray(self._uids, dtype=np.uint64)
-            self._dirty = False
+        """Members as a numpy array (appends folded in on demand)."""
+        if self._pending:
+            self._fold_pending()
         return self._array
 
     def sample(self, rng: np.random.Generator) -> int:
         """One uniformly random member — ``P_i.sample`` in the paper."""
-        if not self._uids:
+        if self._pending:
+            self._fold_pending()
+        if not self._array.size:
             raise ValueError("cannot sample from an empty partition")
-        return self._uids[int(rng.integers(len(self._uids)))]
+        return int(self._array[int(rng.integers(self._array.size))])
 
     def add(self, uid: int) -> None:
         """Insert a tuple uid (Sec. 7.1 insertion lands here)."""
-        self._uids.append(int(uid))
-        self._dirty = True
+        self._pending.append(int(uid))
 
     def remove(self, uid: int) -> None:
         """Delete a tuple uid (Sec. 7.2); O(size) but deletes are rare."""
-        self._uids.remove(int(uid))
-        self._dirty = True
+        if self._pending:
+            self._fold_pending()
+        hits = np.flatnonzero(self._array == np.uint64(uid))
+        if hits.size == 0:
+            raise ValueError(f"uid {uid} not in partition")
+        self._array = np.delete(self._array, hits[0])
 
 
 class PartialOrderPartitions:
@@ -118,14 +129,14 @@ class PartialOrderPartitions:
         self.listener = None
         first = Partition(np.asarray(uids, dtype=np.uint64), slot=0)
         self._chain: list[Partition] = [first]
-        self._partition_of: dict[int, Partition] = {
-            int(u): first for u in first.uids
-        }
-        self._index_cache: dict[int, int] | None = None
         self._buffer: np.ndarray | None = None
         self._offsets: np.ndarray | None = None
         self._next_slot = 1
         members = first.uids
+        self._num_tuples = int(members.size)
+        #: ``slot -> Partition`` (dead slots hold ``None``); together with
+        #: ``_slot_of_uid`` this replaces the old per-uid dict map.
+        self._partition_by_slot: list[Partition | None] = [first]
         capacity = int(members.max()) + 1 if members.size else 0
         self._slot_of_uid = np.full(capacity, -1, dtype=np.int64)
         if members.size:
@@ -151,19 +162,17 @@ class PartialOrderPartitions:
         self = cls.__new__(cls)
         self.listener = None
         self._chain = []
-        self._partition_of = {}
-        self._index_cache = None
         self._slot_ordinals = None
+        self._num_tuples = int(members.size)
         capacity = int(members.max()) + 1 if members.size else 0
         self._slot_of_uid = np.full(capacity, -1, dtype=np.int64)
         for position in range(offsets.size - 1):
             segment = members[offsets[position]:offsets[position + 1]]
             partition = Partition(segment, slot=position)
             self._chain.append(partition)
-            for u in segment:
-                self._partition_of[int(u)] = partition
             if segment.size:
                 self._slot_of_uid[segment] = position
+        self._partition_by_slot = list(self._chain)
         self._next_slot = len(self._chain)
         self._buffer = members.copy()
         self._offsets = offsets.copy()
@@ -190,19 +199,35 @@ class PartialOrderPartitions:
     @property
     def num_tuples(self) -> int:
         """Total number of tuples across all partitions."""
-        return len(self._partition_of)
+        return self._num_tuples
 
     def partition_of(self, uid: int) -> Partition:
         """The partition containing ``uid``."""
-        return self._partition_of[int(uid)]
+        uid = int(uid)
+        slot = (int(self._slot_of_uid[uid])
+                if 0 <= uid < self._slot_of_uid.size else -1)
+        if slot < 0:
+            raise KeyError(uid)
+        return self._partition_by_slot[slot]
+
+    def tracked_uids(self) -> np.ndarray:
+        """Every uid currently covered by the chain (unordered)."""
+        return np.flatnonzero(self._slot_of_uid >= 0).astype(np.uint64)
 
     def index_of(self, partition: Partition) -> int:
-        """Chain position of ``partition`` (cached until structure changes)."""
-        if self._index_cache is None:
-            self._index_cache = {
-                id(p): i for i, p in enumerate(self._chain)
-            }
-        return self._index_cache[id(partition)]
+        """Chain position of ``partition`` (cached until structure changes).
+
+        Served from the slot→ordinal table shared with
+        :meth:`ordinals_of_uids`, so a structural change costs one table
+        rebuild, not one rebuild per lookup kind.
+        """
+        self._ensure_ordinals()
+        slot = partition.slot
+        ordinal = (int(self._slot_ordinals[slot])
+                   if 0 <= slot < self._slot_ordinals.size else -1)
+        if ordinal < 0 or self._chain[ordinal] is not partition:
+            raise KeyError(f"partition (slot {slot}) not in chain")
+        return ordinal
 
     def index_of_uid(self, uid: int) -> int:
         """Chain position of the partition holding ``uid``."""
@@ -225,6 +250,7 @@ class PartialOrderPartitions:
         """Give ``partition`` a new slot and point its members at it."""
         partition.slot = self._next_slot
         self._next_slot += 1
+        self._partition_by_slot.append(partition)
         self._slot_of_uid[members] = partition.slot
 
     def _compact_slots(self) -> None:
@@ -232,6 +258,7 @@ class PartialOrderPartitions:
         for position, partition in enumerate(self._chain):
             partition.slot = position
             self._slot_of_uid[partition.uids] = position
+        self._partition_by_slot = list(self._chain)
         self._next_slot = len(self._chain)
 
     def _ensure_ordinals(self) -> None:
@@ -335,7 +362,6 @@ class PartialOrderPartitions:
     # ------------------------------------------------------------------ #
 
     def _invalidate(self) -> None:
-        self._index_cache = None
         self._slot_ordinals = None
 
     def split(self, index: int, first_uids: np.ndarray,
@@ -360,12 +386,9 @@ class PartialOrderPartitions:
         # there); only the second half's uids need repointing.
         first = Partition(first_uids, slot=old.slot)
         second = Partition(second_uids)
+        self._partition_by_slot[old.slot] = first
         self._fresh_slot(second, second_uids)
         self._chain[index:index + 1] = [first, second]
-        for u in first_uids:
-            self._partition_of[int(u)] = first
-        for u in second_uids:
-            self._partition_of[int(u)] = second
         if self._buffer is not None:
             # Reorder the split partition's own segment in place (the two
             # halves are copies, so overlapping writes are safe) and grow
@@ -397,10 +420,10 @@ class PartialOrderPartitions:
         merged_uids = np.concatenate(
             [self._chain[i].uids for i in range(first, last + 1)])
         merged = Partition(merged_uids)
+        for i in range(first, last + 1):
+            self._partition_by_slot[self._chain[i].slot] = None
         self._fresh_slot(merged, merged_uids)
         self._chain[first:last + 1] = [merged]
-        for u in merged_uids:
-            self._partition_of[int(u)] = merged
         if self._offsets is not None:
             # The buffer already stores the merged members contiguously;
             # only the interior boundaries disappear.
@@ -418,14 +441,15 @@ class PartialOrderPartitions:
     def insert(self, uid: int, index: int) -> None:
         """Place a newly inserted tuple into partition ``index``."""
         uid = int(uid)
-        if uid in self._partition_of:
+        if (0 <= uid < self._slot_of_uid.size
+                and self._slot_of_uid[uid] >= 0):
             raise ValueError(f"uid {uid} already tracked by POP")
         partition = self._chain[index]
         partition.add(uid)
-        self._partition_of[uid] = partition
         if uid >= self._slot_of_uid.size:
             self._grow_slot_array(uid + 1)
         self._slot_of_uid[uid] = partition.slot
+        self._num_tuples += 1
         self._drop_buffer()
         if self.listener is not None:
             self.listener.on_insert(uid, index)
@@ -439,9 +463,10 @@ class PartialOrderPartitions:
         predicate.
         """
         uid = int(uid)
-        partition = self._partition_of.pop(uid)
+        partition = self.partition_of(uid)
         partition.remove(uid)
         self._slot_of_uid[uid] = -1
+        self._num_tuples -= 1
         self._drop_buffer()
         if self.listener is not None:
             self.listener.on_delete(uid)
@@ -449,6 +474,7 @@ class PartialOrderPartitions:
             return None
         index = self.index_of(partition)
         del self._chain[index]
+        self._partition_by_slot[partition.slot] = None
         self._invalidate()
         return index
 
@@ -472,13 +498,18 @@ class PartialOrderPartitions:
                 raise AssertionError("partitions are not disjoint")
             seen |= members
             for u in members:
-                if self._partition_of.get(u) is not partition:
+                try:
+                    mapped = self.partition_of(u)
+                except KeyError:
+                    mapped = None
+                if mapped is not partition:
                     raise AssertionError(f"uid {u} mapped to wrong partition")
-        if seen != set(self._partition_of):
+        if seen != set(int(u) for u in self.tracked_uids()) \
+                or len(seen) != self._num_tuples:
             raise AssertionError("partition map does not cover the chain")
         if seen:
             members = np.asarray(sorted(seen), dtype=np.uint64)
-            want = np.asarray([self.index_of(self._partition_of[int(u)])
+            want = np.asarray([self.index_of(self.partition_of(int(u)))
                                for u in members], dtype=np.int64)
             got = self.ordinals_of_uids(members)
             if not np.array_equal(got, want):

@@ -297,6 +297,8 @@ class PRKBIndex:
         # health().  One small tuple per select — cheap enough to keep
         # always on (QPF parity is untouched; only Python-side state).
         self._history: deque = deque(maxlen=HEALTH_HISTORY)
+        self._queries_noted = 0
+        self._scan_stats: tuple[int, tuple[int, int]] | None = None
         self._equiv_hits = 0
         self._equiv_misses = 0
         self._splits_committed = 0
@@ -432,6 +434,30 @@ class PRKBIndex:
         """Append one query outcome to the bounded health history."""
         self._history.append(
             (qpf_uses, ns_width, split_planned, was_equivalent))
+        self._queries_noted += 1
+
+    def observed_scan_stats(self) -> tuple[int, int]:
+        """``(queries_observed, p90 NS-scan width)`` for the estimator.
+
+        The pair the planner reads on *every* cost estimate; computing
+        it through :meth:`health` rebuilt the full report (four numpy
+        percentile calls) per planned query.  The value only changes
+        when :meth:`_note_query` appends, so it is memoized on the note
+        counter — one percentile call per refinement instead of several
+        per planned query, with values identical to :meth:`health`.
+        """
+        cached = self._scan_stats
+        if cached is not None and cached[0] == self._queries_noted:
+            return cached[1]
+        history = self._history
+        scans = [ns for __, ns, __, eq in history if not eq]
+        if scans:
+            p90 = int(np.percentile(np.asarray(scans, dtype=np.int64), 90))
+        else:
+            p90 = 0
+        stats = (len(history), p90)
+        self._scan_stats = (self._queries_noted, stats)
+        return stats
 
     def health(self, window: int | None = None) -> dict:
         """Operational health report for this index.

@@ -28,6 +28,7 @@ __all__ = [
     "prf",
     "prf_word",
     "prf_words",
+    "prf_keystream",
     "encrypt_word",
     "decrypt_word",
     "encrypt_words",
@@ -108,14 +109,36 @@ def prf(key: SecretKey, message: bytes) -> bytes:
     return hmac.new(key.raw, message, hashlib.sha256).digest()
 
 
+_WORD_MASK = WORD_MODULUS - 1
+
+#: Below this many nonces the pure-Python mixer wins: numpy's fixed
+#: per-op dispatch (~2us x 6 ops, plus the errstate context) dwarfs the
+#: actual math on the 1-2 uid probes of the QFilter binary search.
+_SCALAR_PRF_CUTOFF = 8
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer on a Python int — bit-identical to the
+    vectorised pipeline in :func:`prf_words` (masks replace uint64
+    wraparound)."""
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _WORD_MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _WORD_MASK
+    return x ^ (x >> 31)
+
+
+def _word_seed(key: SecretKey) -> int:
+    if key._word_seed is None:
+        seed_bytes = prf(key, b"prf-words-seed")
+        key._word_seed = struct.unpack("<Q", seed_bytes[:8])[0]
+    return key._word_seed
+
+
 def prf_word(key: SecretKey, nonce: int) -> int:
     """A pseudo-random 64-bit word derived from ``nonce``.
 
-    Delegates to :func:`prf_words` so scalar and vectorised callers see the
-    same keystream.
+    Same keystream as :func:`prf_words`, via the scalar mixer.
     """
-    nonces = np.asarray([nonce & (WORD_MODULUS - 1)], dtype=np.uint64)
-    return int(prf_words(key, nonces)[0])
+    return _mix64((nonce + _word_seed(key)) & _WORD_MASK)
 
 
 def prf_words(key: SecretKey, nonces: np.ndarray) -> np.ndarray:
@@ -127,16 +150,37 @@ def prf_words(key: SecretKey, nonces: np.ndarray) -> np.ndarray:
     unpredictable without the key.
     """
     nonces = np.asarray(nonces, dtype=np.uint64)
-    if key._word_seed is None:
-        seed_bytes = prf(key, b"prf-words-seed")
-        key._word_seed = struct.unpack("<Q", seed_bytes[:8])[0]
-    x = nonces + np.uint64(key._word_seed)
+    seed = _word_seed(key)
+    if nonces.size <= _SCALAR_PRF_CUTOFF:
+        return np.array([_mix64((int(n) + seed) & _WORD_MASK)
+                         for n in nonces.ravel()],
+                        dtype=np.uint64).reshape(nonces.shape)
+    x = nonces + np.uint64(seed)
     # splitmix64 finalizer: a fast, high-quality 64-bit mixing permutation.
     with np.errstate(over="ignore"):
         x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
         x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
         x = x ^ (x >> np.uint64(31))
     return x
+
+
+def prf_keystream(key: SecretKey, base: int, length: int) -> bytes:
+    """``length`` bytes of counter-mode keystream from word ``base``.
+
+    Equivalent to ``prf_words(key, base + arange(words)).tobytes()``
+    truncated to ``length`` — the scalar path trapdoor sealing uses for
+    its few-word payloads.
+    """
+    seed = _word_seed(key)
+    words = (length + 7) // 8
+    if words <= _SCALAR_PRF_CUTOFF:
+        stream = b"".join(
+            _mix64((base + i + seed) & _WORD_MASK).to_bytes(8, "little")
+            for i in range(words))
+        return stream[:length]
+    with np.errstate(over="ignore"):
+        nonces = np.uint64(base) + np.arange(words, dtype=np.uint64)
+    return prf_words(key, nonces).tobytes()[:length]
 
 
 def encrypt_word(key: SecretKey, value: int, nonce: int) -> int:

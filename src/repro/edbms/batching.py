@@ -84,14 +84,23 @@ class _Group:
 
     def payload(self) -> QPFRequest:
         """The deduplicated crossing payload (computes the fan-out map)."""
-        stacked = (self._chunks[0] if len(self._chunks) == 1
-                   else np.concatenate(self._chunks))
+        if len(self._chunks) == 1:
+            # One submitter: its probe array is duplicate-free by
+            # construction (endpoint samples, partition members, whole
+            # tables), so the chunk *is* the payload.  Skipping the
+            # ``np.unique`` sort here is what keeps small windows from
+            # paying more flush overhead than serial execution saves.
+            self._inverse = None
+            return QPFRequest(self.trapdoor, self.table, self._chunks[0])
+        stacked = np.concatenate(self._chunks)
         unique, self._inverse = np.unique(stacked, return_inverse=True)
         return QPFRequest(self.trapdoor, self.table, unique)
 
     def labels_for(self, chunk: int) -> np.ndarray:
         """The submitted chunk's labels, in its own uid order."""
-        assert self.labels is not None and self._inverse is not None
+        assert self.labels is not None
+        if self._inverse is None:
+            return self.labels
         return self.labels[
             self._inverse[self._offsets[chunk]:self._offsets[chunk + 1]]]
 

@@ -237,7 +237,7 @@ class RecoveryManager:
             table = self.server.table(table_name)
             table_uids = set(int(u) for u in table.uids)
             for index in indexes.values():
-                tracked = set(index.pop._partition_of)
+                tracked = set(int(u) for u in index.pop.tracked_uids())
                 before = counter.qpf_uses
                 for uid in sorted(tracked - table_uids):
                     index.delete(uid)

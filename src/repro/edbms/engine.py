@@ -14,6 +14,7 @@ control composes the lower-level pieces directly.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -51,6 +52,9 @@ from .sql import (
 
 __all__ = ["EncryptedDatabase", "QueryAnswer", "QueryPlan", "PlanStep",
            "StepAnalysis", "PlanAnalysis", "TRAPDOOR_MEMO_SIZE"]
+
+#: Parsed statements memoized per database (sql text -> statement).
+_PARSE_MEMO_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -115,6 +119,12 @@ class EncryptedDatabase:
         #: Cost-based planner: owns the DO-side trapdoor memo, the live
         #: cost estimator and the fingerprint-validated plan cache.
         self.planner = Planner(self.owner, self.server, self.counter)
+        # sql text -> parsed statement.  Returning the *same* immutable
+        # statement object for repeated SQL lets the plan-cache key
+        # compare by identity, so steady-state dispatch skips both the
+        # tokenizer and a structural statement comparison.
+        self._parse_cache: "OrderedDict[str, SelectStatement]" = \
+            OrderedDict()
 
     # -- observability ------------------------------------------------------- #
 
@@ -198,6 +208,11 @@ class EncryptedDatabase:
                          "plan-cache misses (fresh planning runs)")
         registry.counter("repro_plan_cache_invalidations_total",
                          "cached plans dropped on fingerprint mismatch")
+        registry.counter("repro_plan_fastpath_total",
+                         "plan-cache hits dispatched without cost "
+                         "estimation")
+        registry.histogram("repro_plan_fingerprint_seconds",
+                           "wall time of plan-cache fingerprint checks")
         registry.counter("repro_plan_strategy_total",
                          "executed plan steps by dispatched strategy",
                          ("strategy",))
@@ -330,6 +345,21 @@ class EncryptedDatabase:
 
     # -- querying ------------------------------------------------------------ #
 
+    def _parse(self, sql: str) -> SelectStatement:
+        """Memoized :func:`parse_select` (statements are immutable).
+
+        Repeated SQL skips tokenization entirely and returns the same
+        statement object, which the plan cache then matches by identity.
+        """
+        memo = self._parse_cache
+        statement = memo.get(sql)
+        if statement is None:
+            statement = parse_select(sql)
+            memo[sql] = statement
+            while len(memo) > _PARSE_MEMO_SIZE:
+                memo.popitem(last=False)
+        return statement
+
     def query(self, sql: str, strategy: str = "auto") -> QueryAnswer:
         """Parse, plan and execute one SELECT statement.
 
@@ -340,19 +370,24 @@ class EncryptedDatabase:
         and is cached per normalized statement; see
         :class:`repro.plan.Planner`.
         """
-        statement = parse_select(sql)
-        plan = self.planner.plan(statement, strategy)
+        statement = self._parse(sql)
         tracer = self.counter.tracer
         metrics = self.counter.metrics
         start = time.perf_counter() if metrics is not None else 0.0
-        before = self.counter.snapshot()
         query_id = None
-        ctx = self.planner.execution_context()
         if tracer is None:
+            plan = self.planner.plan(statement, strategy)
+            ctx = self.planner.execution_context()
+            before = self.counter.snapshot()
             uids, value = plan.execute(ctx)
             spent = self.counter.diff(before)
         else:
+            # Planning runs inside the query span so the planner's
+            # ``plan.fingerprint`` child lands in the same trace.
             with tracer.span("query", sql=sql, strategy=strategy) as span:
+                plan = self.planner.plan(statement, strategy)
+                ctx = self.planner.execution_context()
+                before = self.counter.snapshot()
                 uids, value = plan.execute(ctx)
                 spent = self.counter.diff(before)
                 # Totals go in attrs, not cost: span costs stay exclusive
@@ -399,7 +434,7 @@ class EncryptedDatabase:
         query's logical QPF uses plus its fractional share of the
         shared roundtrips.
         """
-        parsed = [parse_select(sql) for sql in statements]
+        parsed = [self._parse(sql) for sql in statements]
         answers: list[QueryAnswer | None] = [None] * len(statements)
         batchable: dict[str, list[tuple[int, SelectStatement]]] = {}
         for position, statement in enumerate(parsed):
@@ -440,7 +475,7 @@ class EncryptedDatabase:
         comparison costs ~``2·(2n/k) + log2 k`` QPF uses (two NS-pair
         scans plus the binary search), an unindexed one costs ``n``.
         """
-        return self.planner.plan(parse_select(sql), strategy).query_plan()
+        return self.planner.plan(self._parse(sql), strategy).query_plan()
 
     def explain_analyze(self, sql: str,
                         strategy: str = "auto") -> PlanAnalysis:
@@ -456,25 +491,29 @@ class EncryptedDatabase:
         resolution after a filtered MIN/MAX) is reported as a trailing
         synthetic step so the per-step actuals always sum to the total.
         """
-        statement = parse_select(sql)
-        physical = self.planner.plan(statement, strategy)
-        plan = physical.query_plan()
+        statement = self._parse(sql)
         audit: list[tuple[tuple[str, ...], int, float]] = []
-        ctx = self.planner.execution_context(audit=audit)
         tracer = self.counter.tracer
         before = self.counter.snapshot()
         start = time.perf_counter()
         query_id = None
         if tracer is None:
+            physical = self.planner.plan(statement, strategy)
+            ctx = self.planner.execution_context(audit=audit)
             uids, value = physical.execute(ctx)
             spent = self.counter.diff(before)
         else:
+            # Planning runs inside the span: the ``plan.fingerprint``
+            # child is part of the analyzed trace.
             with tracer.span("explain_analyze", sql=sql,
                              strategy=strategy) as span:
+                physical = self.planner.plan(statement, strategy)
+                ctx = self.planner.execution_context(audit=audit)
                 uids, value = physical.execute(ctx)
                 spent = self.counter.diff(before)
                 span.set(qpf_uses=spent.qpf_uses, rows=int(uids.size))
                 query_id = span.trace_id
+        plan = physical.query_plan()
         self.planner.record_execution(physical)
         wall_ms = (time.perf_counter() - start) * 1e3
         answer = QueryAnswer(

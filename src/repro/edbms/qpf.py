@@ -41,6 +41,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -126,8 +127,12 @@ class QPFRequest:
     uids: np.ndarray
 
     def __post_init__(self):
-        object.__setattr__(self, "uids",
-                           np.asarray(self.uids, dtype=np.uint64))
+        uids = self.uids
+        # The batching layer constructs requests at a high rate; skip the
+        # asarray round trip when the caller already holds uint64 uids.
+        if not (isinstance(uids, np.ndarray) and uids.dtype == np.uint64):
+            object.__setattr__(self, "uids",
+                               np.asarray(uids, dtype=np.uint64))
 
 
 @dataclass(frozen=True)
@@ -247,22 +252,52 @@ class TrustedMachine:
         layer builds on: N queries' worth of probes cross the enclave
         boundary together.
         """
-        total = sum(int(r.uids.size) for r in requests)
+        sizes = [int(r.uids.size) for r in requests]
+        total = sum(sizes)
         self.counter.qpf_uses += total
         self.counter.tuples_retrieved += total
         if total == 0:
             return [np.zeros(0, dtype=bool) for _ in requests]
         self._cross(total)
-        results = []
-        for request in requests:
-            if request.uids.size == 0:
-                results.append(np.zeros(0, dtype=bool))
+        # Unseal in submission order first, so predicate-register
+        # hit/miss accounting and LRU recency are identical to a
+        # per-request loop.  Fuse decrypts: one position gather +
+        # keystream per (table, attribute) column instead of one per
+        # request.  Cell nonces are the row uids, so decrypting the
+        # concatenation and slicing it back is bit-identical to
+        # per-request calls.
+        empty = np.zeros(0, dtype=bool)
+        predicates: list[object | None] = []
+        groups: dict[tuple[int, str], list[int]] = {}
+        results: list[np.ndarray | None] = []
+        for position, request in enumerate(requests):
+            if sizes[position]:
+                predicates.append(self._plain_predicate(request.trapdoor))
+                groups.setdefault(
+                    (id(request.table), request.trapdoor.attribute), []
+                ).append(position)
+                results.append(None)
+            else:
+                predicates.append(None)
+                results.append(empty)
+        for (__, attribute), positions in groups.items():
+            if len(positions) == 1:
+                request = requests[positions[0]]
+                values = self._decrypt_cells(request.table, attribute,
+                                             request.uids)
+                results[positions[0]] = _evaluate_plain(
+                    predicates[positions[0]], values)
                 continue
-            predicate = self._plain_predicate(request.trapdoor)
-            values = self._decrypt_cells(
-                request.table, request.trapdoor.attribute, request.uids)
-            results.append(_evaluate_plain(predicate, values))
-        return results
+            parts = [requests[p].uids for p in positions]
+            values = self._decrypt_cells(requests[positions[0]].table,
+                                         attribute, np.concatenate(parts))
+            offset = 0
+            for position, part in zip(positions, parts):
+                stop = offset + int(part.size)
+                results[position] = _evaluate_plain(predicates[position],
+                                                    values[offset:stop])
+                offset = stop
+        return results  # type: ignore[return-value]
 
 
 def _evaluate_plain(predicate, values: np.ndarray) -> np.ndarray:
@@ -306,6 +341,142 @@ def _process_shard_eval(requests: list[QPFRequest]
     return labels, spent
 
 
+# -- shared-memory shard mode ------------------------------------------- #
+#
+# ``mode="shm"`` keeps the one-enclave-per-process model of
+# ``mode="process"`` but moves the bulk data out of the pickle stream:
+# the parent republishes each encrypted column (position lookup +
+# ciphertext words) into ``multiprocessing.shared_memory`` once per
+# table version, and each dispatch ships only trapdoors plus
+# (offset, length) slices into a shared uid/label payload block.
+# Workers map the blocks, evaluate in place, and return nothing but a
+# CostCounter snapshot — accounting parity with the serial machine is
+# inherited unchanged from ``TrustedMachine.evaluate_many``.
+
+class _ShmColumnMirror:
+    """Worker-side stand-in for one encrypted column of a table.
+
+    Implements exactly the surface ``TrustedMachine._decrypt_cells``
+    touches (``.name`` and ``ciphertexts_for``); the cell nonce is the
+    row uid, as in the real :class:`~.encryption.EncryptedTable`.
+    """
+
+    __slots__ = ("name", "_lookup", "_cipher", "_blocks")
+
+    def __init__(self, name, lookup, cipher, blocks):
+        self.name = name
+        self._lookup = lookup
+        self._cipher = cipher
+        self._blocks = blocks
+
+    def ciphertexts_for(self, attribute: str, uids: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        uids = np.asarray(uids, dtype=np.uint64)
+        positions = self._lookup[uids]
+        if positions.size and int(positions.min()) < 0:
+            raise KeyError("unknown uid in shared-memory shard payload")
+        return self._cipher[positions], uids
+
+    def close(self) -> None:
+        # Drop the array views first: SharedMemory refuses to unmap
+        # while buffer exports are alive.
+        self._lookup = None
+        self._cipher = None
+        for block in self._blocks:
+            block.close()
+
+
+def _shm_copy_into(block: shared_memory.SharedMemory,
+                   array: np.ndarray) -> None:
+    """Copy ``array`` into a fresh segment (the view stays local here,
+    so the segment can be unmapped later without live buffer exports)."""
+    np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)[:] = array
+
+
+def _collect_shm_labels(descriptors: list[dict],
+                        labels_blk: shared_memory.SharedMemory,
+                        total: int) -> list[list[np.ndarray]]:
+    """Slice every request's labels back out of the shared block
+    (copied via ``astype``, so the block can be unlinked afterwards)."""
+    labels_all = np.ndarray((total,), dtype=np.uint8, buffer=labels_blk.buf)
+    return [[labels_all[start:stop].astype(bool)
+             for __, __spec, start, stop in descriptor["requests"]]
+            for descriptor in descriptors]
+
+
+def _shm_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime."""
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        # Python <= 3.12 registers attach-only segments with the
+        # resource tracker, which under *spawn* is a per-worker tracker
+        # that would destroy the parent's blocks when the worker exits.
+        # Under fork the tracker is shared with the parent, so the
+        # registration is an idempotent no-op that the parent's unlink
+        # balances — unregistering there would strip the parent's own
+        # entry instead.
+        import multiprocessing
+        from multiprocessing import resource_tracker
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:
+        pass
+    return block
+
+
+_SHM_COLUMNS: dict[tuple[str, str], tuple[int, _ShmColumnMirror]] = {}
+
+
+def _shm_mirror(spec: tuple) -> _ShmColumnMirror:
+    """The worker's cached mirror for one exported column version."""
+    (table_name, attribute, version,
+     lookup_name, lookup_len, cipher_name, cipher_len) = spec
+    key = (table_name, attribute)
+    entry = _SHM_COLUMNS.get(key)
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    if entry is not None:
+        entry[1].close()
+    lookup_blk = _shm_attach(lookup_name)
+    cipher_blk = _shm_attach(cipher_name)
+    lookup = np.ndarray((lookup_len,), dtype=np.int64, buffer=lookup_blk.buf)
+    cipher = np.ndarray((cipher_len,), dtype=np.uint64, buffer=cipher_blk.buf)
+    mirror = _ShmColumnMirror(table_name, lookup, cipher,
+                              (lookup_blk, cipher_blk))
+    _SHM_COLUMNS[key] = (version, mirror)
+    return mirror
+
+
+def _shm_eval_views(descriptor: dict, uids_buf, labels_buf) -> CostCounter:
+    """Evaluate one shm shard against mapped buffers (views stay local,
+    so they are released before the caller unmaps the segments)."""
+    assert _PROCESS_MACHINE is not None
+    length = descriptor["length"]
+    uids_all = np.ndarray((length,), dtype=np.uint64, buffer=uids_buf)
+    labels_all = np.ndarray((length,), dtype=np.uint8, buffer=labels_buf)
+    requests = [
+        QPFRequest(trapdoor, _shm_mirror(spec), uids_all[start:stop])
+        for trapdoor, spec, start, stop in descriptor["requests"]]
+    labels = _PROCESS_MACHINE.evaluate_many(requests)
+    for (__, __spec, start, stop), part in zip(descriptor["requests"],
+                                               labels):
+        labels_all[start:stop] = part
+    spent = _PROCESS_MACHINE.counter.snapshot()
+    _PROCESS_MACHINE.counter.reset()
+    return spent
+
+
+def _shm_shard_eval(descriptor: dict) -> CostCounter:
+    """Worker entry point for one shm shard: map, evaluate, unmap."""
+    uids_blk = _shm_attach(descriptor["uids"])
+    labels_blk = _shm_attach(descriptor["labels"])
+    try:
+        return _shm_eval_views(descriptor, uids_blk.buf, labels_blk.buf)
+    finally:
+        uids_blk.close()
+        labels_blk.close()
+
+
 class QPFShardPool:
     """N worker trusted machines answering one Θ payload in parallel.
 
@@ -332,7 +503,12 @@ class QPFShardPool:
     GIL, so shards genuinely overlap.  ``mode="process"`` forks one
     enclave per worker process for fully GIL-free evaluation; payloads
     are pickled across, so it pays per-call shipping costs and is the
-    right trade only for large payloads.
+    right trade only for large payloads.  ``mode="shm"`` is the
+    process mode with the pickling removed: encrypted columns are
+    republished once per table version into
+    ``multiprocessing.shared_memory`` and each dispatch ships only
+    trapdoors plus offsets into a shared uid/label payload block, so
+    steady-state dispatch cost is independent of tuple count.
 
     With ``num_workers=1`` every code path degenerates to the serial
     machine (same chunks, same crossings, same counters).
@@ -345,9 +521,9 @@ class QPFShardPool:
                  min_shard_tuples: int = 64):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
-        if mode not in ("thread", "process"):
+        if mode not in ("thread", "process", "shm"):
             raise ValueError(f"unknown mode {mode!r}; "
-                             "expected 'thread' or 'process'")
+                             "expected 'thread', 'process' or 'shm'")
         if min_shard_tuples < 1:
             raise ValueError("min_shard_tuples must be positive")
         self.counter = counter if counter is not None else CostCounter()
@@ -365,6 +541,11 @@ class QPFShardPool:
         ]
         self._thread_executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
+        # mode="shm": (table, attribute) -> (version, worker spec,
+        # owned SharedMemory blocks) for every column republished to
+        # the worker processes.
+        self._shm_exports: dict[tuple[str, str], tuple[int, tuple, tuple]] \
+            = {}
 
     # -- executors (lazy, so an unused mode costs nothing) --------------- #
 
@@ -385,13 +566,22 @@ class QPFShardPool:
         return self._process_executor
 
     def close(self) -> None:
-        """Shut the worker executors down (idempotent)."""
+        """Shut the worker executors down; release shm exports
+        (idempotent)."""
         if self._thread_executor is not None:
             self._thread_executor.shutdown(wait=True)
             self._thread_executor = None
         if self._process_executor is not None:
             self._process_executor.shutdown(wait=True)
             self._process_executor = None
+        for __, __spec, blocks in self._shm_exports.values():
+            for block in blocks:
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:
+                    pass
+        self._shm_exports.clear()
 
     # -- cost folding ----------------------------------------------------- #
 
@@ -413,6 +603,88 @@ class QPFShardPool:
         spent = worker.counter.snapshot()
         worker.counter.reset()
         return spent
+
+    # -- shared-memory column exports (mode="shm") ------------------------ #
+
+    def _export_column(self, table, attribute: str) -> tuple:
+        """Publish (or reuse) the shm export of one encrypted column.
+
+        One pair of segments per ``(table, attribute, version)``; a
+        version bump republishes and unlinks the stale pair (workers
+        still mapping it keep their view until they swap — unlink only
+        removes the name).
+        """
+        key = (table.name, attribute)
+        version = table.version
+        entry = self._shm_exports.get(key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        if entry is not None:
+            for block in entry[2]:
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:
+                    pass
+        lookup, cipher = table.column_store(attribute)
+        lookup_blk = shared_memory.SharedMemory(
+            create=True, size=max(8, lookup.nbytes))
+        cipher_blk = shared_memory.SharedMemory(
+            create=True, size=max(8, cipher.nbytes))
+        _shm_copy_into(lookup_blk, lookup)
+        _shm_copy_into(cipher_blk, cipher)
+        spec = (table.name, attribute, version,
+                lookup_blk.name, int(lookup.size),
+                cipher_blk.name, int(cipher.size))
+        self._shm_exports[key] = (version, spec, (lookup_blk, cipher_blk))
+        return spec
+
+    def _run_shm_shards(self, work: list[list[QPFRequest]]
+                        ) -> list[list[np.ndarray]]:
+        """Dispatch shards through shared payload blocks; fold costs."""
+        total = sum(int(r.uids.size) for payload in work for r in payload)
+        uids_blk = shared_memory.SharedMemory(create=True,
+                                              size=max(8, total * 8))
+        labels_blk = shared_memory.SharedMemory(create=True,
+                                                size=max(1, total))
+        try:
+            descriptors = self._stage_shm_payload(work, uids_blk,
+                                                  labels_blk, total)
+            futures = [self._processes().submit(_shm_shard_eval, descriptor)
+                       for descriptor in descriptors]
+            spent = [future.result() for future in futures]
+            parts = _collect_shm_labels(descriptors, labels_blk, total)
+            self._absorb(spent)
+            return parts
+        finally:
+            uids_blk.close()
+            uids_blk.unlink()
+            labels_blk.close()
+            labels_blk.unlink()
+
+    def _stage_shm_payload(self, work, uids_blk, labels_blk,
+                           total: int) -> list[dict]:
+        """Write every shard's uids into the payload block and build the
+        per-shard worker descriptors (views stay local to this frame)."""
+        uids_all = np.ndarray((total,), dtype=np.uint64, buffer=uids_blk.buf)
+        descriptors = []
+        offset = 0
+        for payload in work:
+            specs = []
+            for request in payload:
+                count = int(request.uids.size)
+                uids_all[offset:offset + count] = request.uids
+                specs.append((request.trapdoor,
+                              self._export_column(
+                                  request.table,
+                                  request.trapdoor.attribute),
+                              offset, offset + count))
+                offset += count
+            descriptors.append({"uids": uids_blk.name,
+                                "labels": labels_blk.name,
+                                "length": total,
+                                "requests": specs})
+        return descriptors
 
     # -- Θ surface -------------------------------------------------------- #
 
@@ -497,6 +769,13 @@ class QPFShardPool:
         work = [[requests[i] for i in shard] for shard in shards if shard]
         tracer = self.counter.tracer
         with self._lock:
+            if self.mode == "shm":
+                if tracer is None:
+                    return self._run_shm_shards(work)
+                with tracer.span(
+                        "qpf.dispatch", mode="shm", shards=len(work),
+                        tuples=int(sum(r.uids.size for r in requests))):
+                    return self._run_shm_shards(work)
             if self.mode == "process":
                 if tracer is None:
                     futures = [

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = [
     "SqlError",
@@ -51,8 +52,10 @@ class SqlError(ValueError):
     """Raised on any lexical or syntactic error in a statement."""
 
 
-@dataclass(frozen=True)
-class _Token:
+class _Token(NamedTuple):
+    # NamedTuple, not a frozen dataclass: tokenization sits on the
+    # per-statement hot path and C-level tuple construction is ~5x
+    # cheaper than object.__setattr__-based init.
     kind: str  # "number" | "ident" | "op" | "punct" | "keyword"
     text: str
 

@@ -1,0 +1,118 @@
+"""Plan-cache fast path: memoized statement profiles + validated LRU.
+
+Steady state for a repeated statement is *plan-cache hit*, and the only
+work ``Planner.plan`` may spend there is proving the cached plan is
+still valid.  Two pieces keep that near zero:
+
+* :class:`StatementProfile` — everything the fingerprint needs from the
+  *statement* (touched attributes, comparison memo keys) is a pure
+  function of the immutable parsed statement, so it is resolved once
+  and memoized.  Per-call fingerprinting reduces to catalog lookups:
+  ``EncryptedTable.version``, per-index
+  :meth:`~repro.core.prkb.PRKBIndex.plan_fingerprint` and the
+  per-predicate equivalence bit.
+* :class:`PlanCache` — an LRU keyed ``(statement, strategy)`` whose
+  :meth:`~PlanCache.lookup` revalidates the stored fingerprint inline.
+  A hit returns the executable plan directly; the
+  :class:`~repro.plan.estimator.CostEstimator` is never consulted.
+
+The cache owns the hit/miss/invalidation tallies so the planner (and
+the benches that reset them between passes) keep one source of truth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..edbms.sql import ComparisonCondition, SelectStatement
+
+__all__ = ["PlanCache", "StatementProfile", "PROFILE_MEMO_SIZE"]
+
+#: Statement profiles memoized alongside the plan cache.  Profiles are a
+#: few tuples each; the memo exists so repeated SQL never re-derives
+#: ``statement.attributes()`` or re-type-checks conditions per call.
+PROFILE_MEMO_SIZE = 512
+
+
+class StatementProfile:
+    """The statement-only inputs of a plan fingerprint, resolved once.
+
+    ``attributes`` is :meth:`SelectStatement.attributes` (condition
+    attributes first-seen, then the aggregate's); ``comparison_keys``
+    are the DO trapdoor-memo keys of the comparison conditions in
+    statement order — exactly the predicates whose cached-equivalence
+    bit the fingerprint must track.
+    """
+
+    __slots__ = ("table", "attributes", "comparison_keys")
+
+    def __init__(self, statement: SelectStatement):
+        self.table = statement.table
+        self.attributes = statement.attributes()
+        self.comparison_keys = tuple(
+            (condition.attribute, condition.operator, condition.constant)
+            for condition in statement.conditions
+            if isinstance(condition, ComparisonCondition))
+
+
+class PlanCache:
+    """LRU of physical plans with inline fingerprint revalidation.
+
+    ``lookup`` serves the fast path: a cached plan whose fingerprint
+    still matches comes back untouched (and is marked most-recent); a
+    stale plan is evicted on the spot and counted as an invalidation.
+    ``insert`` counts the miss and enforces the capacity bound.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "invalidations",
+                 "_plans", "_profiles")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._plans: OrderedDict = OrderedDict()
+        self._profiles: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key) -> bool:
+        return key in self._plans
+
+    def profile(self, statement: SelectStatement) -> StatementProfile:
+        """The memoized :class:`StatementProfile` for ``statement``."""
+        memo = self._profiles
+        profile = memo.get(statement)
+        if profile is None:
+            profile = StatementProfile(statement)
+            memo[statement] = profile
+            while len(memo) > PROFILE_MEMO_SIZE:
+                memo.popitem(last=False)
+        return profile
+
+    def lookup(self, key, fingerprint):
+        """The still-valid cached plan for ``key``, else ``None``.
+
+        Counts the hit, or — when the stored plan's fingerprint no
+        longer matches the live catalog — evicts it and counts the
+        invalidation (the caller's rebuild then counts the miss).
+        """
+        plan = self._plans.get(key)
+        if plan is None:
+            return None
+        if plan.fingerprint == fingerprint:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.invalidations += 1
+        del self._plans[key]
+        return None
+
+    def insert(self, key, plan) -> None:
+        """Store a freshly built plan (counting the miss that caused it)."""
+        self.misses += 1
+        self._plans[key] = plan
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)

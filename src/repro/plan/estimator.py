@@ -79,9 +79,8 @@ class CostEstimator:
         formula = SingleDimensionProcessor.estimate_qpf(n, k)
         if k <= 1:
             return formula
-        health = index.health()
-        observed_width = health["ns_scan_width"]["p90"]
-        if health["queries_observed"] and observed_width > 0:
+        queries_observed, observed_width = index.observed_scan_stats()
+        if queries_observed and observed_width > 0:
             observed = observed_width + formula - 4 * max(1, n // k)
             return max(1, min(formula, observed))
         return formula

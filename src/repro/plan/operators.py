@@ -159,8 +159,10 @@ class GridIntersectOp(PhysicalOperator):
     """All fully-bounded dimensions through PRKB(MD)'s grid (Sec. 6.2),
     or the naive per-dimension composition when ``mode == "sd+"``.
 
-    Dimension trapdoors are sealed fresh at execute time (low then high,
-    dimension order), matching the legacy engine's per-query sealing."""
+    Dimension trapdoors are sealed at execute time (low then high,
+    dimension order) through the DO's trapdoor memo: a repeated range
+    re-sends the *same* sealed objects, so the SP's serial-keyed
+    equivalence caches can answer the repeat without fresh QPF."""
 
     __slots__ = ("table", "dimensions", "mode")
 
@@ -178,9 +180,9 @@ class GridIntersectOp(PhysicalOperator):
             ranges = [
                 DimensionRange(
                     attribute=d.attribute,
-                    low=ctx.owner.comparison_trapdoor(
+                    low=ctx.seal_comparison(
                         d.attribute, d.low.operator, d.low.constant),
-                    high=ctx.owner.comparison_trapdoor(
+                    high=ctx.seal_comparison(
                         d.attribute, d.high.operator, d.high.constant),
                 )
                 for d in self.dimensions

@@ -29,9 +29,11 @@ equivalence-cache churn all invalidate exactly the plans they affect.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 
-from ..edbms.sql import BetweenCondition, ComparisonCondition, SelectStatement
+from ..edbms.sql import BetweenCondition, SelectStatement
+from .cache import PlanCache, StatementProfile
 from .estimator import CostEstimator
 from .logical import LogicalSelect, build_logical
 from .operators import (
@@ -145,14 +147,37 @@ class Planner:
         self.server = server
         self.counter = counter
         self._trapdoor_memo: OrderedDict = OrderedDict()
-        self._plan_cache: OrderedDict = OrderedDict()
+        self._plan_cache = PlanCache(PLAN_CACHE_SIZE)
         self.estimator = CostEstimator(server, self._trapdoor_memo.get)
-        # Python-side telemetry (mirrored into the metrics registry when
-        # observability is enabled; always available to tests/CLI).
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_invalidations = 0
         self.strategy_counts: dict[str, int] = {}
+
+    # Python-side telemetry, owned by the cache (mirrored into the
+    # metrics registry when observability is enabled; always available
+    # to tests/CLI, and settable so benches can reset between passes).
+
+    @property
+    def cache_hits(self) -> int:
+        return self._plan_cache.hits
+
+    @cache_hits.setter
+    def cache_hits(self, value: int) -> None:
+        self._plan_cache.hits = value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._plan_cache.misses
+
+    @cache_misses.setter
+    def cache_misses(self, value: int) -> None:
+        self._plan_cache.misses = value
+
+    @property
+    def cache_invalidations(self) -> int:
+        return self._plan_cache.invalidations
+
+    @cache_invalidations.setter
+    def cache_invalidations(self, value: int) -> None:
+        self._plan_cache.invalidations = value
 
     # -- DO-side trapdoor memo -------------------------------------------- #
 
@@ -190,27 +215,29 @@ class Planner:
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"expected one of {_STRATEGIES}")
-        key = (statement, strategy)
-        fingerprint = self._fingerprint(statement)
-        cached = self._plan_cache.get(key)
+        cache = self._plan_cache
+        profile = cache.profile(statement)
+        counter = self.counter
+        if counter.tracer is None and counter.metrics is None:
+            fingerprint = self._profile_fingerprint(profile)
+        else:
+            fingerprint = self._observed_fingerprint(profile)
+        invalidations = cache.invalidations
+        cached = cache.lookup((statement, strategy), fingerprint)
         if cached is not None:
-            if cached.fingerprint == fingerprint:
-                self.cache_hits += 1
-                self._bump("repro_plan_cache_hits_total",
-                           "physical plans served from the plan cache")
-                self._plan_cache.move_to_end(key)
-                return cached
-            self.cache_invalidations += 1
+            self._bump("repro_plan_cache_hits_total",
+                       "physical plans served from the plan cache")
+            self._bump("repro_plan_fastpath_total",
+                       "plan-cache hits dispatched without cost "
+                       "estimation")
+            return cached
+        if cache.invalidations != invalidations:
             self._bump("repro_plan_cache_invalidations_total",
                        "cached plans dropped on fingerprint mismatch")
-            del self._plan_cache[key]
-        self.cache_misses += 1
         self._bump("repro_plan_cache_misses_total",
                    "plan-cache misses (fresh planning runs)")
         plan = self._build(statement, strategy, fingerprint)
-        self._plan_cache[key] = plan
-        while len(self._plan_cache) > PLAN_CACHE_SIZE:
-            self._plan_cache.popitem(last=False)
+        cache.insert((statement, strategy), plan)
         return plan
 
     def plan_batch(self, table: str,
@@ -250,19 +277,65 @@ class Planner:
 
     def _fingerprint(self, statement: SelectStatement) -> tuple:
         """Catalog state this statement's costs depend on.  O(conditions)."""
-        table = self.server.table(statement.table)
+        return self._profile_fingerprint(self._plan_cache.profile(statement))
+
+    def _profile_fingerprint(self, profile: StatementProfile) -> tuple:
+        """The live fingerprint for a memoized statement profile.
+
+        Pure catalog lookups — table row count + update version,
+        per-index :meth:`~repro.core.prkb.PRKBIndex.plan_fingerprint`,
+        and the per-predicate equivalence bit (DO memo still holds the
+        trapdoor *and* the SP still caches its Case-1 answer).  The
+        estimator is never consulted, so a plan-cache hit costs no
+        cost-model work at all.
+        """
+        server = self.server
+        table_name = profile.table
+        table = server.table(table_name)
         parts: list = [table.num_rows, table.version]
-        for attribute in statement.attributes():
-            if self.server.has_index(statement.table, attribute):
-                index = self.server.index(statement.table, attribute)
+        indexes: dict[str, object] = {}
+        for attribute in profile.attributes:
+            if server.has_index(table_name, attribute):
+                index = server.index(table_name, attribute)
+                indexes[attribute] = index
                 parts.append((attribute,) + index.plan_fingerprint())
             else:
                 parts.append((attribute, None))
-        for condition in statement.conditions:
-            if isinstance(condition, ComparisonCondition):
-                parts.append(self.estimator.is_cached(statement.table,
-                                                      condition))
+        memo_probe = self._trapdoor_memo.get
+        for key in profile.comparison_keys:
+            index = indexes.get(key[0])
+            if index is None:
+                parts.append(False)
+            else:
+                trapdoor = memo_probe(key)
+                parts.append(
+                    trapdoor is not None
+                    and index.has_cached_equivalence(trapdoor.serial))
         return tuple(parts)
+
+    def _observed_fingerprint(self, profile: StatementProfile) -> tuple:
+        """:meth:`_profile_fingerprint` under observability: wraps the
+        check in a ``plan.fingerprint`` span (visible in query traces
+        and ``explain_analyze``) and feeds the
+        ``repro_plan_fingerprint_seconds`` histogram.  Split out so the
+        bare hot path costs two ``is None`` tests when observability is
+        off."""
+        counter = self.counter
+        tracer = counter.tracer
+        start = time.perf_counter()
+        if tracer is not None:
+            with tracer.span("plan.fingerprint", table=profile.table,
+                             attributes=len(profile.attributes)):
+                fingerprint = self._profile_fingerprint(profile)
+        else:
+            fingerprint = self._profile_fingerprint(profile)
+        metrics = counter.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "repro_plan_fingerprint_seconds",
+                "wall time of plan-cache fingerprint checks",
+            ).observe(time.perf_counter() - start)
+        return fingerprint
 
     def _build(self, statement: SelectStatement, strategy: str,
                fingerprint: tuple) -> PhysicalPlan:

@@ -153,3 +153,49 @@ class TestExitCodes:
     def test_no_shared_metrics_is_an_error(self, tmp_path):
         result = self._run(tmp_path, {"a": 1}, {"b": 2})
         assert result.returncode == 1
+
+
+class TestFloors:
+    def test_floor_holding_passes(self):
+        base = _envelope({"adaptive": {"queries_per_sec": 100.0}})
+        cur = _envelope({"adaptive": {"queries_per_sec": 85.0}})
+        assert bench_diff.check_floors(
+            base, cur, ["adaptive.queries_per_sec=0.8"]) == []
+
+    def test_floor_breach_reported(self):
+        base = _envelope({"adaptive": {"queries_per_sec": 100.0}})
+        cur = _envelope({"adaptive": {"queries_per_sec": 60.0}})
+        (message,) = bench_diff.check_floors(
+            base, cur, ["adaptive.queries_per_sec=0.8"])
+        assert "fell below its floor" in message
+
+    def test_missing_key_is_a_failure_not_a_pass(self):
+        base = _envelope({"adaptive": {"queries_per_sec": 100.0}})
+        cur = _envelope({"other": 1})
+        (message,) = bench_diff.check_floors(
+            base, cur, ["adaptive.queries_per_sec=0.8"])
+        assert "missing" in message
+
+    def test_bad_spec_raises(self):
+        base = _envelope({"x": 1})
+        with pytest.raises(SystemExit):
+            bench_diff.check_floors(base, base, ["x=not-a-number"])
+
+    def test_floor_breach_fatal_even_under_warn_wall(self, tmp_path):
+        runner = TestExitCodes()
+        result = runner._run(
+            tmp_path,
+            {"adaptive": {"queries_per_sec": 100.0}},
+            {"adaptive": {"queries_per_sec": 60.0}},
+            "--warn-wall", "--floor", "adaptive.queries_per_sec=0.8")
+        assert result.returncode == 1
+        assert "fell below its floor" in result.stdout
+
+    def test_floor_holding_under_warn_wall_passes(self, tmp_path):
+        runner = TestExitCodes()
+        result = runner._run(
+            tmp_path,
+            {"adaptive": {"queries_per_sec": 100.0}},
+            {"adaptive": {"queries_per_sec": 92.0}},
+            "--warn-wall", "--floor", "adaptive.queries_per_sec=0.8")
+        assert result.returncode == 0, result.stdout

@@ -72,6 +72,22 @@ class TestQpfUsesParity:
             assert np.array_equal(serial_winners, pool_winners)
             assert serial_uses == pool_uses
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_shm_pool_matches_serial_exactly(self, workers):
+        # Shared-memory shards read the columns through republished
+        # ndarray views — same exactness bar as the thread pool.
+        serial = _bed(n=600)
+        pooled = _bed(workers=workers, mode="shm", n=600)
+        try:
+            serial_trace = _run_workload(serial)
+            pooled_trace = _run_workload(pooled)
+        finally:
+            pooled.close()
+        for (serial_winners, serial_uses), (pool_winners, pool_uses) in zip(
+                serial_trace, pooled_trace):
+            assert np.array_equal(serial_winners, pool_winners)
+            assert serial_uses == pool_uses
+
 
 class TestWallCounters:
     def test_without_pool_wall_equals_serial(self):
