@@ -99,13 +99,17 @@ class Testbed:
                  qpf_workers: int | None = None,
                  qpf_worker_mode: str = "thread",
                  qpf_latency: CrossingLatency | None = None,
-                 qpf_min_shard_tuples: int | None = None):
+                 qpf_min_shard_tuples: int | None = None,
+                 column_cache_bytes: int | None = None):
         self.plain = table
         self.owner = DataOwner(key=generate_key(seed))
         self.counter = CostCounter()
         self.cost_model = cost_model
+        cache_options = {}
+        if column_cache_bytes is not None:
+            cache_options["column_cache_bytes"] = column_cache_bytes
         if qpf_workers is not None:
-            pool_options = {}
+            pool_options = dict(cache_options)
             if qpf_min_shard_tuples is not None:
                 pool_options["min_shard_tuples"] = qpf_min_shard_tuples
             trusted_machine = QPFShardPool(
@@ -113,7 +117,8 @@ class Testbed:
                 mode=qpf_worker_mode, latency=qpf_latency, **pool_options)
         else:
             trusted_machine = TrustedMachine(self.owner.key, self.counter,
-                                             latency=qpf_latency)
+                                             latency=qpf_latency,
+                                             **cache_options)
         self._trusted_machine = trusted_machine
         self.qpf = QueryProcessingFunction(trusted_machine)
         self.table = self.owner.encrypt_table(table)
@@ -222,6 +227,19 @@ class Testbed:
 
     # -- PRKB warm-up -------------------------------------------------------- #
 
+    def prime_column_cache(self, attribute: str) -> bool:
+        """Pre-decrypt one attribute into the trusted machine's column cache.
+
+        Spends zero ``qpf_uses`` (priming decrypts, it does not test).
+        Returns ``False`` when the cache is disabled or the column does
+        not fit the configured byte budget.
+        """
+        return self._trusted_machine.prime_column(self.table, attribute)
+
+    def column_cache_stats(self) -> dict:
+        """Column-cache statistics of the underlying trusted machine."""
+        return self._trusted_machine.column_cache_stats()
+
     def warm_up(self, attribute: str, num_queries: int,
                 seed: int | None = 7) -> None:
         """Grow the attribute's PRKB with distinct comparison queries.
@@ -248,13 +266,15 @@ def build_testbed(table: PlainTable, indexed_attributes: list[str],
                   qpf_workers: int | None = None,
                   qpf_worker_mode: str = "thread",
                   qpf_latency: CrossingLatency | None = None,
-                  qpf_min_shard_tuples: int | None = None) -> Testbed:
+                  qpf_min_shard_tuples: int | None = None,
+                  column_cache_bytes: int | None = None) -> Testbed:
     """Convenience constructor used by the benchmark files."""
     bed = Testbed(table, indexed_attributes, max_partitions=max_partitions,
                   with_log_src_i=with_log_src_i, seed=seed,
                   qpf_workers=qpf_workers, qpf_worker_mode=qpf_worker_mode,
                   qpf_latency=qpf_latency,
-                  qpf_min_shard_tuples=qpf_min_shard_tuples)
+                  qpf_min_shard_tuples=qpf_min_shard_tuples,
+                  column_cache_bytes=column_cache_bytes)
     if warm_up_queries:
         for attribute in indexed_attributes:
             bed.warm_up(attribute, warm_up_queries)

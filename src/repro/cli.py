@@ -316,6 +316,18 @@ def _cmd_stats(args) -> int:
           f"predicate-cache {counter.predicate_cache_hits}/"
           f"{counter.predicate_cache_hits + counter.predicate_cache_misses}"
           " hits")
+    cache = db.column_cache_stats()
+    lookups = counter.column_cache_hits + counter.column_cache_misses
+    print(f"column cache: {counter.column_cache_hits}/{lookups} hits  "
+          f"evictions={counter.column_cache_evictions}  "
+          f"resident={cache['resident_bytes']:,}B "
+          f"of {cache['budget_bytes']:,}B budget")
+    from .core.arena import ARENA
+    arena = ARENA.stats()
+    print(f"buffer arena: {arena['reuses']}/{arena['takes']} reused "
+          f"(ratio {arena['reuse_ratio']:.2f})  "
+          f"allocations={arena['allocations']}  "
+          f"resident={arena['resident_bytes']:,}B")
     print("(use --format prom for the /metrics exposition, "
           "--format json for machine-readable output)")
     return 0

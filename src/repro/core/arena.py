@@ -1,0 +1,206 @@
+"""Reusable numpy scratch buffers for the per-query hot path.
+
+Steady-state selection processing allocates the same short-lived numpy
+arrays over and over: per-partition status vectors, candidate masks,
+uid concatenation buffers, decrypt scratch.  Each allocation is cheap,
+but at 100k+-row scales the allocator traffic dominates the actual
+vector math and keeps peak RSS churning.  :class:`BufferArena` is a
+small pool of dtype/size-class scratch blocks: ``take`` hands out a
+writable array of the exact requested length backed by a pooled
+power-of-two block, ``give`` returns it, and :meth:`BufferArena.scope`
+wraps a query phase so every buffer taken inside is released on exit
+no matter how the phase ends.
+
+Two rules keep reuse safe:
+
+* **Scratch only.**  A taken buffer starts with *garbage* contents
+  (``np.empty`` semantics) and is recycled after release — callers must
+  fully overwrite it and must never let it escape into query results.
+  Everything the selection processors return is a fresh array
+  (fancy-index gathers, ``np.unique``, ``np.sort`` all copy), so the
+  arena only ever backs intermediates.
+* **Bounded residency.**  Pooled-but-idle blocks are capped by
+  ``budget_bytes``; a released block that would push the pool over
+  budget is simply dropped for the garbage collector (``drops`` counts
+  them), so a burst of huge queries cannot pin memory forever.
+
+The module-level :data:`ARENA` singleton is what the engine threads
+through the grid classifier, the partition winner gathers and the QPF
+``evaluate_many`` concat path; its :meth:`BufferArena.stats` feed the
+``repro_arena_*`` gauges and the ``repro stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["BufferArena", "ArenaScope", "ARENA", "DEFAULT_ARENA_BYTES"]
+
+#: Default cap on *idle* pooled bytes (buffers currently handed out are
+#: not counted — they are the caller's live working set either way).
+DEFAULT_ARENA_BYTES = 32 * 1024 * 1024
+
+#: Smallest block handed out; tiny requests share one size class so the
+#: pool does not fragment into dozens of micro-buckets.
+_MIN_BLOCK = 16
+
+
+class BufferArena:
+    """A pool of reusable numpy scratch blocks, bucketed by dtype/size.
+
+    Blocks are power-of-two sized per dtype; ``take(count, dtype)``
+    returns a length-``count`` view into a pooled (or freshly
+    allocated) block, and ``give`` returns the block for reuse.  All
+    operations are thread-safe; a buffer is exclusively owned between
+    ``take`` and ``give``.  Counters (``takes``/``reuses``/
+    ``allocations``/``drops``) are cumulative for the arena's lifetime.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_ARENA_BYTES):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        self.budget_bytes = int(budget_bytes)
+        self.takes = 0
+        self.reuses = 0
+        self.allocations = 0
+        self.drops = 0
+        self._lock = threading.Lock()
+        # (dtype.str, block length) -> idle blocks of that class.
+        self._pools: dict[tuple[str, int], list[np.ndarray]] = {}
+        # ids of the idle blocks, guarding against double release.
+        self._pooled_ids: set[int] = set()
+        self._resident = 0
+
+    @staticmethod
+    def _size_class(count: int) -> int:
+        size = _MIN_BLOCK
+        while size < count:
+            size <<= 1
+        return size
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held by *idle* pooled blocks."""
+        return self._resident
+
+    def take(self, count: int, dtype) -> np.ndarray:
+        """A writable scratch array of exactly ``count`` elements.
+
+        Contents are uninitialised — the caller must overwrite every
+        element before reading.  Return it with :meth:`give` (or take
+        it through a :meth:`scope`, which releases automatically).
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        dtype = np.dtype(dtype)
+        if count == 0:
+            # Zero-length arrays are free; pooling them would only
+            # complicate release tracking.
+            return np.empty(0, dtype=dtype)
+        key = (dtype.str, self._size_class(count))
+        with self._lock:
+            self.takes += 1
+            pool = self._pools.get(key)
+            if pool:
+                block = pool.pop()
+                self._pooled_ids.discard(id(block))
+                self._resident -= block.nbytes
+                self.reuses += 1
+                return block[:count]
+            self.allocations += 1
+        return np.empty(key[1], dtype=dtype)[:count]
+
+    def give(self, buffer: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`take` to the pool.
+
+        Accepts exactly what ``take`` returned (a view into a pooled
+        block).  Double releases and zero-length buffers are ignored;
+        a block that would push idle residency over ``budget_bytes``
+        is dropped instead of pooled.
+        """
+        block = buffer.base if buffer.base is not None else buffer
+        if block.size == 0 or not isinstance(block, np.ndarray):
+            return
+        key = (block.dtype.str, int(block.size))
+        with self._lock:
+            if id(block) in self._pooled_ids:
+                return
+            if self._resident + block.nbytes > self.budget_bytes:
+                self.drops += 1
+                return
+            self._pools.setdefault(key, []).append(block)
+            self._pooled_ids.add(id(block))
+            self._resident += block.nbytes
+
+    @contextmanager
+    def scope(self):
+        """Context manager yielding an :class:`ArenaScope`.
+
+        Every buffer taken through the scope is released when the
+        ``with`` block exits, even on error — the pattern every query
+        phase uses, so a failed query never leaks pool capacity.
+        """
+        handle = ArenaScope(self)
+        try:
+            yield handle
+        finally:
+            handle.release()
+
+    def clear(self) -> None:
+        """Drop every idle pooled block (cumulative counters remain)."""
+        with self._lock:
+            self._pools.clear()
+            self._pooled_ids.clear()
+            self._resident = 0
+
+    def stats(self) -> dict:
+        """Cumulative counters plus current residency, as a dict."""
+        with self._lock:
+            lookups = self.takes
+            return {
+                "takes": self.takes,
+                "reuses": self.reuses,
+                "allocations": self.allocations,
+                "drops": self.drops,
+                "resident_bytes": self._resident,
+                "budget_bytes": self.budget_bytes,
+                "reuse_ratio": self.reuses / lookups if lookups else 0.0,
+            }
+
+
+class ArenaScope:
+    """Tracks buffers taken during one query phase for bulk release.
+
+    Obtained from :meth:`BufferArena.scope`; not constructed directly
+    by callers.  Scopes nest freely — each releases only its own
+    buffers.
+    """
+
+    __slots__ = ("_arena", "_taken")
+
+    def __init__(self, arena: BufferArena):
+        self._arena = arena
+        self._taken: list[np.ndarray] = []
+
+    def take(self, count: int, dtype) -> np.ndarray:
+        """Scoped :meth:`BufferArena.take`; auto-released on exit."""
+        buffer = self._arena.take(count, dtype)
+        if buffer.size:
+            self._taken.append(buffer)
+        return buffer
+
+    def release(self) -> None:
+        """Return every tracked buffer to the arena (idempotent)."""
+        taken, self._taken = self._taken, []
+        for buffer in taken:
+            self._arena.give(buffer)
+
+
+#: Process-wide arena shared by the selection hot paths; sized by
+#: :data:`DEFAULT_ARENA_BYTES`.  Replace or resize it before running
+#: queries to change the policy (``ARENA.budget_bytes = ...``).
+ARENA = BufferArena()

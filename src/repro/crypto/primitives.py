@@ -28,11 +28,13 @@ __all__ = [
     "prf",
     "prf_word",
     "prf_words",
+    "prf_words_into",
     "prf_keystream",
     "encrypt_word",
     "decrypt_word",
     "encrypt_words",
     "decrypt_words",
+    "decrypt_words_into",
     "encrypt_value",
     "decrypt_value",
 ]
@@ -164,6 +166,37 @@ def prf_words(key: SecretKey, nonces: np.ndarray) -> np.ndarray:
     return x
 
 
+def prf_words_into(key: SecretKey, nonces: np.ndarray, out: np.ndarray,
+                   scratch: np.ndarray | None = None) -> np.ndarray:
+    """:func:`prf_words` written into a caller-provided buffer.
+
+    The whole-column keystream path: expanding a 100k-cell column
+    through :func:`prf_words` allocates one intermediate per pipeline
+    stage, which is exactly the churn the decrypted-column cache's cold
+    fills want to avoid.  This variant runs the same splitmix64
+    pipeline with ``out=`` ufunc calls — ``out`` receives the
+    keystream, ``scratch`` (same shape/dtype, allocated when omitted)
+    holds the shift temporaries — and is bit-identical to
+    :func:`prf_words` for every size, including below the scalar
+    cutoff (the scalar and vector mixers agree by construction).
+    """
+    nonces = np.asarray(nonces, dtype=np.uint64)
+    if out.shape != nonces.shape or out.dtype != np.uint64:
+        raise ValueError("out must be a uint64 array shaped like nonces")
+    tmp = scratch if scratch is not None else np.empty_like(out)
+    with np.errstate(over="ignore"):
+        np.add(nonces, np.uint64(_word_seed(key)), out=out)
+        np.right_shift(out, np.uint64(30), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+        np.multiply(out, np.uint64(0xBF58476D1CE4E5B9), out=out)
+        np.right_shift(out, np.uint64(27), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+        np.multiply(out, np.uint64(0x94D049BB133111EB), out=out)
+        np.right_shift(out, np.uint64(31), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+    return out
+
+
 def prf_keystream(key: SecretKey, base: int, length: int) -> bytes:
     """``length`` bytes of counter-mode keystream from word ``base``.
 
@@ -207,6 +240,23 @@ def decrypt_words(key: SecretKey, ciphertexts: np.ndarray,
     """Vectorised word decryption (trusted-machine side)."""
     ciphertexts = np.asarray(ciphertexts, dtype=np.uint64)
     return ciphertexts ^ prf_words(key, nonces)
+
+
+def decrypt_words_into(key: SecretKey, ciphertexts: np.ndarray,
+                       nonces: np.ndarray, out: np.ndarray,
+                       scratch: np.ndarray | None = None) -> np.ndarray:
+    """:func:`decrypt_words` into a caller-provided buffer.
+
+    Generates the keystream in place via :func:`prf_words_into`, then
+    XORs the ciphertexts on top — zero intermediates beyond the
+    optional ``scratch``.  Bit-identical to :func:`decrypt_words`;
+    this is the bulk path the trusted machine's decrypted-column cache
+    uses for whole-column cold fills.
+    """
+    ciphertexts = np.asarray(ciphertexts, dtype=np.uint64)
+    prf_words_into(key, nonces, out, scratch)
+    np.bitwise_xor(out, ciphertexts, out=out)
+    return out
 
 
 def _to_word(value: int) -> int:

@@ -55,6 +55,13 @@ class CostCounter:
         Warm/cold lookups in the trusted machine's LRU of unsealed
         predicates.  A miss costs one re-unseal inside the enclave; both
         are purely observational and never change QPF accounting.
+    column_cache_hits / column_cache_misses / column_cache_evictions:
+        The trusted machine's decrypted-column cache at work: a hit
+        answers a decrypt request with a pure position gather (zero
+        keystream work), a miss triggers a whole-column fill (when the
+        byte budget admits it), and evictions count columns dropped
+        under LRU pressure.  Counted *after* ``qpf_uses`` is charged,
+        so caching never changes QPF accounting — only wall time.
     wal_records / wal_bytes / wal_fsyncs:
         Durability traffic: refinement-log records appended, framed
         bytes written and ``fsync`` calls issued by every
@@ -86,6 +93,9 @@ class CostCounter:
     mpc_messages: int = 0
     predicate_cache_hits: int = 0
     predicate_cache_misses: int = 0
+    column_cache_hits: int = 0
+    column_cache_misses: int = 0
+    column_cache_evictions: int = 0
     wal_records: int = 0
     wal_bytes: int = 0
     wal_fsyncs: int = 0

@@ -106,6 +106,19 @@ class EncryptedTable:
         pos = self.positions(uids)
         return self._ciphertexts[attribute][pos], uids
 
+    def full_column(self, attribute: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(ciphertext column, nonce uids)`` for *every* stored row.
+
+        Position-aligned: the cell at physical position ``p`` was
+        encrypted with nonce ``uids[p]``, so decrypting the pair
+        whole-column and gathering by :meth:`positions` is bit-identical
+        to any per-request :meth:`ciphertexts_for` decrypt.  This is the
+        bulk path of the trusted machine's decrypted-column cache;
+        callers must treat the result as a frozen snapshot of the
+        current :attr:`version`.
+        """
+        return self._ciphertexts[attribute], self._uids
+
     def column_store(self, attribute: str) -> tuple[np.ndarray, np.ndarray]:
         """``(uid->position lookup, ciphertext column)`` backing arrays.
 

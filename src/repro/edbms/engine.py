@@ -94,12 +94,16 @@ class EncryptedDatabase:
                  qpf_workers: int | None = None,
                  qpf_worker_mode: str = "thread",
                  qpf_latency: CrossingLatency | None = None,
-                 qpf_min_shard_tuples: int | None = None):
+                 qpf_min_shard_tuples: int | None = None,
+                 column_cache_bytes: int | None = None):
         key = generate_key(seed)
         self.owner = DataOwner(key=key)
         self.counter = CostCounter()
+        cache_options = {}
+        if column_cache_bytes is not None:
+            cache_options["column_cache_bytes"] = column_cache_bytes
         if qpf_workers is not None:
-            pool_options = {}
+            pool_options = dict(cache_options)
             if qpf_min_shard_tuples is not None:
                 pool_options["min_shard_tuples"] = qpf_min_shard_tuples
             self._trusted_machine = QPFShardPool(
@@ -107,7 +111,8 @@ class EncryptedDatabase:
                 mode=qpf_worker_mode, latency=qpf_latency, **pool_options)
         else:
             self._trusted_machine = TrustedMachine(key, self.counter,
-                                                   latency=qpf_latency)
+                                                   latency=qpf_latency,
+                                                   **cache_options)
         self.qpf = QueryProcessingFunction(self._trusted_machine)
         self.server = ServiceProvider(self.qpf)
         self.cost_model = cost_model
@@ -178,6 +183,31 @@ class EncryptedDatabase:
             "trusted-machine predicate LRU: hits / lookups",
             callback=lambda: _ratio(counter.predicate_cache_hits,
                                     counter.predicate_cache_misses))
+
+        registry.gauge(
+            "repro_qpf_column_cache_hit_ratio",
+            "trusted-machine decrypted-column cache: hits / lookups",
+            callback=lambda: _ratio(counter.column_cache_hits,
+                                    counter.column_cache_misses))
+        machine = self._trusted_machine
+        registry.gauge(
+            "repro_qpf_column_cache_resident_bytes",
+            "plaintext bytes resident in reachable column caches",
+            callback=lambda: machine.column_cache_stats()["resident_bytes"])
+        registry.gauge(
+            "repro_qpf_column_cache_budget_bytes",
+            "configured decrypted-column cache byte budget",
+            callback=lambda: machine.column_cache_stats()["budget_bytes"])
+
+        from ..core.arena import ARENA
+        registry.gauge(
+            "repro_arena_resident_bytes",
+            "idle scratch bytes pooled in the process-wide BufferArena",
+            callback=lambda: ARENA.resident_bytes)
+        registry.gauge(
+            "repro_arena_reuse_ratio",
+            "BufferArena takes served from the pool / total takes",
+            callback=lambda: ARENA.stats()["reuse_ratio"])
 
         def _equiv(field_name):
             return sum(getattr(index, field_name)
@@ -298,6 +328,17 @@ class EncryptedDatabase:
         close = getattr(self._trusted_machine, "close", None)
         if close is not None:
             close()
+
+    def column_cache_stats(self) -> dict:
+        """Decrypted-column cache statistics of the trusted machine.
+
+        For a shard pool this sums over the in-process worker caches;
+        process/shm workers keep private caches whose hit/miss/eviction
+        tallies still flow back through the shared :class:`CostCounter`
+        (``column_cache_*`` fields), only their resident bytes are
+        invisible here.
+        """
+        return self._trusted_machine.column_cache_stats()
 
     # -- schema / data ------------------------------------------------------ #
 

@@ -47,7 +47,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..crypto.primitives import SecretKey, decrypt_words
+from ..crypto.primitives import SecretKey, decrypt_words, decrypt_words_into
 from ..crypto.trapdoor import (
     BetweenPredicate,
     ComparisonPredicate,
@@ -58,14 +58,146 @@ from .costs import CostCounter
 from .encryption import EncryptedTable, attribute_key
 
 __all__ = ["TrustedMachine", "QueryProcessingFunction", "QPFRequest",
-           "QPFShardPool", "CrossingLatency", "PredicateLRU",
-           "PREDICATE_CACHE_SIZE"]
+           "QPFShardPool", "CrossingLatency", "PredicateLRU", "ColumnCache",
+           "PREDICATE_CACHE_SIZE", "COLUMN_CACHE_BYTES"]
 
 #: Default bound on the number of unsealed predicates an enclave keeps
 #: warm.  Real trusted machines have kilobytes of register space, not
 #: gigabytes; a long-lived server must not let this cache grow with the
 #: total number of distinct trapdoors ever seen.
 PREDICATE_CACHE_SIZE = 128
+
+#: Default byte budget of the trusted machine's decrypted-column cache.
+#: 64 MiB holds ~8M decrypted cells — plenty for the bench tables while
+#: staying a plausible enclave working-set size.  ``column_cache_bytes=0``
+#: disables the cache entirely (every decrypt pays keystream work).
+COLUMN_CACHE_BYTES = 64 * 1024 * 1024
+
+# The scratch-buffer arena is imported lazily: ``repro.core`` imports
+# this module (PRKB is built on the QPF), so a top-level import back
+# into ``repro.core.arena`` would be circular.
+_ARENA = None
+
+
+def _arena():
+    global _ARENA
+    if _ARENA is None:
+        from ..core.arena import ARENA
+        _ARENA = ARENA
+    return _ARENA
+
+
+class ColumnCache:
+    """LRU cache of *decrypted* columns inside the trusted machine.
+
+    Keyed by ``(table name, attribute)`` with the table's
+    :attr:`~repro.edbms.encryption.EncryptedTable.version` stored
+    alongside: a version mismatch on lookup is an invalidation (the
+    stale column is dropped on the spot), so insert/delete bumps can
+    never serve stale plaintext.  ``budget_bytes`` bounds resident
+    plaintext; :meth:`put` evicts least-recently-used columns until the
+    budget holds again, and :meth:`admits` lets callers skip a
+    whole-column decrypt that could never be retained.  The cache lives
+    strictly inside the enclave simulation — the service provider never
+    observes whether a decrypt was served warm, so no new access-pattern
+    leakage is introduced — and since decryption is deterministic, a
+    warm gather is bit-identical to a fresh per-cell decrypt.
+    """
+
+    def __init__(self, budget_bytes: int = COLUMN_CACHE_BYTES):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        self.budget_bytes = int(budget_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.fills = 0
+        self.rejects = 0
+        self._resident = 0
+        # (table name, attribute) -> (table version, plaintext int64)
+        self._entries: "OrderedDict[tuple[str, str], tuple[int, np.ndarray]]" \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of decrypted plaintext currently held."""
+        return self._resident
+
+    def admits(self, nbytes: int) -> bool:
+        """Whether a column of ``nbytes`` could be retained at all."""
+        return 0 < nbytes <= self.budget_bytes
+
+    def get(self, table_name: str, attribute: str,
+            version: int) -> np.ndarray | None:
+        """The cached plaintext column, or ``None`` (miss / stale).
+
+        A version mismatch drops the stale entry immediately and counts
+        as both an invalidation and a miss.
+        """
+        key = (table_name, attribute)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_version, column = entry
+        if cached_version != version:
+            self.invalidations += 1
+            self.misses += 1
+            self._resident -= column.nbytes
+            del self._entries[key]
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return column
+
+    def put(self, table_name: str, attribute: str, version: int,
+            column: np.ndarray) -> int:
+        """Retain a freshly decrypted column; returns evictions made.
+
+        Columns over budget are rejected outright (``rejects``); an
+        admitted column evicts LRU entries until ``resident_bytes``
+        respects the budget again.
+        """
+        if not self.admits(column.nbytes):
+            self.rejects += 1
+            return 0
+        key = (table_name, attribute)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._resident -= old[1].nbytes
+        self._entries[key] = (version, column)
+        self._resident += column.nbytes
+        self.fills += 1
+        evicted = 0
+        while self._resident > self.budget_bytes:
+            __, (___, stale) = self._entries.popitem(last=False)
+            self._resident -= stale.nbytes
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every cached column (tallies remain)."""
+        self._entries.clear()
+        self._resident = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction tallies plus current residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "fills": self.fills,
+            "rejects": self.rejects,
+            "columns": len(self._entries),
+            "resident_bytes": self._resident,
+            "budget_bytes": self.budget_bytes,
+        }
 
 
 class PredicateLRU:
@@ -171,7 +303,8 @@ class TrustedMachine:
 
     def __init__(self, key: SecretKey, counter: CostCounter | None = None,
                  predicate_cache_size: int = PREDICATE_CACHE_SIZE,
-                 latency: CrossingLatency | None = None):
+                 latency: CrossingLatency | None = None,
+                 column_cache_bytes: int = COLUMN_CACHE_BYTES):
         self._key = key
         self.counter = counter if counter is not None else CostCounter()
         self._predicate_cache = PredicateLRU(predicate_cache_size)
@@ -180,6 +313,9 @@ class TrustedMachine:
         # schema (#tables x #attributes), so no LRU is needed; saves one
         # HMAC per crossing on the decrypt hot path.
         self._subkey_cache: dict[tuple[str, str], SecretKey] = {}
+        #: Decrypted-column cache: warm decrypts are pure position
+        #: gathers.  ``column_cache_bytes=0`` disables it.
+        self._column_cache = ColumnCache(column_cache_bytes)
 
     def _plain_predicate(self, trapdoor: EncryptedPredicate):
         """Unseal (and memoise) the plaintext predicate of a trapdoor.
@@ -204,17 +340,90 @@ class TrustedMachine:
         self.counter.parallel_wall_roundtrips += 1
         self.counter.parallel_wall_qpf_uses += tuples
         if self._latency is not None:
-            time.sleep(self._latency.delay(tuples))
+            delay = self._latency.delay(tuples)
+            if delay > 0.0:
+                # A zero-delay sleep still pays a syscall per crossing,
+                # which dominates hot benches with latency emulation
+                # attached but configured to zero.
+                time.sleep(delay)
+
+    def _subkey(self, table_name: str, attribute: str) -> SecretKey:
+        cache_key = (table_name, attribute)
+        subkey = self._subkey_cache.get(cache_key)
+        if subkey is None:
+            subkey = attribute_key(self._key, table_name, attribute)
+            self._subkey_cache[cache_key] = subkey
+        return subkey
 
     def _decrypt_cells(self, table: EncryptedTable, attribute: str,
                        uids: np.ndarray) -> np.ndarray:
-        cache_key = (table.name, attribute)
-        subkey = self._subkey_cache.get(cache_key)
-        if subkey is None:
-            subkey = attribute_key(self._key, table.name, attribute)
-            self._subkey_cache[cache_key] = subkey
+        # Warm path: a cached decrypted column turns the request into a
+        # pure position gather — zero keystream work.  Version-keyed, so
+        # any insert/delete invalidates on the next lookup; tables
+        # without a version counter (e.g. the MPC backend's shares)
+        # bypass the cache entirely.
+        version = getattr(table, "version", None)
+        if version is not None and self._column_cache.budget_bytes:
+            column = self._column_cache.get(table.name, attribute, version)
+            if column is not None:
+                self.counter.column_cache_hits += 1
+            else:
+                self.counter.column_cache_misses += 1
+                column = self._fill_column(table, attribute, version)
+            if column is not None:
+                return column[table.positions(uids)]
         ciphertexts, nonces = table.ciphertexts_for(attribute, uids)
+        subkey = self._subkey(table.name, attribute)
         return decrypt_words(subkey, ciphertexts, nonces).view(np.int64)
+
+    def _fill_column(self, table, attribute: str,
+                     version: int) -> np.ndarray | None:
+        """Whole-column decrypt into the cache (``None`` if not cachable).
+
+        Uses the bulk in-place keystream path
+        (:func:`~repro.crypto.primitives.decrypt_words_into`) with arena
+        scratch for the shift temporaries; only the retained plaintext
+        column is freshly allocated.  Admission is checked *before*
+        decrypting, so an over-budget column costs nothing here and
+        simply stays on the per-request path.
+        """
+        full = getattr(table, "full_column", None)
+        if full is None:
+            return None
+        ciphertexts, nonces = full(attribute)
+        if not self._column_cache.admits(ciphertexts.nbytes):
+            return None
+        plain = np.empty(ciphertexts.size, dtype=np.uint64)
+        with _arena().scope() as scratch:
+            decrypt_words_into(self._subkey(table.name, attribute),
+                               ciphertexts, nonces, plain,
+                               scratch.take(plain.size, np.uint64))
+        column = plain.view(np.int64)
+        self.counter.column_cache_evictions += self._column_cache.put(
+            table.name, attribute, version, column)
+        return column
+
+    def prime_column(self, table, attribute: str) -> bool:
+        """Warm the decrypted-column cache without evaluating anything.
+
+        Spends *zero* QPF (metering is per tuple evaluation, and no
+        tuple is evaluated here) — this is purely a wall-clock warm-up
+        hook for servers that know their hot columns.  Returns whether
+        the column is now resident; ``False`` when the cache is
+        disabled, the table is unversioned, or the column exceeds the
+        byte budget.
+        """
+        version = getattr(table, "version", None)
+        if version is None or not self._column_cache.budget_bytes:
+            return False
+        if self._column_cache.get(table.name, attribute,
+                                  version) is not None:
+            return True
+        return self._fill_column(table, attribute, version) is not None
+
+    def column_cache_stats(self) -> dict:
+        """Live :meth:`ColumnCache.stats` of this machine's cache."""
+        return self._column_cache.stats()
 
     def evaluate(self, trapdoor: EncryptedPredicate, table: EncryptedTable,
                  uid: int) -> bool:
@@ -280,23 +489,27 @@ class TrustedMachine:
             else:
                 predicates.append(None)
                 results.append(empty)
-        for (__, attribute), positions in groups.items():
-            if len(positions) == 1:
-                request = requests[positions[0]]
-                values = self._decrypt_cells(request.table, attribute,
-                                             request.uids)
-                results[positions[0]] = _evaluate_plain(
-                    predicates[positions[0]], values)
-                continue
-            parts = [requests[p].uids for p in positions]
-            values = self._decrypt_cells(requests[positions[0]].table,
-                                         attribute, np.concatenate(parts))
-            offset = 0
-            for position, part in zip(positions, parts):
-                stop = offset + int(part.size)
-                results[position] = _evaluate_plain(predicates[position],
-                                                    values[offset:stop])
-                offset = stop
+        with _arena().scope() as scratch:
+            for (__, attribute), positions in groups.items():
+                if len(positions) == 1:
+                    request = requests[positions[0]]
+                    values = self._decrypt_cells(request.table, attribute,
+                                                 request.uids)
+                    results[positions[0]] = _evaluate_plain(
+                        predicates[positions[0]], values)
+                    continue
+                parts = [requests[p].uids for p in positions]
+                fused = scratch.take(sum(int(p.size) for p in parts),
+                                     np.uint64)
+                np.concatenate(parts, out=fused)
+                values = self._decrypt_cells(requests[positions[0]].table,
+                                             attribute, fused)
+                offset = 0
+                for position, part in zip(positions, parts):
+                    stop = offset + int(part.size)
+                    results[position] = _evaluate_plain(
+                        predicates[position], values[offset:stop])
+                    offset = stop
         return results  # type: ignore[return-value]
 
 
@@ -324,11 +537,18 @@ _PROCESS_MACHINE: TrustedMachine | None = None
 
 
 def _process_shard_init(key: SecretKey, predicate_cache_size: int,
-                        latency: CrossingLatency | None) -> None:
-    """Process-pool initializer: one private enclave per worker process."""
+                        latency: CrossingLatency | None,
+                        column_cache_bytes: int = COLUMN_CACHE_BYTES) -> None:
+    """Process-pool initializer: one private enclave per worker process.
+
+    Each worker enclave carries its own decrypted-column cache; its
+    hit/miss/eviction tallies travel back to the parent inside the
+    per-shard :class:`CostCounter` snapshots.
+    """
     global _PROCESS_MACHINE
     _PROCESS_MACHINE = TrustedMachine(
-        key, CostCounter(), predicate_cache_size, latency=latency)
+        key, CostCounter(), predicate_cache_size, latency=latency,
+        column_cache_bytes=column_cache_bytes)
 
 
 def _process_shard_eval(requests: list[QPFRequest]
@@ -356,32 +576,62 @@ def _process_shard_eval(requests: list[QPFRequest]
 class _ShmColumnMirror:
     """Worker-side stand-in for one encrypted column of a table.
 
-    Implements exactly the surface ``TrustedMachine._decrypt_cells``
-    touches (``.name`` and ``ciphertexts_for``); the cell nonce is the
-    row uid, as in the real :class:`~.encryption.EncryptedTable`.
+    Implements the surface ``TrustedMachine._decrypt_cells`` touches
+    (``.name``, ``.version``, ``ciphertexts_for``, ``positions`` and
+    ``full_column``); the cell nonce is the row uid, as in the real
+    :class:`~.encryption.EncryptedTable`.  Carrying the exported table
+    version lets each worker's decrypted-column cache key warm columns
+    exactly like the parent: a republished (version-bumped) export gets
+    a new mirror, whose first decrypt misses and refills.
     """
 
-    __slots__ = ("name", "_lookup", "_cipher", "_blocks")
+    __slots__ = ("name", "version", "_lookup", "_cipher", "_blocks",
+                 "_uids")
 
-    def __init__(self, name, lookup, cipher, blocks):
+    def __init__(self, name, version, lookup, cipher, blocks):
         self.name = name
+        self.version = version
         self._lookup = lookup
         self._cipher = cipher
         self._blocks = blocks
+        self._uids = None
+
+    def positions(self, uids: np.ndarray) -> np.ndarray:
+        """Physical positions of the given uids (raises on unknown uid)."""
+        uids = np.asarray(uids, dtype=np.uint64)
+        if uids.size and int(uids.max()) >= self._lookup.size:
+            raise KeyError("unknown uid in shared-memory shard payload")
+        positions = self._lookup[uids]
+        if positions.size and int(positions.min()) < 0:
+            raise KeyError("unknown uid in shared-memory shard payload")
+        return positions
 
     def ciphertexts_for(self, attribute: str, uids: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:
         uids = np.asarray(uids, dtype=np.uint64)
-        positions = self._lookup[uids]
-        if positions.size and int(positions.min()) < 0:
-            raise KeyError("unknown uid in shared-memory shard payload")
-        return self._cipher[positions], uids
+        return self._cipher[self.positions(uids)], uids
+
+    def full_column(self, attribute: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(ciphertext column, nonce uids)`` in position order.
+
+        The export ships only the ``uid -> position`` lookup, so the
+        position-aligned uid array (the cell nonces) is reconstructed
+        once by inverting it and memoised for the mirror's lifetime —
+        one version, one inversion.
+        """
+        if self._uids is None:
+            present = np.flatnonzero(self._lookup >= 0)
+            uids = np.empty(self._cipher.size, dtype=np.uint64)
+            uids[self._lookup[present]] = present.astype(np.uint64)
+            self._uids = uids
+        return self._cipher, self._uids
 
     def close(self) -> None:
         # Drop the array views first: SharedMemory refuses to unmap
         # while buffer exports are alive.
         self._lookup = None
         self._cipher = None
+        self._uids = None
         for block in self._blocks:
             block.close()
 
@@ -441,7 +691,7 @@ def _shm_mirror(spec: tuple) -> _ShmColumnMirror:
     cipher_blk = _shm_attach(cipher_name)
     lookup = np.ndarray((lookup_len,), dtype=np.int64, buffer=lookup_blk.buf)
     cipher = np.ndarray((cipher_len,), dtype=np.uint64, buffer=cipher_blk.buf)
-    mirror = _ShmColumnMirror(table_name, lookup, cipher,
+    mirror = _ShmColumnMirror(table_name, version, lookup, cipher,
                               (lookup_blk, cipher_blk))
     _SHM_COLUMNS[key] = (version, mirror)
     return mirror
@@ -518,7 +768,8 @@ class QPFShardPool:
                  num_workers: int = 2, mode: str = "thread",
                  predicate_cache_size: int = PREDICATE_CACHE_SIZE,
                  latency: CrossingLatency | None = None,
-                 min_shard_tuples: int = 64):
+                 min_shard_tuples: int = 64,
+                 column_cache_bytes: int = COLUMN_CACHE_BYTES):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         if mode not in ("thread", "process", "shm"):
@@ -534,9 +785,11 @@ class QPFShardPool:
         self._key = key
         self._predicate_cache_size = predicate_cache_size
         self._latency = latency
+        self._column_cache_bytes = column_cache_bytes
         self._workers = [
             TrustedMachine(key, CostCounter(), predicate_cache_size,
-                           latency=latency)
+                           latency=latency,
+                           column_cache_bytes=column_cache_bytes)
             for _ in range(num_workers)
         ]
         self._thread_executor: ThreadPoolExecutor | None = None
@@ -562,7 +815,7 @@ class QPFShardPool:
                 max_workers=self.num_workers,
                 initializer=_process_shard_init,
                 initargs=(self._key, self._predicate_cache_size,
-                          self._latency))
+                          self._latency, self._column_cache_bytes))
         return self._process_executor
 
     def close(self) -> None:
@@ -603,6 +856,39 @@ class QPFShardPool:
         spent = worker.counter.snapshot()
         worker.counter.reset()
         return spent
+
+    # -- decrypted-column cache ------------------------------------------- #
+
+    def prime_column(self, table, attribute: str) -> bool:
+        """Warm every *in-process* worker's decrypted-column cache.
+
+        Thread-mode shards (and the first worker, which also answers
+        small payloads in every mode) are filled directly; process/shm
+        worker enclaves are out of reach from here and warm themselves
+        on their first decrypt of the column.  Spends zero QPF; returns
+        whether at least one cache now holds the column.
+        """
+        primed = False
+        for worker in self._workers:
+            primed = worker.prime_column(table, attribute) or primed
+        return primed
+
+    def column_cache_stats(self) -> dict:
+        """Aggregate :meth:`ColumnCache.stats` over in-process workers.
+
+        Tallies and residency are summed across the pool's thread-mode
+        machines; ``budget_bytes`` is per worker, not a pool total.
+        Process/shm worker enclaves only report their tallies through
+        the shared :class:`CostCounter` (``column_cache_*`` fields) —
+        their residency is not visible from the parent.
+        """
+        totals: dict = {}
+        for worker in self._workers:
+            for key, value in worker.column_cache_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        totals["budget_bytes"] = self._column_cache_bytes
+        totals["workers"] = len(self._workers)
+        return totals
 
     # -- shared-memory column exports (mode="shm") ------------------------ #
 

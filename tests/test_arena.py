@@ -1,0 +1,158 @@
+"""Unit tests for the scratch-buffer arena (`repro.core.arena`)."""
+
+import numpy as np
+
+from repro.core.arena import ARENA, BufferArena, DEFAULT_ARENA_BYTES
+
+
+class TestTake:
+    def test_exact_length_and_dtype(self):
+        arena = BufferArena()
+        buf = arena.take(5, np.int64)
+        assert buf.shape == (5,)
+        assert buf.dtype == np.int64
+
+    def test_zero_length_is_unpooled(self):
+        arena = BufferArena()
+        buf = arena.take(0, np.uint64)
+        assert buf.size == 0
+        arena.give(buf)
+        assert arena.takes == 0
+        assert arena.resident_bytes == 0
+
+    def test_backed_by_power_of_two_block(self):
+        arena = BufferArena()
+        buf = arena.take(100, np.uint64)
+        assert buf.base is not None
+        assert buf.base.size == 128
+
+    def test_negative_count_rejected(self):
+        arena = BufferArena()
+        try:
+            arena.take(-1, np.int64)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+
+class TestReuse:
+    def test_give_then_take_reuses_block(self):
+        arena = BufferArena()
+        first = arena.take(100, np.uint64)
+        block_id = id(first.base)
+        arena.give(first)
+        assert arena.resident_bytes == 128 * 8
+        second = arena.take(90, np.uint64)
+        assert id(second.base) == block_id
+        assert arena.reuses == 1
+        assert arena.allocations == 1
+        assert arena.resident_bytes == 0
+
+    def test_different_dtypes_do_not_mix(self):
+        arena = BufferArena()
+        buf = arena.take(16, np.int64)
+        arena.give(buf)
+        other = arena.take(16, np.float64)
+        assert other.dtype == np.float64
+        assert arena.reuses == 0
+
+    def test_double_give_ignored(self):
+        arena = BufferArena()
+        buf = arena.take(20, np.int64)
+        arena.give(buf)
+        resident = arena.resident_bytes
+        arena.give(buf)
+        assert arena.resident_bytes == resident
+        a = arena.take(20, np.int64)
+        b = arena.take(20, np.int64)
+        assert id(a.base) != id(b.base)
+
+
+class TestBudget:
+    def test_over_budget_release_drops_block(self):
+        arena = BufferArena(budget_bytes=100)
+        buf = arena.take(64, np.uint64)  # 512-byte block
+        arena.give(buf)
+        assert arena.drops == 1
+        assert arena.resident_bytes == 0
+
+    def test_residency_never_exceeds_budget(self):
+        arena = BufferArena(budget_bytes=4 * 128 * 8)
+        buffers = [arena.take(128, np.uint64) for _ in range(8)]
+        for buf in buffers:
+            arena.give(buf)
+        assert arena.resident_bytes <= arena.budget_bytes
+        assert arena.drops == 4
+
+    def test_negative_budget_rejected(self):
+        try:
+            BufferArena(budget_bytes=-1)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+
+class TestScope:
+    def test_scope_releases_on_exit(self):
+        arena = BufferArena()
+        with arena.scope() as scratch:
+            scratch.take(50, np.int8)
+            scratch.take(200, np.uint64)
+            assert arena.resident_bytes == 0
+        assert arena.resident_bytes == 64 + 256 * 8
+
+    def test_scope_releases_on_error(self):
+        arena = BufferArena()
+        try:
+            with arena.scope() as scratch:
+                scratch.take(50, np.int64)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert arena.resident_bytes == 64 * 8
+
+    def test_release_is_idempotent(self):
+        arena = BufferArena()
+        with arena.scope() as scratch:
+            scratch.take(10, np.int64)
+        scratch.release()
+        assert arena.resident_bytes == _MIN_BLOCK_BYTES_I64
+
+    def test_nested_scopes_release_independently(self):
+        arena = BufferArena()
+        with arena.scope() as outer:
+            outer.take(100, np.uint64)
+            with arena.scope() as inner:
+                inner.take(100, np.int64)
+            # inner released its int64 block; outer still holds uint64.
+            assert arena.resident_bytes == 128 * 8
+        assert arena.resident_bytes == 2 * 128 * 8
+
+
+_MIN_BLOCK_BYTES_I64 = 16 * 8
+
+
+class TestStatsAndClear:
+    def test_stats_keys_and_ratio(self):
+        arena = BufferArena()
+        buf = arena.take(10, np.int64)
+        arena.give(buf)
+        arena.take(10, np.int64)
+        stats = arena.stats()
+        assert stats["takes"] == 2
+        assert stats["reuses"] == 1
+        assert stats["allocations"] == 1
+        assert stats["reuse_ratio"] == 0.5
+        assert stats["budget_bytes"] == DEFAULT_ARENA_BYTES
+
+    def test_clear_drops_idle_blocks(self):
+        arena = BufferArena()
+        arena.give(arena.take(100, np.uint64))
+        arena.clear()
+        assert arena.resident_bytes == 0
+        assert arena.take(100, np.uint64).size == 100
+        assert arena.reuses == 0
+
+    def test_module_singleton_exists(self):
+        assert isinstance(ARENA, BufferArena)
+        assert ARENA.budget_bytes == DEFAULT_ARENA_BYTES

@@ -1,0 +1,166 @@
+"""Property tests for the decrypted-column cache and bulk keystream path.
+
+Pinned invariants:
+
+* the in-place bulk keystream/decrypt variants
+  (:func:`~repro.crypto.primitives.prf_words_into` /
+  :func:`~repro.crypto.primitives.decrypt_words_into`) are bit-identical
+  to their allocating counterparts for every payload size, scratch or no
+  scratch; and
+* a warm :class:`~repro.edbms.qpf.TrustedMachine` (column cache on, any
+  byte budget — including one too small to hold a single column) gives
+  bit-identical ``evaluate_batch`` / ``evaluate_many`` answers to a cold
+  machine across arbitrary interleavings of inserts, deletes and
+  queries.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primitives import (
+    decrypt_words,
+    decrypt_words_into,
+    generate_key,
+    prf_words,
+    prf_words_into,
+)
+from repro.edbms.costs import CostCounter
+from repro.edbms.owner import DataOwner
+from repro.edbms.qpf import QPFRequest, TrustedMachine
+from repro.workloads import uniform_table
+
+_WORDS = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestBulkKeystream:
+    @given(st.lists(_WORDS, max_size=300), st.integers(0, 2**32),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_prf_words_into_matches_prf_words(self, nonces, seed,
+                                              with_scratch):
+        key = generate_key(seed)
+        nonces = np.asarray(nonces, dtype=np.uint64)
+        out = np.empty_like(nonces)
+        scratch = np.empty_like(nonces) if with_scratch else None
+        prf_words_into(key, nonces, out, scratch)
+        assert np.array_equal(out, prf_words(key, nonces))
+
+    @given(st.lists(st.tuples(_WORDS, _WORDS), max_size=200),
+           st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_decrypt_words_into_matches_decrypt_words(self, cells, seed):
+        key = generate_key(seed)
+        ciphertexts = np.asarray([c for c, _ in cells], dtype=np.uint64)
+        nonces = np.asarray([n for _, n in cells], dtype=np.uint64)
+        out = np.empty_like(nonces)
+        decrypt_words_into(key, ciphertexts, nonces, out)
+        assert np.array_equal(out, decrypt_words(key, ciphertexts, nonces))
+
+    def test_rejects_misshapen_out(self):
+        key = generate_key(0)
+        nonces = np.arange(4, dtype=np.uint64)
+        try:
+            prf_words_into(key, nonces, np.empty(3, dtype=np.uint64))
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"),
+                  st.lists(st.integers(1, 9_999), min_size=1, max_size=8)),
+        st.tuples(st.just("delete"), st.integers(0, 2**31)),
+        st.tuples(st.just("query"), st.integers(1, 10_000),
+                  st.integers(0, 2**31)),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+def _build(seed, budget):
+    plain = uniform_table("t", 60, ["X", "Y"], domain=(1, 10_000),
+                          seed=seed)
+    owner = DataOwner(key=generate_key(seed))
+    table = owner.encrypt_table(plain)
+    warm = TrustedMachine(owner.key, CostCounter(),
+                          column_cache_bytes=budget)
+    cold = TrustedMachine(owner.key, CostCounter(), column_cache_bytes=0)
+    return owner, table, warm, cold
+
+
+def _apply_ops(owner, table, warm, cold, ops, budget_label):
+    """Replay ops against one shared table, comparing warm vs cold."""
+    for op in ops:
+        live = table.uids
+        if op[0] == "insert":
+            values = np.asarray(op[1], dtype=np.int64)
+            uids = table.allocate_uids(values.size)
+            from repro.crypto.primitives import encrypt_words
+            from repro.edbms.encryption import attribute_key
+            table.insert_rows(uids, {
+                attr: encrypt_words(
+                    attribute_key(owner.key, "t", attr),
+                    values.view(np.uint64), uids)
+                for attr in ("X", "Y")
+            })
+        elif op[0] == "delete":
+            if live.size == 0:
+                continue
+            rng = np.random.default_rng(op[1])
+            count = int(rng.integers(1, min(6, live.size) + 1))
+            table.delete_rows(rng.choice(live, size=count, replace=False))
+        else:
+            if live.size == 0:
+                continue
+            __, constant, subset_seed = op
+            rng = np.random.default_rng(subset_seed)
+            subset = rng.choice(
+                live, size=int(rng.integers(1, live.size + 1)),
+                replace=False)
+            requests = [
+                QPFRequest(owner.comparison_trapdoor("X", "<", constant),
+                           table, subset),
+                QPFRequest(owner.comparison_trapdoor("Y", ">",
+                                                     constant // 2),
+                           table, live.copy()),
+            ]
+            got_batch = warm.evaluate_batch(requests[0].trapdoor, table,
+                                            subset)
+            want_batch = cold.evaluate_batch(requests[0].trapdoor, table,
+                                             subset)
+            assert np.array_equal(got_batch, want_batch), budget_label
+            got_many = warm.evaluate_many(requests)
+            want_many = cold.evaluate_many(requests)
+            for got, want in zip(got_many, want_many):
+                assert np.array_equal(got, want), budget_label
+    assert warm.counter.qpf_uses == cold.counter.qpf_uses
+
+
+class TestWarmColdEquivalence:
+    @given(_OPS, st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_default_budget(self, ops, seed):
+        owner, table, warm, cold = _build(seed, 64 * 1024 * 1024)
+        _apply_ops(owner, table, warm, cold, ops, "default budget")
+
+    @given(_OPS, st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_eviction_pressure_budget_below_one_column(self, ops, seed):
+        # 60 rows * 8 bytes = 480 bytes/column; a 256-byte budget can
+        # never retain a full column, so every fill is rejected and the
+        # machine must silently stay on the per-request path.
+        owner, table, warm, cold = _build(seed, 256)
+        _apply_ops(owner, table, warm, cold, ops, "starved budget")
+        assert warm.column_cache_stats()["resident_bytes"] == 0
+
+    @given(_OPS, st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_eviction_pressure_budget_one_and_a_half_columns(self, ops,
+                                                             seed):
+        # Room for one of the two columns at a time: X and Y queries
+        # continuously evict each other while staying exact.
+        owner, table, warm, cold = _build(seed, 720)
+        _apply_ops(owner, table, warm, cold, ops, "thrashing budget")
+        stats = warm.column_cache_stats()
+        assert stats["resident_bytes"] <= stats["budget_bytes"]

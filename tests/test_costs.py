@@ -45,6 +45,8 @@ class TestCostCounter:
                           "tuples_retrieved", "comparisons",
                           "index_updates", "mpc_messages",
                           "predicate_cache_hits", "predicate_cache_misses",
+                          "column_cache_hits", "column_cache_misses",
+                          "column_cache_evictions",
                           "wal_records", "wal_bytes", "wal_fsyncs",
                           "checkpoints_written",
                           "recovery_records_replayed",
