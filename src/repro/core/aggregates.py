@@ -103,8 +103,8 @@ class AggregateResolver:
     def _decrypt_candidates(self, candidates: np.ndarray) -> np.ndarray:
         """Decrypt candidate cells inside the TM, charging QPF-like cost."""
         counter = self.index.qpf.counter
-        counter.qpf_uses += int(candidates.size)
-        counter.tuples_retrieved += int(candidates.size)
+        counter.charge(qpf_uses=int(candidates.size),
+                       tuples_retrieved=int(candidates.size))
         return decrypt_column(self._key, self.index.table,
                               self.index.attribute, candidates)
 

@@ -202,7 +202,8 @@ class MultiDimensionProcessor:
             if winners is None:
                 winners = part
             else:
-                self._qpf.counter.comparisons += winners.size + part.size
+                self._qpf.counter.charge(
+                    comparisons=int(winners.size + part.size))
                 winners = np.intersect1d(winners, part, assume_unique=True)
         for index in self.indexes.values():
             index.commit_journal()
@@ -237,7 +238,8 @@ class MultiDimensionProcessor:
                                               status_of, scratch)
             if update and self.update_policy == "complete-partition":
                 self._refine(contexts)
-        self._qpf.counter.comparisons += free_winners.size + survivors.size
+        self._qpf.counter.charge(
+            comparisons=int(free_winners.size + survivors.size))
         for index in self.indexes.values():
             index.commit_journal()
         if survivors.size == 0:
@@ -370,7 +372,8 @@ class MultiDimensionProcessor:
             ns_union = np.unique(fused)
         else:
             ns_union = _EMPTY
-        self._qpf.counter.comparisons += int(ns_union.size) * len(query)
+        self._qpf.counter.charge(
+            comparisons=int(ns_union.size) * len(query))
         keep = scratch.take(ns_union.size, np.bool_)
         keep.fill(True)
         ordinals_of: dict[int, np.ndarray] = {}

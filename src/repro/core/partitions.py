@@ -48,6 +48,8 @@ outstanding views are never corrupted).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Partition", "PartialOrderPartitions", "ChainView"]
@@ -142,6 +144,11 @@ class PartialOrderPartitions:
         if members.size:
             self._slot_of_uid[members] = 0
         self._slot_ordinals: np.ndarray | None = None
+        #: Serializes the lazy buffer/ordinal rebuilds so that concurrent
+        #: snapshot readers (holding the owning index's read lock) never
+        #: observe a half-built table; structural mutations stay guarded
+        #: by the index write lock above this layer.
+        self._rebuild_lock = threading.Lock()
 
     @classmethod
     def from_segments(cls, members: np.ndarray,
@@ -176,6 +183,7 @@ class PartialOrderPartitions:
         self._next_slot = len(self._chain)
         self._buffer = members.copy()
         self._offsets = offsets.copy()
+        self._rebuild_lock = threading.Lock()
         return self
 
     # ------------------------------------------------------------------ #
@@ -264,12 +272,15 @@ class PartialOrderPartitions:
     def _ensure_ordinals(self) -> None:
         if self._slot_ordinals is not None:
             return
-        if self._next_slot > max(64, 8 * len(self._chain)):
-            self._compact_slots()
-        table = np.full(self._next_slot, -1, dtype=np.int64)
-        for position, partition in enumerate(self._chain):
-            table[partition.slot] = position
-        self._slot_ordinals = table
+        with self._rebuild_lock:
+            if self._slot_ordinals is not None:
+                return
+            if self._next_slot > max(64, 8 * len(self._chain)):
+                self._compact_slots()
+            table = np.full(self._next_slot, -1, dtype=np.int64)
+            for position, partition in enumerate(self._chain):
+                table[partition.slot] = position
+            self._slot_ordinals = table
 
     def ordinals_of_uids(self, uids: np.ndarray,
                          out: np.ndarray | None = None) -> np.ndarray:
@@ -306,23 +317,37 @@ class PartialOrderPartitions:
         """(Re)build the contiguous uid buffer and its prefix sums."""
         if self._buffer is not None:
             return
-        total = self.num_tuples
-        buffer = np.empty(total, dtype=np.uint64)
-        offsets = np.empty(len(self._chain) + 1, dtype=np.int64)
-        offsets[0] = 0
-        cursor = 0
-        for i, partition in enumerate(self._chain):
-            members = partition.uids
-            buffer[cursor:cursor + members.size] = members
-            cursor += members.size
-            offsets[i + 1] = cursor
-        self._buffer = buffer
-        self._offsets = offsets
+        with self._rebuild_lock:
+            if self._buffer is not None:
+                return
+            total = self.num_tuples
+            buffer = np.empty(total, dtype=np.uint64)
+            offsets = np.empty(len(self._chain) + 1, dtype=np.int64)
+            offsets[0] = 0
+            cursor = 0
+            for i, partition in enumerate(self._chain):
+                members = partition.uids
+                buffer[cursor:cursor + members.size] = members
+                cursor += members.size
+                offsets[i + 1] = cursor
+            # Publish offsets first: readers test ``_buffer`` for
+            # doneness, so it must become non-None last.
+            self._offsets = offsets
+            self._buffer = buffer
 
     def _drop_buffer(self) -> None:
         """Discard the buffer (tuple-set changed); rebuilt lazily anew."""
         self._buffer = None
         self._offsets = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_rebuild_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rebuild_lock = threading.Lock()
 
     @property
     def offsets(self) -> np.ndarray:

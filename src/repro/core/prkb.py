@@ -30,6 +30,7 @@ skipped harmlessly if a sibling query already split the same partition.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
@@ -38,6 +39,7 @@ import numpy as np
 from ..crypto.trapdoor import EncryptedPredicate
 from ..edbms.encryption import EncryptedTable
 from ..edbms.qpf import QPFRequest, QueryProcessingFunction
+from .locks import SnapshotLock
 from .partitions import ChainView, PartialOrderPartitions, Partition
 
 __all__ = ["PRKBIndex", "QFilterOutcome", "QScanOutcome", "SelectionResult",
@@ -285,6 +287,18 @@ class PRKBIndex:
         self.cap_policy = cap_policy
         self.early_stop = early_stop
         self._rng = np.random.default_rng(seed)
+        # Snapshot-read protocol (see repro/serve + DESIGN.md): concurrent
+        # selections hold ``lock.read()`` while they freeze a ChainView and
+        # drive their pipelines; refinement commits, journal commits and
+        # table-update mutations hold ``lock.write()``, so splits (and
+        # their WAL records) publish atomically between reads.  The small
+        # mutexes guard the sampling RNG (numpy Generators are not
+        # thread-safe) and the Python-side caches/tallies that concurrent
+        # *readers* may touch.  All uncontended costs are sub-microsecond,
+        # so single-threaded paths keep their performance profile.
+        self.lock = SnapshotLock()
+        self._rng_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         # Durability journal (attached by the durability manager); must be
         # set before the first `self.pop = ...` so the setter can consult it.
         self._journal = None
@@ -339,10 +353,14 @@ class PRKBIndex:
         """Close the current journal transaction, if a journal is attached.
 
         Idempotent and free when nothing happened since the last commit
-        (no structural ops and an unchanged RNG state).
+        (no structural ops and an unchanged RNG state).  Runs under the
+        index write lock (reentrant), so commit records land in the WAL
+        strictly after the structural records of the transaction they
+        close — ordering holds under concurrent serving too.
         """
         if self._journal is not None:
-            self._journal.commit()
+            with self.lock.write():
+                self._journal.commit()
 
     def rng_state(self) -> dict:
         """The sampling RNG's serializable state (checkpoint/commit use)."""
@@ -432,9 +450,10 @@ class PRKBIndex:
     def _note_query(self, qpf_uses: int, ns_width: int,
                     split_planned: bool, was_equivalent: bool) -> None:
         """Append one query outcome to the bounded health history."""
-        self._history.append(
-            (qpf_uses, ns_width, split_planned, was_equivalent))
-        self._queries_noted += 1
+        with self._stats_lock:
+            self._history.append(
+                (qpf_uses, ns_width, split_planned, was_equivalent))
+            self._queries_noted += 1
 
     def observed_scan_stats(self) -> tuple[int, int]:
         """``(queries_observed, p90 NS-scan width)`` for the estimator.
@@ -565,9 +584,10 @@ class PRKBIndex:
         if k == 1:
             # No samples needed: the single partition is the NS "pair".
             return QFilterOutcome(_EMPTY, (0,), False, None, None)
-        endpoints = np.asarray(
-            [view[0].sample(self._rng), view[k - 1].sample(self._rng)],
-            dtype=np.uint64)
+        with self._rng_lock:
+            endpoints = np.asarray(
+                [view[0].sample(self._rng), view[k - 1].sample(self._rng)],
+                dtype=np.uint64)
         labels = yield QPFRequest(trapdoor, self.table, endpoints)
         label_first, label_last = bool(labels[0]), bool(labels[1])
         if label_first == label_last:
@@ -585,7 +605,9 @@ class PRKBIndex:
         a, b = 0, k - 1
         while b - a > 1:
             m = (a + b) // 2
-            probe = np.asarray([view[m].sample(self._rng)], dtype=np.uint64)
+            with self._rng_lock:
+                probe = np.asarray([view[m].sample(self._rng)],
+                                   dtype=np.uint64)
             labels = yield QPFRequest(trapdoor, self.table, probe)
             if bool(labels[0]) == label_first:
                 a = m
@@ -729,23 +751,28 @@ class PRKBIndex:
         """Apply a planned split to the live chain; False when skipped.
 
         Skips when the target partition is no longer in the chain (a
-        sibling query in the same batch window split it first) or when
-        the partition cap forbids growth.
+        sibling query in the same batch window — or a concurrent session
+        — split it first) or when the partition cap forbids growth.
+        Commits always run under the index write lock (reentrant when
+        the caller already holds it), so a refinement publishes
+        atomically with respect to snapshot readers.
         """
-        try:
-            index = self.pop.index_of(deferred.partition)
-        except KeyError:
-            return False  # refinement superseded; knowledge not lost long
-        if not self.can_grow:
-            if self.cap_policy != "rotate":
+        with self.lock.write():
+            try:
+                index = self.pop.index_of(deferred.partition)
+            except KeyError:
+                # refinement superseded; knowledge not lost long
                 return False
-            rotated = self._make_room(protect=index)
-            if rotated is None:
-                return False
-            index = rotated
-        self.apply_split(deferred.trapdoor, index, deferred.true_uids,
-                         deferred.false_uids, deferred.first_label)
-        return True
+            if not self.can_grow:
+                if self.cap_policy != "rotate":
+                    return False
+                rotated = self._make_room(protect=index)
+                if rotated is None:
+                    return False
+                index = rotated
+            self.apply_split(deferred.trapdoor, index, deferred.true_uids,
+                             deferred.false_uids, deferred.first_label)
+            return True
 
     def apply_split(self, trapdoor: EncryptedPredicate, index: int,
                     true_uids: np.ndarray, false_uids: np.ndarray,
@@ -763,24 +790,26 @@ class PRKBIndex:
             first_uids, second_uids = true_uids, false_uids
         else:
             first_uids, second_uids = false_uids, true_uids
-        self.pop.split(index, first_uids, second_uids)
-        separator = _Separator(trapdoor=trapdoor, prefix_label=first_label,
-                               edge=edge)
-        if partner_index is not None:
-            partner = self._separators[partner_index]
-            separator.partner = partner
-            partner.partner = separator
-        self._separators.insert(index, separator)
-        if self._journal is not None:
-            self._journal.sep_add(index, separator, partner_index)
-        if edge is None and trapdoor.kind == "comparison":
-            # The fresh separator pins exactly where this trapdoor cuts:
-            # its Θ=1 half sits on the prefix side iff first_label, so a
-            # resubmission of the same trapdoor is one cached slice.
-            self._equiv_put(trapdoor.serial,
-                            ("sep", separator, bool(first_label)))
-        self.qpf.counter.index_updates += 1
-        self._splits_committed += 1
+        with self.lock.write():
+            self.pop.split(index, first_uids, second_uids)
+            separator = _Separator(trapdoor=trapdoor,
+                                   prefix_label=first_label, edge=edge)
+            if partner_index is not None:
+                partner = self._separators[partner_index]
+                separator.partner = partner
+                partner.partner = separator
+            self._separators.insert(index, separator)
+            if self._journal is not None:
+                self._journal.sep_add(index, separator, partner_index)
+            if edge is None and trapdoor.kind == "comparison":
+                # The fresh separator pins exactly where this trapdoor
+                # cuts: its Θ=1 half sits on the prefix side iff
+                # first_label, so a resubmission of the same trapdoor is
+                # one cached slice.
+                self._equiv_put(trapdoor.serial,
+                                ("sep", separator, bool(first_label)))
+            self._splits_committed += 1
+        self.qpf.counter.charge(index_updates=1)
 
     # ------------------------------------------------------------------ #
     # full pipeline                                                       #
@@ -809,7 +838,8 @@ class PRKBIndex:
         cached = self._equivalent_answer(trapdoor)
         tracer = self.qpf.counter.tracer
         if cached is not None:
-            self._equiv_hits += 1
+            with self._stats_lock:
+                self._equiv_hits += 1
             self._note_query(0, 0, False, True)
             if tracer is not None:
                 tracer.finish(
@@ -817,7 +847,8 @@ class PRKBIndex:
                                  attribute=self.attribute),
                     qpf_uses=0)
             return (cached, None)
-        self._equiv_misses += 1
+        with self._stats_lock:
+            self._equiv_misses += 1
         if view is None:
             view = self.pop.freeze()
         meter = {"qfilter": 0, "qscan": 0}
@@ -865,18 +896,33 @@ class PRKBIndex:
         """
         tracer = self.qpf.counter.tracer
         if tracer is None:
-            result, deferred = self._drive(
-                self.select_steps(trapdoor, update=update))
-            if deferred is not None:
-                self._commit_split(deferred)
+            # Snapshot read: the whole pipeline (equivalence probe, chain
+            # freeze, QFilter/QScan) runs under the read lock, then the
+            # commit re-acquires exclusively — no lock upgrade, and
+            # ``_commit_split``'s supersession check absorbs any sibling
+            # refinement that landed in the unlocked gap.
+            with self.lock.read():
+                result, deferred = self._drive(
+                    self.select_steps(trapdoor, update=update))
+            if deferred is not None or self._journal is not None:
+                with self.lock.write():
+                    if deferred is not None:
+                        self._commit_split(deferred)
+                    self.commit_journal()
         else:
             with tracer.span("prkb.select",
                              attribute=self.attribute) as root:
-                result, deferred = self._drive(
-                    self.select_steps(trapdoor, update=update, span=root))
+                with self.lock.read():
+                    result, deferred = self._drive(
+                        self.select_steps(trapdoor, update=update,
+                                          span=root))
                 uspan = tracer.begin("prkb.update", parent=root)
-                committed = (deferred is not None
-                             and self._commit_split(deferred))
+                committed = False
+                if deferred is not None or self._journal is not None:
+                    with self.lock.write():
+                        committed = (deferred is not None
+                                     and self._commit_split(deferred))
+                        self.commit_journal()
                 # updatePRKB reuses QScan's labels: splits are QPF-free.
                 tracer.finish(uspan.set(split=bool(committed)), qpf_uses=0)
                 # Total as an *attribute* (not cost): span costs stay
@@ -885,7 +931,6 @@ class PRKBIndex:
         if result.partitions_after != self.pop.num_partitions:
             result = replace(result,
                              partitions_after=self.pop.num_partitions)
-        self.commit_journal()
         return result
 
     # ------------------------------------------------------------------ #
@@ -901,10 +946,12 @@ class PRKBIndex:
         the separator's *current* position (splits elsewhere may have
         shifted it since the equivalence was learned).
         """
-        entry = self._equiv_cache.get(trapdoor.serial)
+        with self._stats_lock:
+            entry = self._equiv_cache.get(trapdoor.serial)
+            if entry is not None:
+                self._equiv_cache.move_to_end(trapdoor.serial)
         if entry is None:
             return None
-        self._equiv_cache.move_to_end(trapdoor.serial)
         if entry[0] == "all":
             winners = self.pop.prefix_uids(self.pop.num_partitions)
         elif entry[0] == "none":
@@ -916,11 +963,12 @@ class PRKBIndex:
                 # search; ValueError means the separator was retired.
                 position = self._separators.index(separator)
             except ValueError:
-                del self._equiv_cache[trapdoor.serial]
+                with self._stats_lock:
+                    self._equiv_cache.pop(trapdoor.serial, None)
                 return None
             winners = (self.pop.prefix_uids(position + 1) if prefix_side
                        else self.pop.suffix_uids(position + 1))
-        self.qpf.counter.comparisons += 1
+        self.qpf.counter.charge(comparisons=1)
         return SelectionResult(
             winners=winners,
             qpf_uses=0,
@@ -959,11 +1007,12 @@ class PRKBIndex:
                          bool(filtered.label_prefix)))
 
     def _equiv_put(self, serial: int, entry: tuple) -> None:
-        cache = self._equiv_cache
-        cache[serial] = entry
-        cache.move_to_end(serial)
-        while len(cache) > EQUIVALENCE_CACHE_SIZE:
-            cache.popitem(last=False)
+        with self._stats_lock:
+            cache = self._equiv_cache
+            cache[serial] = entry
+            cache.move_to_end(serial)
+            while len(cache) > EQUIVALENCE_CACHE_SIZE:
+                cache.popitem(last=False)
 
     # ------------------------------------------------------------------ #
     # update handling (Sec. 7)                                            #
@@ -1086,41 +1135,45 @@ class PRKBIndex:
         If placement is ambiguous (BETWEEN boundaries only), the candidate
         range is merged into one partition first — sound, but coarser.
         """
-        # Two predicates equivalent on the old data may disagree on the
-        # new value, so cached equivalences cannot survive an insert.
-        self._equiv_cache.clear()
-        if self.pop.num_partitions == 0:
-            self.pop = PartialOrderPartitions(
-                np.asarray([uid], dtype=np.uint64))
-            if self._journal is not None:
-                self._journal.chain_reinit([uid])
+        with self.lock.write():
+            # Two predicates equivalent on the old data may disagree on
+            # the new value, so cached equivalences cannot survive an
+            # insert.
+            with self._stats_lock:
+                self._equiv_cache.clear()
+            if self.pop.num_partitions == 0:
+                self.pop = PartialOrderPartitions(
+                    np.asarray([uid], dtype=np.uint64))
+                if self._journal is not None:
+                    self._journal.chain_reinit([uid])
+                self.commit_journal()
+                return 0
+            located = self.locate_partition(uid)
+            if isinstance(located, tuple):
+                lo, hi = located
+                self.pop.merge_range(lo, hi)
+                del self._separators[lo:hi]
+                if self._journal is not None:
+                    self._journal.sep_del(lo, hi)
+                located = lo
+            self.pop.insert(uid, located)
             self.commit_journal()
-            return 0
-        located = self.locate_partition(uid)
-        if isinstance(located, tuple):
-            lo, hi = located
-            self.pop.merge_range(lo, hi)
-            del self._separators[lo:hi]
-            if self._journal is not None:
-                self._journal.sep_del(lo, hi)
-            located = lo
-        self.pop.insert(uid, located)
-        self.commit_journal()
-        return located
+            return located
 
     def delete(self, uid: int) -> None:
         """Drop a tuple; retire a separator if its partition vanished."""
-        dropped = self.pop.delete(uid)
-        if dropped is None or not self._separators:
+        with self.lock.write():
+            dropped = self.pop.delete(uid)
+            if dropped is None or not self._separators:
+                self.commit_journal()
+                return
+            # Boundaries dropped-1 and dropped collapsed into one; either
+            # separator now describes the same cut, keep one of them.
+            retire = min(dropped, len(self._separators) - 1)
+            del self._separators[retire]
+            if self._journal is not None:
+                self._journal.sep_del(retire, retire + 1)
             self.commit_journal()
-            return
-        # Boundaries dropped-1 and dropped collapsed into one; either
-        # separator now describes the same cut, keep one of them.
-        retire = min(dropped, len(self._separators) - 1)
-        del self._separators[retire]
-        if self._journal is not None:
-            self._journal.sep_del(retire, retire + 1)
-        self.commit_journal()
 
 
 def _decode_rng_state(state):

@@ -71,8 +71,8 @@ class SingleDimensionProcessor:
         """
         winners_low = self.select(low_trapdoor, update=update)
         winners_high = self.select(high_trapdoor, update=update)
-        self.index.qpf.counter.comparisons += (
-            winners_low.size + winners_high.size)
+        self.index.qpf.counter.charge(
+            comparisons=int(winners_low.size + winners_high.size))
         return np.intersect1d(winners_low, winners_high,
                               assume_unique=True)
 
@@ -89,6 +89,6 @@ class SingleDimensionProcessor:
             if winners is None:
                 winners = part
             else:
-                counter.comparisons += winners.size + part.size
+                counter.charge(comparisons=int(winners.size + part.size))
                 winners = np.intersect1d(winners, part, assume_unique=True)
         return winners, QueryCost(qpf_uses=counter.qpf_uses - before)

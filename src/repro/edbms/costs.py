@@ -17,6 +17,8 @@ does not distort wall-clock measurements.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from typing import ClassVar
 
@@ -117,6 +119,63 @@ class CostCounter:
     tracer: ClassVar = None
     metrics: ClassVar = None
 
+    def __post_init__(self):
+        # Concurrency plumbing, deliberately outside the dataclass field
+        # machinery: ``_lock`` makes :meth:`charge`/:meth:`merge` atomic
+        # under free-threaded serving, ``_scopes`` holds each thread's
+        # stack of active :meth:`measure` tallies.  Plain ``+=`` on a
+        # counter field is a LOAD/ADD/STORE sequence that loses updates
+        # when threads interleave, so every charge site on a
+        # concurrently-executed path goes through :meth:`charge`.
+        self._lock = threading.Lock()
+        self._scopes = threading.local()
+
+    def __getstate__(self):
+        # Locks and thread-locals don't pickle; the tallies are the state.
+        return self.as_dict()
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__post_init__()
+
+    def charge(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named fields.
+
+        Also mirrors the deltas into every :meth:`measure` scope the
+        *calling thread* currently has open, which is how concurrent
+        serving gets exact per-query accounting without snapshotting a
+        counter that sibling threads are charging at the same time.
+        """
+        with self._lock:
+            for name, amount in deltas.items():
+                setattr(self, name, getattr(self, name) + amount)
+        scopes = self._scopes.__dict__.get("stack")
+        if scopes:
+            for tally in scopes:
+                for name, amount in deltas.items():
+                    setattr(tally, name, getattr(tally, name) + amount)
+
+    @contextmanager
+    def measure(self):
+        """Collect this thread's charges into a private tally.
+
+        ``with counter.measure() as spent: ...`` yields a fresh
+        :class:`CostCounter` that accumulates exactly the
+        :meth:`charge`/:meth:`merge` traffic issued *by this thread*
+        (including merges of shard-pool worker counters absorbed on it)
+        while the scope is open.  Scopes nest; each sees the charges of
+        its own extent.  This is the concurrency-exact replacement for
+        the ``snapshot()``/``diff()`` pattern, which under threads
+        reports sibling queries' work as one's own.
+        """
+        tally = CostCounter()
+        stack = self._scopes.__dict__.setdefault("stack", [])
+        stack.append(tally)
+        try:
+            yield tally
+        finally:
+            stack.remove(tally)
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in fields(self):
@@ -138,10 +197,15 @@ class CostCounter:
         })
 
     def merge(self, other: "CostCounter") -> None:
-        """Add ``other``'s tallies into this counter in place."""
-        for f in fields(self):
-            setattr(self, f.name,
-                    getattr(self, f.name) + getattr(other, f.name))
+        """Add ``other``'s tallies into this counter in place.
+
+        Atomic, and visible to the calling thread's :meth:`measure`
+        scopes — a shard pool absorbing worker counters on the query
+        thread charges that query's tally, exactly like direct work.
+        """
+        self.charge(**{name: value for name, value in
+                       ((f.name, getattr(other, f.name)) for f in
+                        fields(other)) if value})
 
     def as_dict(self) -> dict:
         """Return the tallies as a plain ``dict`` (for reports)."""

@@ -176,8 +176,7 @@ class WALWriter:
         self._file.write(framed)
         self._file.flush()
         if self.counter is not None:
-            self.counter.wal_records += 1
-            self.counter.wal_bytes += len(framed)
+            self.counter.charge(wal_records=1, wal_bytes=len(framed))
         if self.faults is not None:
             self.faults.maybe_crash(POINT_APPEND_AFTER,
                                     on_power_loss=self._truncate_to_synced)
@@ -205,7 +204,7 @@ class WALWriter:
         self._synced = self._file.tell()
         self._pending_commits = 0
         if self.counter is not None:
-            self.counter.wal_fsyncs += 1
+            self.counter.charge(wal_fsyncs=1)
         if span is not None:
             tracer.finish(span, wal_fsyncs=1)
 

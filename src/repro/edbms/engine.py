@@ -13,6 +13,7 @@ control composes the lower-level pieces directly.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
@@ -130,6 +131,11 @@ class EncryptedDatabase:
         # tokenizer and a structural statement comparison.
         self._parse_cache: "OrderedDict[str, SelectStatement]" = \
             OrderedDict()
+        self._parse_lock = threading.Lock()
+        self._closed = False
+        #: Serving-layer attachments (session managers / query servers)
+        #: drained before teardown — see :meth:`close`.
+        self._serving: list = []
 
     # -- observability ------------------------------------------------------- #
 
@@ -322,12 +328,42 @@ class EncryptedDatabase:
         self.durability.checkpoint_all(self.server)
 
     def close(self) -> None:
-        """Flush durable state and release pooled workers (idempotent)."""
+        """Flush durable state and release pooled workers (idempotent).
+
+        Serving attachments (session managers, query servers — anything
+        registered via :meth:`_attach_serving`) are drained *first*, so
+        in-flight queries finish against a live database before the
+        durability manager flushes and the enclave pool is released.
+        A second ``close()`` — or a close racing another close — is a
+        no-op.
+        """
+        with self._parse_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for attached in reversed(self._serving):
+            attached.close()
+        self._serving.clear()
         if self.durability is not None:
             self.durability.close()
         close = getattr(self._trusted_machine, "close", None)
         if close is not None:
             close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun (new queries should be refused)."""
+        return self._closed
+
+    def _attach_serving(self, attachment) -> None:
+        """Register a serving-layer object to be drained by :meth:`close`.
+
+        ``attachment`` needs a ``close()`` that blocks until its
+        in-flight work has finished; attachments close in reverse
+        registration order (servers before the session manager they
+        dispatch into).
+        """
+        self._serving.append(attachment)
 
     def column_cache_stats(self) -> dict:
         """Decrypted-column cache statistics of the trusted machine.
@@ -392,14 +428,15 @@ class EncryptedDatabase:
         Repeated SQL skips tokenization entirely and returns the same
         statement object, which the plan cache then matches by identity.
         """
-        memo = self._parse_cache
-        statement = memo.get(sql)
-        if statement is None:
-            statement = parse_select(sql)
-            memo[sql] = statement
-            while len(memo) > _PARSE_MEMO_SIZE:
-                memo.popitem(last=False)
-        return statement
+        with self._parse_lock:
+            memo = self._parse_cache
+            statement = memo.get(sql)
+            if statement is None:
+                statement = parse_select(sql)
+                memo[sql] = statement
+                while len(memo) > _PARSE_MEMO_SIZE:
+                    memo.popitem(last=False)
+            return statement
 
     def query(self, sql: str, strategy: str = "auto") -> QueryAnswer:
         """Parse, plan and execute one SELECT statement.
@@ -411,33 +448,62 @@ class EncryptedDatabase:
         and is cached per normalized statement; see
         :class:`repro.plan.Planner`.
         """
+        return self._query_with(self.planner, sql, strategy)
+
+    def _query_with(self, planner: Planner, sql: str,
+                    strategy: str = "auto",
+                    measured: bool = False) -> QueryAnswer:
+        """Parse/plan/execute through a specific planner.
+
+        ``planner`` is this database's own for :meth:`query`; serving
+        sessions pass their per-tenant planner (built over an isolated
+        namespace) so tenants never share plan caches or indexes.
+
+        ``measured=False`` accounts per-query cost as a global counter
+        snapshot/diff — exact, and bit-identical to the historical
+        behavior, but only when no sibling query runs concurrently.
+        ``measured=True`` accounts through a thread-local
+        :meth:`CostCounter.measure` scope instead: every ``charge`` made
+        by *this* thread lands in a private tally, so per-query
+        ``qpf_uses`` stays exact while other worker threads charge the
+        same counter.
+        """
         statement = self._parse(sql)
-        tracer = self.counter.tracer
-        metrics = self.counter.metrics
+        counter = self.counter
+        tracer = counter.tracer
+        metrics = counter.metrics
         start = time.perf_counter() if metrics is not None else 0.0
         query_id = None
         if tracer is None:
-            plan = self.planner.plan(statement, strategy)
-            ctx = self.planner.execution_context()
-            before = self.counter.snapshot()
-            uids, value = plan.execute(ctx)
-            spent = self.counter.diff(before)
+            plan = planner.plan(statement, strategy)
+            ctx = planner.execution_context()
+            if measured:
+                with counter.measure() as spent:
+                    uids, value = plan.execute(ctx)
+            else:
+                before = counter.snapshot()
+                uids, value = plan.execute(ctx)
+                spent = counter.diff(before)
         else:
             # Planning runs inside the query span so the planner's
             # ``plan.fingerprint`` child lands in the same trace.
             with tracer.span("query", sql=sql, strategy=strategy) as span:
-                plan = self.planner.plan(statement, strategy)
-                ctx = self.planner.execution_context()
-                before = self.counter.snapshot()
-                uids, value = plan.execute(ctx)
-                spent = self.counter.diff(before)
+                plan = planner.plan(statement, strategy)
+                ctx = planner.execution_context()
+                if measured:
+                    with counter.measure() as spent:
+                        uids, value = plan.execute(ctx)
+                else:
+                    before = counter.snapshot()
+                    uids, value = plan.execute(ctx)
+                    spent = counter.diff(before)
                 # Totals go in attrs, not cost: span costs stay exclusive
                 # (phase spans below already own every QPF use).
                 span.set(qpf_uses=spent.qpf_uses,
                          qpf_roundtrips=spent.qpf_roundtrips,
                          rows=int(uids.size))
                 query_id = span.trace_id
-        self.planner.record_execution(plan)
+        planner.record_execution(plan)
         if metrics is not None:
             metrics.histogram("repro_query_latency_seconds").observe(
                 time.perf_counter() - start)

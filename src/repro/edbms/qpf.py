@@ -327,18 +327,17 @@ class TrustedMachine:
         """
         cached = self._predicate_cache.get(trapdoor.serial)
         if cached is None:
-            self.counter.predicate_cache_misses += 1
+            self.counter.charge(predicate_cache_misses=1)
             cached = unseal_predicate(self._key, trapdoor)
             self._predicate_cache.put(trapdoor.serial, cached)
         else:
-            self.counter.predicate_cache_hits += 1
+            self.counter.charge(predicate_cache_hits=1)
         return cached
 
     def _cross(self, tuples: int) -> None:
         """Meter one enclave crossing carrying ``tuples`` tuples."""
-        self.counter.qpf_roundtrips += 1
-        self.counter.parallel_wall_roundtrips += 1
-        self.counter.parallel_wall_qpf_uses += tuples
+        self.counter.charge(qpf_roundtrips=1, parallel_wall_roundtrips=1,
+                            parallel_wall_qpf_uses=tuples)
         if self._latency is not None:
             delay = self._latency.delay(tuples)
             if delay > 0.0:
@@ -366,9 +365,9 @@ class TrustedMachine:
         if version is not None and self._column_cache.budget_bytes:
             column = self._column_cache.get(table.name, attribute, version)
             if column is not None:
-                self.counter.column_cache_hits += 1
+                self.counter.charge(column_cache_hits=1)
             else:
-                self.counter.column_cache_misses += 1
+                self.counter.charge(column_cache_misses=1)
                 column = self._fill_column(table, attribute, version)
             if column is not None:
                 return column[table.positions(uids)]
@@ -399,8 +398,8 @@ class TrustedMachine:
                                ciphertexts, nonces, plain,
                                scratch.take(plain.size, np.uint64))
         column = plain.view(np.int64)
-        self.counter.column_cache_evictions += self._column_cache.put(
-            table.name, attribute, version, column)
+        self.counter.charge(column_cache_evictions=self._column_cache.put(
+            table.name, attribute, version, column))
         return column
 
     def prime_column(self, table, attribute: str) -> bool:
@@ -442,8 +441,8 @@ class TrustedMachine:
         many tuples ride in it; empty payloads are never shipped.
         """
         uids = np.asarray(uids, dtype=np.uint64)
-        self.counter.qpf_uses += int(uids.size)
-        self.counter.tuples_retrieved += int(uids.size)
+        self.counter.charge(qpf_uses=int(uids.size),
+                            tuples_retrieved=int(uids.size))
         if uids.size == 0:
             return np.zeros(0, dtype=bool)
         self._cross(int(uids.size))
@@ -463,8 +462,7 @@ class TrustedMachine:
         """
         sizes = [int(r.uids.size) for r in requests]
         total = sum(sizes)
-        self.counter.qpf_uses += total
-        self.counter.tuples_retrieved += total
+        self.counter.charge(qpf_uses=total, tuples_retrieved=total)
         if total == 0:
             return [np.zeros(0, dtype=bool) for _ in requests]
         self._cross(total)
@@ -849,8 +847,8 @@ class QPFShardPool:
             shard.parallel_wall_qpf_uses = 0
             shard.parallel_wall_roundtrips = 0
             self.counter.merge(shard)
-        self.counter.parallel_wall_qpf_uses += wall_uses
-        self.counter.parallel_wall_roundtrips += wall_roundtrips
+        self.counter.charge(parallel_wall_qpf_uses=wall_uses,
+                            parallel_wall_roundtrips=wall_roundtrips)
 
     def _drain_worker(self, worker: TrustedMachine) -> CostCounter:
         spent = worker.counter.snapshot()

@@ -35,6 +35,10 @@ class ServiceProvider:
         # indexes[table][attribute] -> PRKBIndex
         self._indexes: dict[str, dict[str, PRKBIndex]] = {}
         self._durability = None
+        # Providers whose private indexes cover *this* provider's tables
+        # (tenant namespaces).  ``updater`` folds their indexes in, so
+        # base-table inserts/deletes stay visible to every tenant.
+        self._index_mirrors: list["ServiceProvider"] = []
 
     @property
     def counter(self) -> CostCounter:
@@ -118,12 +122,34 @@ class ServiceProvider:
         return {name: dict(indexes)
                 for name, indexes in self._indexes.items()}
 
+    def register_index_mirror(self, provider: "ServiceProvider") -> None:
+        """Keep ``provider``'s indexes fresh through this updater path.
+
+        Tenant namespaces share the physical tables by reference but
+        hold private PRKB indexes; registering them here routes every
+        base insert/delete into those indexes too, so tenant views
+        never go stale.
+        """
+        self._index_mirrors.append(provider)
+
+    def unregister_index_mirror(self, provider: "ServiceProvider") -> None:
+        """Stop maintaining a mirror's indexes (idempotent)."""
+        try:
+            self._index_mirrors.remove(provider)
+        except ValueError:
+            pass
+
     def updater(self, table_name: str) -> TableUpdater:
         """Update coordinator for one table and its indexes (Sec. 7)."""
         journal = (self._durability.table_journal(table_name)
                    if self._durability is not None else None)
-        return TableUpdater(self.table(table_name),
-                            self.indexes_for(table_name),
+        indexes = dict(self.indexes_for(table_name))
+        # Fold in mirror (tenant-namespace) indexes under disambiguated
+        # labels — TableUpdater keys are labels, not schema attributes.
+        for position, mirror in enumerate(self._index_mirrors):
+            for attr, index in mirror.indexes_for(table_name).items():
+                indexes[f"mirror{position}:{attr}"] = index
+        return TableUpdater(self.table(table_name), indexes,
                             journal=journal)
 
     # -- selection processing ------------------------------------------------ #
@@ -247,12 +273,18 @@ class ObservabilityEndpoint:
       (``QueryAnswer.query_id``), 404 when evicted/unknown.
     * ``GET /health`` — per-index :meth:`~repro.core.prkb.PRKBIndex.health`
       plus the shared cost counter.
+    * ``POST /query`` — execute one SELECT through an attached
+      :class:`~repro.serve.QueryServer` (503 when none is attached).
+      Body: ``{"sql": ..., "tenant": ..., "strategy": ...}``; admission
+      rejections come back as 429.
     """
 
-    def __init__(self, server: ServiceProvider, tracer=None, registry=None):
+    def __init__(self, server: ServiceProvider, tracer=None, registry=None,
+                 query_server=None):
         self.server = server
         self.tracer = tracer
         self.registry = registry
+        self.query_server = query_server
         self._httpd = None
         self._thread = None
 
@@ -294,6 +326,49 @@ class ObservabilityEndpoint:
             return 200, "application/json", json.dumps(body, indent=2)
         return 404, "text/plain", f"unknown path {path!r}\n"
 
+    def handle_post(self, path: str, body: bytes) -> tuple[int, str, str]:
+        """Answer one POST; returns (status, content-type, body).
+
+        Pure routing like :meth:`handle` — unit-testable without
+        sockets.  The only route is ``/query``, dispatched through the
+        attached :class:`~repro.serve.QueryServer` (which applies
+        admission control and per-tenant isolation).
+        """
+        if path != "/query":
+            return 404, "text/plain", f"unknown path {path!r}\n"
+        if self.query_server is None:
+            return 503, "text/plain", "query serving not enabled\n"
+        # Imported here: repro.serve sits above this module in the layer
+        # stack (it imports the engine, which imports this file).
+        from ..serve import Overloaded
+
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            return 400, "text/plain", "body must be a JSON object\n"
+        if not isinstance(request, dict) or "sql" not in request:
+            return (400, "text/plain",
+                    'body must be a JSON object with a "sql" key\n')
+        tenant = str(request.get("tenant", "default"))
+        try:
+            answer = self.query_server.query(
+                tenant, request["sql"],
+                strategy=request.get("strategy", "auto"))
+        except Overloaded as exc:
+            return 429, "text/plain", f"{exc}\n"
+        except (KeyError, ValueError) as exc:
+            return 400, "text/plain", f"{exc}\n"
+        payload = {
+            "tenant": tenant,
+            "count": answer.count,
+            "uids": [int(uid) for uid in answer.uids],
+            "value": answer.value,
+            "qpf_uses": answer.qpf_uses,
+            "simulated_ms": answer.simulated_ms,
+            "query_id": answer.query_id,
+        }
+        return 200, "application/json", json.dumps(payload)
+
     # -- stdlib HTTP wrapper --------------------------------------------- #
 
     def start(self, port: int = 0, host: str = "127.0.0.1"):
@@ -303,14 +378,21 @@ class ObservabilityEndpoint:
         endpoint = self
 
         class _Handler(BaseHTTPRequestHandler):
-            def do_GET(self):
-                status, content_type, body = endpoint.handle(self.path)
+            def _reply(self, status, content_type, body):
                 payload = body.encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
                 self.wfile.write(payload)
+
+            def do_GET(self):
+                self._reply(*endpoint.handle(self.path))
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                self._reply(*endpoint.handle_post(self.path, body))
 
             def log_message(self, *args):  # quiet by default
                 pass

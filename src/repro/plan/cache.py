@@ -22,6 +22,7 @@ the benches that reset them between passes) keep one source of truth.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..edbms.sql import ComparisonCondition, SelectStatement
@@ -62,10 +63,16 @@ class PlanCache:
     still matches comes back untouched (and is marked most-recent); a
     stale plan is evicted on the spot and counted as an invalidation.
     ``insert`` counts the miss and enforces the capacity bound.
+
+    All three entry points run under one internal lock: the serving
+    layer shares a single plan cache across worker threads, and
+    ``OrderedDict`` reorders corrupt under concurrent mutation.  The
+    uncontended acquire is tens of nanoseconds — invisible next to even
+    a cache-hit plan's fingerprint check.
     """
 
     __slots__ = ("capacity", "hits", "misses", "invalidations",
-                 "_plans", "_profiles")
+                 "_plans", "_profiles", "_lock")
 
     def __init__(self, capacity: int):
         self.capacity = capacity
@@ -74,6 +81,7 @@ class PlanCache:
         self.invalidations = 0
         self._plans: OrderedDict = OrderedDict()
         self._profiles: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -83,14 +91,15 @@ class PlanCache:
 
     def profile(self, statement: SelectStatement) -> StatementProfile:
         """The memoized :class:`StatementProfile` for ``statement``."""
-        memo = self._profiles
-        profile = memo.get(statement)
-        if profile is None:
-            profile = StatementProfile(statement)
-            memo[statement] = profile
-            while len(memo) > PROFILE_MEMO_SIZE:
-                memo.popitem(last=False)
-        return profile
+        with self._lock:
+            memo = self._profiles
+            profile = memo.get(statement)
+            if profile is None:
+                profile = StatementProfile(statement)
+                memo[statement] = profile
+                while len(memo) > PROFILE_MEMO_SIZE:
+                    memo.popitem(last=False)
+            return profile
 
     def lookup(self, key, fingerprint):
         """The still-valid cached plan for ``key``, else ``None``.
@@ -99,20 +108,22 @@ class PlanCache:
         longer matches the live catalog — evicts it and counts the
         invalidation (the caller's rebuild then counts the miss).
         """
-        plan = self._plans.get(key)
-        if plan is None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                return None
+            if plan.fingerprint == fingerprint:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.invalidations += 1
+            del self._plans[key]
             return None
-        if plan.fingerprint == fingerprint:
-            self.hits += 1
-            self._plans.move_to_end(key)
-            return plan
-        self.invalidations += 1
-        del self._plans[key]
-        return None
 
     def insert(self, key, plan) -> None:
         """Store a freshly built plan (counting the miss that caused it)."""
-        self.misses += 1
-        self._plans[key] = plan
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self.misses += 1
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)

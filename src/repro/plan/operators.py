@@ -275,8 +275,8 @@ class AggregateOp:
         if candidates.size == 0:
             raise ValueError("aggregate over an empty selection")
         with _audited(ctx.audit, (self.attribute,), ctx.counter):
-            ctx.counter.qpf_uses += int(candidates.size)
-            ctx.counter.tuples_retrieved += int(candidates.size)
+            ctx.counter.charge(qpf_uses=int(candidates.size),
+                               tuples_retrieved=int(candidates.size))
             values = decrypt_column(ctx.owner.key, table, self.attribute,
                                     candidates)
         best = int(np.argmin(values) if self.func == "min"

@@ -29,6 +29,7 @@ equivalence-cache churn all invalidate exactly the plans they affect.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 
@@ -150,6 +151,10 @@ class Planner:
         self._plan_cache = PlanCache(PLAN_CACHE_SIZE)
         self.estimator = CostEstimator(server, self._trapdoor_memo.get)
         self.strategy_counts: dict[str, int] = {}
+        # Guards the trapdoor memo and strategy tallies when worker
+        # threads share one planner (the serving fast path); the plan
+        # cache carries its own lock.
+        self._memo_lock = threading.RLock()
 
     # Python-side telemetry, owned by the cache (mirrored into the
     # metrics registry when observability is enabled; always available
@@ -190,17 +195,18 @@ class Planner:
         the repeat in 0 QPF.  Capped at :data:`TRAPDOOR_MEMO_SIZE`.
         """
         key = (attribute, operator, constant)
-        memo = self._trapdoor_memo
-        trapdoor = memo.get(key)
-        if trapdoor is None:
-            trapdoor = self.owner.comparison_trapdoor(attribute, operator,
-                                                      constant)
-            memo[key] = trapdoor
-            while len(memo) > TRAPDOOR_MEMO_SIZE:
-                memo.popitem(last=False)
-        else:
-            memo.move_to_end(key)
-        return trapdoor
+        with self._memo_lock:
+            memo = self._trapdoor_memo
+            trapdoor = memo.get(key)
+            if trapdoor is None:
+                trapdoor = self.owner.comparison_trapdoor(
+                    attribute, operator, constant)
+                memo[key] = trapdoor
+                while len(memo) > TRAPDOOR_MEMO_SIZE:
+                    memo.popitem(last=False)
+            else:
+                memo.move_to_end(key)
+            return trapdoor
 
     # -- planning entry points -------------------------------------------- #
 
@@ -251,8 +257,9 @@ class Planner:
         """Count the dispatched strategies of one executed plan."""
         metrics = self.counter.metrics
         for step in plan.steps:
-            self.strategy_counts[step.kind] = (
-                self.strategy_counts.get(step.kind, 0) + 1)
+            with self._memo_lock:
+                self.strategy_counts[step.kind] = (
+                    self.strategy_counts.get(step.kind, 0) + 1)
             if metrics is not None:
                 metrics.counter(
                     "repro_plan_strategy_total",

@@ -1,0 +1,45 @@
+"""Concurrent multi-tenant serving core.
+
+This package turns a single-threaded :class:`~repro.edbms.engine.
+EncryptedDatabase` into a concurrent serving endpoint while keeping the
+paper's accounting exact:
+
+* :class:`SessionManager` / :class:`Session` — per-tenant handles whose
+  PRKB namespaces (:class:`TenantNamespace`), trapdoor memos and
+  equivalence caches are isolated, so one tenant's query history never
+  leaks into another's refinement or costs.
+* Snapshot reads — every :class:`~repro.core.prkb.PRKBIndex` carries a
+  :class:`~repro.core.locks.SnapshotLock`; selections run against a
+  frozen :class:`~repro.core.partitions.ChainView` under the read side
+  and refinements publish atomically under the write side, ordered with
+  the durability journal.
+* :class:`AdmissionController` — per-tenant quotas (:class:`TenantQuota`:
+  max in-flight, QPF budget per window) with a bounded server-wide
+  queue; rejected work raises :class:`Overloaded` /
+  :class:`QuotaExceeded` and is tallied as load-shed.
+* :class:`QueryServer` — a worker pool plus an HTTP ``POST /query``
+  surface grown out of the
+  :class:`~repro.edbms.server.ObservabilityEndpoint`.
+"""
+
+from ..core.locks import SnapshotLock
+from .admission import (
+    AdmissionController,
+    Overloaded,
+    QuotaExceeded,
+    TenantQuota,
+)
+from .server import QueryServer
+from .session import Session, SessionManager, TenantNamespace
+
+__all__ = [
+    "AdmissionController",
+    "Overloaded",
+    "QueryServer",
+    "QuotaExceeded",
+    "Session",
+    "SessionManager",
+    "SnapshotLock",
+    "TenantNamespace",
+    "TenantQuota",
+]

@@ -1,0 +1,226 @@
+"""Admission control: per-tenant quotas, bounded queue, load-shed stats.
+
+The serving core admits a request *before* it is queued on the worker
+pool, so backpressure is immediate and cheap — a rejected request costs
+one lock round trip and zero QPF.  Two quota axes per tenant
+(:class:`TenantQuota`):
+
+* ``max_inflight`` — admitted-but-unfinished requests (queued +
+  executing).  Bounds a single tenant's share of the worker pool.
+* ``qpf_per_window`` — a fixed-window QPF budget.  QPF is the paper's
+  cost unit (trusted-machine work), so this is the meaningful
+  rate limit for an encrypted database: a tenant that burns its QPF
+  budget is shed with :class:`QuotaExceeded` until the window rolls,
+  regardless of how cheap its requests look in wall time.
+
+A server-wide ``capacity`` bounds total admitted requests (the worker
+pool's queue), shedding with :class:`Overloaded` when the whole server
+is saturated.  All rejections are tallied in :meth:`stats` — load-shed
+visibility is the point, silent queueing is the failure mode this
+module exists to avoid.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "Overloaded", "QuotaExceeded",
+           "TenantQuota"]
+
+
+class Overloaded(RuntimeError):
+    """Request shed: the server (or the tenant's slot quota) is full.
+
+    Retryable — carries the tenant and a human-readable reason; the
+    HTTP surface maps it to 429.
+    """
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class QuotaExceeded(Overloaded):
+    """Request shed: the tenant's QPF budget for this window is spent."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_inflight`` bounds admitted-but-unfinished requests;
+    ``qpf_per_window`` (``None`` = unlimited) bounds QPF charged per
+    fixed window of ``window_seconds``.
+    """
+
+    max_inflight: int = 8
+    qpf_per_window: int | None = None
+    window_seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.qpf_per_window is not None and self.qpf_per_window < 1:
+            raise ValueError("qpf_per_window must be positive")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+
+
+class _TenantState:
+    __slots__ = ("inflight", "window_start", "window_qpf", "admitted",
+                 "shed_inflight", "shed_qpf", "qpf_total")
+
+    def __init__(self):
+        self.inflight = 0
+        self.window_start = None
+        self.window_qpf = 0
+        self.admitted = 0
+        self.shed_inflight = 0
+        self.shed_qpf = 0
+        self.qpf_total = 0
+
+
+class AdmissionController:
+    """Thread-safe admit/release gate with per-tenant quota tracking.
+
+    ``clock`` is injectable (monotonic seconds) so window-roll behavior
+    is deterministic under test.
+    """
+
+    def __init__(self, default_quota: TenantQuota | None = None,
+                 capacity: int = 256, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.default_quota = default_quota or TenantQuota()
+        self.capacity = capacity
+        self.clock = clock
+        self._quotas: dict[str, TenantQuota] = {}
+        self._tenants: dict[str, _TenantState] = {}
+        self._pending = 0
+        self._shed_capacity = 0
+        self._lock = threading.Lock()
+
+    # -- configuration --------------------------------------------------- #
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Override the default quota for one tenant."""
+        with self._lock:
+            self._quotas[tenant] = quota
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The effective quota for ``tenant``."""
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    # -- admit / release -------------------------------------------------- #
+
+    def admit(self, tenant: str) -> None:
+        """Claim one slot for ``tenant`` or raise (nothing is queued).
+
+        Raises :class:`Overloaded` when the server or the tenant's
+        in-flight quota is full, :class:`QuotaExceeded` when the
+        tenant's QPF window budget is already spent.
+        """
+        with self._lock:
+            quota = self._quotas.get(tenant, self.default_quota)
+            state = self._state(tenant)
+            if self._pending >= self.capacity:
+                self._shed_capacity += 1
+                raise Overloaded(
+                    tenant, f"server at capacity "
+                            f"({self._pending}/{self.capacity} admitted)")
+            if state.inflight >= quota.max_inflight:
+                state.shed_inflight += 1
+                raise Overloaded(
+                    tenant, f"{state.inflight} requests already in "
+                            f"flight (max {quota.max_inflight})")
+            if quota.qpf_per_window is not None:
+                now = self.clock()
+                if (state.window_start is None
+                        or now - state.window_start
+                        >= quota.window_seconds):
+                    state.window_start = now
+                    state.window_qpf = 0
+                if state.window_qpf >= quota.qpf_per_window:
+                    state.shed_qpf += 1
+                    raise QuotaExceeded(
+                        tenant, f"QPF budget spent "
+                                f"({state.window_qpf}"
+                                f"/{quota.qpf_per_window} this window)")
+            state.inflight += 1
+            state.admitted += 1
+            self._pending += 1
+
+    def release(self, tenant: str, qpf_used: int = 0) -> None:
+        """Return a slot, charging the request's QPF to the window."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.inflight < 1:
+                raise RuntimeError(
+                    f"release without admit for tenant {tenant!r}")
+            state.inflight -= 1
+            self._pending -= 1
+            state.qpf_total += qpf_used
+            if state.window_start is not None:
+                state.window_qpf += qpf_used
+
+    @contextmanager
+    def slot(self, tenant: str):
+        """``with admission.slot(tenant) as charge:`` admit/release.
+
+        ``charge(qpf)`` records the request's QPF consumption; the slot
+        is released on exit either way.
+        """
+        self.admit(tenant)
+        used = [0]
+
+        def charge(qpf: int) -> None:
+            used[0] += int(qpf)
+
+        try:
+            yield charge
+        finally:
+            self.release(tenant, used[0])
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unfinished requests, server-wide."""
+        with self._lock:
+            return self._pending
+
+    def stats(self) -> dict:
+        """Admission/shed tallies, server-wide and per tenant."""
+        with self._lock:
+            tenants = {}
+            for name, state in self._tenants.items():
+                tenants[name] = {
+                    "inflight": state.inflight,
+                    "admitted": state.admitted,
+                    "shed_inflight": state.shed_inflight,
+                    "shed_qpf": state.shed_qpf,
+                    "qpf_total": state.qpf_total,
+                }
+            shed = (self._shed_capacity
+                    + sum(s.shed_inflight + s.shed_qpf
+                          for s in self._tenants.values()))
+            return {
+                "capacity": self.capacity,
+                "pending": self._pending,
+                "admitted": sum(s.admitted
+                                for s in self._tenants.values()),
+                "shed": shed,
+                "shed_capacity": self._shed_capacity,
+                "tenants": tenants,
+            }

@@ -147,12 +147,18 @@ class TestWarmColdEquivalence:
     @given(_OPS, st.integers(0, 2**20))
     @settings(max_examples=25, deadline=None)
     def test_eviction_pressure_budget_below_one_column(self, ops, seed):
-        # 60 rows * 8 bytes = 480 bytes/column; a 256-byte budget can
-        # never retain a full column, so every fill is rejected and the
-        # machine must silently stay on the per-request path.
+        # 60 rows * 8 bytes = 480 bytes/column; while the table stays
+        # that size a 256-byte budget can never retain a full column, so
+        # fills are rejected and the machine silently stays on the
+        # per-request path.  Enough deletes can shrink a column under
+        # the budget, at which point admission is legitimate — but the
+        # budget itself is still binding.
         owner, table, warm, cold = _build(seed, 256)
         _apply_ops(owner, table, warm, cold, ops, "starved budget")
-        assert warm.column_cache_stats()["resident_bytes"] == 0
+        resident = warm.column_cache_stats()["resident_bytes"]
+        assert resident <= 256
+        if table.uids.size * 8 > 256:
+            assert resident == 0
 
     @given(_OPS, st.integers(0, 2**20))
     @settings(max_examples=25, deadline=None)

@@ -1,0 +1,148 @@
+"""AdmissionController quotas, window budgets and load-shed stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    Overloaded,
+    QuotaExceeded,
+    TenantQuota,
+)
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_inflight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(qpf_per_window=0)
+        with pytest.raises(ValueError):
+            TenantQuota(window_seconds=0)
+
+    def test_defaults_are_permissive_on_qpf(self):
+        quota = TenantQuota()
+        assert quota.qpf_per_window is None
+
+
+class TestInflightQuota:
+    def test_admit_release_cycle(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=2))
+        controller.admit("acme")
+        controller.admit("acme")
+        with pytest.raises(Overloaded, match="in.*flight"):
+            controller.admit("acme")
+        controller.release("acme")
+        controller.admit("acme")  # slot returned
+        stats = controller.stats()
+        assert stats["tenants"]["acme"]["admitted"] == 3
+        assert stats["tenants"]["acme"]["shed_inflight"] == 1
+
+    def test_tenants_do_not_share_slots(self):
+        controller = AdmissionController(TenantQuota(max_inflight=1))
+        controller.admit("acme")
+        controller.admit("beta")  # own quota, unaffected by acme's
+        with pytest.raises(Overloaded):
+            controller.admit("acme")
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError, match="release without admit"):
+            controller.release("ghost")
+
+
+class TestQpfWindowBudget:
+    def test_budget_sheds_and_window_rolls(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            TenantQuota(max_inflight=8, qpf_per_window=100,
+                        window_seconds=1.0),
+            clock=clock)
+        controller.admit("acme")
+        controller.release("acme", qpf_used=150)  # overshoots the budget
+        with pytest.raises(QuotaExceeded, match="budget"):
+            controller.admit("acme")
+        stats = controller.stats()
+        assert stats["tenants"]["acme"]["shed_qpf"] == 1
+        assert stats["tenants"]["acme"]["qpf_total"] == 150
+        clock.now = 1.5  # window rolls: budget refreshed
+        controller.admit("acme")
+        controller.release("acme", qpf_used=10)
+
+    def test_under_budget_flows_freely(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            TenantQuota(qpf_per_window=1000), clock=clock)
+        for _ in range(5):
+            controller.admit("acme")
+            controller.release("acme", qpf_used=100)
+        assert controller.stats()["shed"] == 0
+
+    def test_per_tenant_quota_override(self):
+        clock = FakeClock()
+        controller = AdmissionController(clock=clock)
+        controller.set_quota("metered",
+                             TenantQuota(qpf_per_window=1,
+                                         window_seconds=60.0))
+        controller.admit("metered")
+        controller.release("metered", qpf_used=5)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("metered")
+        # Other tenants keep the permissive default.
+        controller.admit("open")
+        controller.release("open", qpf_used=10_000)
+        controller.admit("open")
+
+
+class TestServerCapacity:
+    def test_capacity_bounds_total_admissions(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=10), capacity=3)
+        for tenant in ("a", "b", "c"):
+            controller.admit(tenant)
+        with pytest.raises(Overloaded, match="capacity"):
+            controller.admit("d")
+        stats = controller.stats()
+        assert stats["shed_capacity"] == 1
+        assert stats["pending"] == 3
+        controller.release("a")
+        controller.admit("d")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+
+class TestSlotContext:
+    def test_slot_charges_and_releases(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            TenantQuota(qpf_per_window=100, window_seconds=10.0),
+            clock=clock)
+        with controller.slot("acme") as charge:
+            charge(60)
+        assert controller.pending == 0
+        assert controller.stats()["tenants"]["acme"]["qpf_total"] == 60
+        with controller.slot("acme") as charge:
+            charge(60)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("acme")
+
+    def test_slot_releases_on_error(self):
+        controller = AdmissionController(TenantQuota(max_inflight=1))
+        with pytest.raises(ValueError):
+            with controller.slot("acme"):
+                raise ValueError("query failed")
+        controller.admit("acme")  # slot was returned despite the error

@@ -1,0 +1,235 @@
+"""SessionManager / TenantNamespace isolation and lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.edbms.engine import EncryptedDatabase
+from repro.serve import SessionManager, TenantNamespace
+from repro.workloads import uniform_table
+
+pytestmark = pytest.mark.serving
+
+DOMAIN = (1, 10_000)
+
+
+def make_db(n: int = 300, seed: int = 7) -> EncryptedDatabase:
+    table = uniform_table("t", n, ["X", "Y"], domain=DOMAIN, seed=0)
+    db = EncryptedDatabase(seed=seed)
+    db.create_table("t", {"X": DOMAIN, "Y": DOMAIN},
+                    {"X": table.columns["X"], "Y": table.columns["Y"]})
+    return db
+
+
+class TestTenantNamespace:
+    def test_tables_shared_indexes_private(self):
+        db = make_db()
+        db.enable_prkb("t", ["X"])
+        namespace = TenantNamespace(db.server, "acme")
+        # Same physical table object, by reference.
+        assert namespace.table("t") is db.server.table("t")
+        # The base server's index is invisible to the tenant.
+        assert not namespace.has_index("t", "X")
+        namespace.build_index("t", "X", seed=7)
+        assert namespace.has_index("t", "X")
+        assert namespace.index("t", "X") is not db.server.index("t", "X")
+
+    def test_late_registered_tables_visible(self):
+        db = make_db()
+        namespace = TenantNamespace(db.server, "acme")
+        extra = uniform_table("u", 50, ["Z"], domain=DOMAIN, seed=1)
+        db.create_table("u", {"Z": DOMAIN}, {"Z": extra.columns["Z"]})
+        assert namespace.table("u") is db.server.table("u")
+        namespace.build_index("u", "Z", seed=3)
+        assert namespace.has_index("u", "Z")
+
+
+class TestSessionManager:
+    def test_session_get_or_create(self):
+        db = make_db()
+        manager = SessionManager(db)
+        a = manager.session("acme")
+        assert manager.session("acme") is a
+        assert manager.session("beta") is not a
+        assert set(manager.sessions()) == {"acme", "beta"}
+
+    def test_isolated_refinement_stays_private(self):
+        db = make_db()
+        db.enable_prkb("t", ["X"])
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        for threshold in (2000, 4000, 6000):
+            session.query(f"SELECT * FROM t WHERE X < {threshold}")
+        tenant_k = session.namespace.index("t", "X").pop.num_partitions
+        base_k = db.server.index("t", "X").pop.num_partitions
+        assert tenant_k > 1          # the tenant's chain refined
+        assert base_k == 1           # the base index never saw a query
+
+    def test_tenant_query_matches_single_tenant_database(self):
+        thresholds = [1000, 3000, 5000, 7000, 3000, 5000]
+        sqls = [f"SELECT * FROM t WHERE X < {t}" for t in thresholds]
+
+        serial = make_db()
+        serial.enable_prkb("t", ["X", "Y"])
+        expected = [serial.query(sql) for sql in sqls]
+
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X", "Y"])
+        for sql, want in zip(sqls, expected):
+            got = session.query(sql)
+            assert np.array_equal(np.sort(got.uids), np.sort(want.uids))
+            assert got.qpf_uses == want.qpf_uses
+
+    def test_shared_session_uses_base_planner(self):
+        db = make_db()
+        db.enable_prkb("t", ["X"])
+        manager = SessionManager(db)
+        session = manager.session("ops", isolate=False)
+        assert session.planner is db.planner
+        assert session.namespace is db.server
+        answer = session.query("SELECT COUNT(*) FROM t WHERE X < 4000")
+        assert answer.qpf_uses > 0
+        assert db.server.index("t", "X").pop.num_partitions > 1
+
+    def test_closed_session_refuses_queries(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.query("SELECT * FROM t WHERE X < 100")
+        # A new session for the same tenant is a fresh handle.
+        assert manager.session("acme") is not session
+
+    def test_close_drains_inflight_queries(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        started = threading.Event()
+        answers = []
+
+        original = db._query_with
+
+        def slow_query(*args, **kwargs):
+            started.set()
+            import time
+            time.sleep(0.1)
+            return original(*args, **kwargs)
+
+        db._query_with = slow_query
+        worker = threading.Thread(
+            target=lambda: answers.append(
+                session.query("SELECT * FROM t WHERE X < 5000")))
+        worker.start()
+        started.wait(timeout=5)
+        manager.close()
+        worker.join(timeout=5)
+        assert answers and answers[0].qpf_uses > 0
+        with pytest.raises(RuntimeError):
+            session.query("SELECT * FROM t WHERE X < 100")
+        with pytest.raises(RuntimeError):
+            manager.session("late")
+
+    def test_exclusive_statements_still_run(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X", "Y"])
+        # BETWEEN, multi-predicate and aggregate statements take the
+        # exclusive side of the table gate; correctness is unchanged.
+        answer = session.query(
+            "SELECT * FROM t WHERE X BETWEEN 1000 AND 4000")
+        assert answer.count >= 0
+        answer = session.query(
+            "SELECT * FROM t WHERE X < 6000 AND Y < 6000")
+        assert answer.count >= 0
+        answer = session.query("SELECT MIN(X) FROM t")
+        assert answer.value is not None
+
+    def test_statement_gate_classification(self):
+        db = make_db()
+        assert SessionManager._is_shared(
+            db._parse("SELECT * FROM t WHERE X < 10"))
+        assert SessionManager._is_shared(db._parse("SELECT * FROM t"))
+        assert not SessionManager._is_shared(
+            db._parse("SELECT * FROM t WHERE X BETWEEN 1 AND 10"))
+        assert not SessionManager._is_shared(
+            db._parse("SELECT * FROM t WHERE X < 10 AND Y < 10"))
+        assert not SessionManager._is_shared(db._parse("SELECT MIN(X) FROM t"))
+
+
+class TestUpdateVisibility:
+    def test_base_insert_visible_to_tenant_sessions(self):
+        db = make_db()
+        db.enable_prkb("t", ["X"])
+        manager = SessionManager(db)
+        sessions = [manager.session(t) for t in ("acme", "beta")]
+        for session in sessions:
+            session.enable_prkb("t", ["X"])
+            session.query("SELECT * FROM t WHERE X < 5000")  # refine first
+        before = [s.query("SELECT COUNT(*) FROM t WHERE X < 50").count
+                  for s in sessions]
+        db.insert("t", {"X": [10], "Y": [10]})
+        for session, count in zip(sessions, before):
+            got = session.query("SELECT COUNT(*) FROM t WHERE X < 50")
+            assert got.count == count + 1, session.tenant
+        # The base server's own index saw it too.
+        assert db.query("SELECT COUNT(*) FROM t WHERE X < 50").count \
+            == before[0] + 1
+
+    def test_base_delete_visible_to_tenant_sessions(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        victim = session.query("SELECT * FROM t WHERE X < 5000").uids[0]
+        before = session.query("SELECT COUNT(*) FROM t").count
+        db.delete("t", np.asarray([victim], dtype=np.uint64))
+        assert session.query("SELECT COUNT(*) FROM t").count == before - 1
+        uids = session.query("SELECT * FROM t WHERE X < 5000").uids
+        assert victim not in uids
+
+    def test_released_session_stops_mirroring(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        assert session.namespace in db.server._index_mirrors
+        session.close()
+        assert session.namespace not in db.server._index_mirrors
+        # Inserts after release no longer touch the dead namespace.
+        db.insert("t", {"X": [10], "Y": [10]})
+
+    def test_manager_close_unregisters_mirrors(self):
+        db = make_db()
+        manager = SessionManager(db)
+        manager.session("acme").enable_prkb("t", ["X"])
+        manager.close()
+        assert db.server._index_mirrors == []
+
+
+class TestEngineClose:
+    def test_close_is_idempotent(self):
+        db = make_db()
+        db.close()
+        db.close()  # second close is a no-op
+        assert db.closed
+
+    def test_db_close_drains_attached_manager(self):
+        db = make_db()
+        manager = SessionManager(db)
+        session = manager.session("acme")
+        session.enable_prkb("t", ["X"])
+        session.query("SELECT * FROM t WHERE X < 5000")
+        db.close()
+        db.close()
+        with pytest.raises(RuntimeError):
+            session.query("SELECT * FROM t WHERE X < 100")
