@@ -14,9 +14,15 @@ Three commands cover the library's everyday entry points:
 * ``stats``   — run a traced workload (CSV or synthetic) with full
   observability on and print PRKB health plus the metrics registry in
   text, Prometheus or JSON form.
+* ``outcomes`` — run a workload with plan-outcome tracking enabled and
+  print the knowledge-base report: estimate-error percentiles, learned
+  correction factors and per-tenant SLO standing (``--selftune``
+  replays the identical workload on a corrected seed-twin and shows
+  the before/after estimate-error p90).
 
-The CLI is a thin shell over the public API; everything it does can be
-done in a few lines of Python (see ``examples/``).
+``stats`` and ``outcomes`` both accept ``--json`` for scripting, sharing
+one formatter.  The CLI is a thin shell over the public API; everything
+it does can be done in a few lines of Python (see ``examples/``).
 """
 
 from __future__ import annotations
@@ -108,8 +114,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="text",
                        choices=("text", "prom", "json"),
                        help="metrics output format (default text)")
+    stats.add_argument("--json", action="store_true",
+                       help="shorthand for --format json")
     stats.add_argument("--seed", type=int, default=0)
+
+    outcomes = sub.add_parser(
+        "outcomes",
+        help="run a workload with plan-outcome tracking; print the report")
+    outcomes.add_argument("--csv", default=None,
+                          help="CSV with integer columns "
+                               "(default: synthetic)")
+    outcomes.add_argument("--table", default="data",
+                          help="table name (default 'data')")
+    outcomes.add_argument("--rows", type=int, default=2_000,
+                          help="synthetic table size when no --csv")
+    outcomes.add_argument("--queries", type=int, default=60,
+                          help="range/BETWEEN queries to run (default 60)")
+    outcomes.add_argument("--ledger", default=None, metavar="DIR",
+                          help="also append atoms to a durable ledger "
+                               "directory")
+    outcomes.add_argument("--fsync", default="off",
+                          help="ledger fsync policy: always, off, "
+                               "every:N (default off)")
+    outcomes.add_argument("--selftune", action="store_true",
+                          help="replay the workload on a corrected "
+                               "seed-twin and report before/after "
+                               "estimate error")
+    outcomes.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    outcomes.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _emit_json(payload: dict) -> int:
+    """The one JSON formatter every ``--json`` path shares."""
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _load_csv(path: str) -> dict[str, np.ndarray]:
@@ -259,8 +301,6 @@ def _cmd_rpoi(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    import json
-
     from .edbms.engine import EncryptedDatabase
     from .obs import render_json, render_prometheus
 
@@ -286,16 +326,15 @@ def _cmd_stats(args) -> int:
     if args.format == "prom":
         print(render_prometheus(registry), end="")
         return 0
-    if args.format == "json":
-        print(json.dumps({
+    if args.format == "json" or args.json:
+        return _emit_json({
             "metrics": render_json(registry),
             "health": {
                 f"{args.table}.{attribute}": db.server.index(
                     args.table, attribute).health()
                 for attribute in columns
             },
-        }, indent=2))
-        return 0
+        })
     total = args.queries * len(columns)
     print(f"ran {total} traced queries over {sorted(columns)} "
           f"({len(tracer)} spans retained)")
@@ -333,6 +372,107 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_outcomes(args) -> int:
+    from .edbms.engine import EncryptedDatabase
+
+    if args.csv is not None:
+        columns = _load_csv(args.csv)
+    else:
+        rng = np.random.default_rng(args.seed)
+        columns = {"X": rng.integers(1, 1_000_001, size=args.rows,
+                                     dtype=np.int64)}
+    domains = {
+        name: (int(values.min()) - 1, int(values.max()) + 1)
+        for name, values in columns.items()
+    }
+    def build() -> EncryptedDatabase:
+        twin = EncryptedDatabase(seed=args.seed)
+        twin.create_table(args.table, domains, columns)
+        twin.enable_prkb(args.table, list(columns))
+        return twin
+
+    attribute = sorted(columns)[0]
+    low, high = domains[attribute]
+    rng = np.random.default_rng(args.seed + 1)
+    # Alternate comparisons and BETWEENs so both dispatch kinds (and
+    # their distinct correction keys) gather history.
+    statements = []
+    for i, constant in enumerate(
+            rng.integers(low + 1, high, size=args.queries)):
+        constant = int(constant)
+        if i % 2:
+            other = int(rng.integers(low + 1, high))
+            a, b = sorted((constant, other))
+            statements.append(f"SELECT * FROM {args.table} "
+                              f"WHERE {attribute} BETWEEN {a} AND {b}")
+        else:
+            statements.append(f"SELECT * FROM {args.table} "
+                              f"WHERE {attribute} < {constant}")
+
+    db = build()
+    store = db.enable_outcomes(args.ledger, fsync=args.fsync)
+    for sql in statements:
+        db.query(sql)
+    report = store.report()
+    tenants = store.tenant_reports()
+    payload = {"outcomes": report, "tenants": tenants}
+    applied: dict = {}
+    after = report
+    if args.selftune:
+        # The bench_selftune shape: learn from the uncorrected run,
+        # then replay the identical workload on a corrected seed-twin
+        # so the before/after windows are apples to apples.
+        applied = store.corrections()
+        if applied:
+            twin = build()
+            twin_store = twin.enable_outcomes()
+            twin.apply_corrections(applied)
+            for sql in statements:
+                twin.query(sql)
+            after = twin_store.report()
+            twin.close()
+        payload["selftune"] = {
+            "applied": applied,
+            "error_p90_before": report["error_p90"],
+            "error_p90_after": after["error_p90"],
+        }
+    if args.ledger:
+        payload["ledger"] = db.ledger.stats()
+    if args.json:
+        return _emit_json(payload)
+    print(f"plan outcomes: {report['atoms']} atoms over "
+          f"{len(report['fingerprints'])} plan fingerprints")
+    print(f"estimate error: p50={report['error_p50']:.3f}  "
+          f"p90={report['error_p90']:.3f}")
+    corrections = report["corrections"]
+    if corrections:
+        rendered = "  ".join(f"{key} x{factor:.2f}"
+                             for key, factor in sorted(corrections.items()))
+        print(f"learned corrections ({len(corrections)}): {rendered}")
+    else:
+        print("learned corrections: none yet "
+              f"(steps need {store.min_samples}+ exact samples)")
+    if args.selftune:
+        print(f"self-tune: corrected twin replay with {len(applied)} "
+              f"learned factors; error p90 {report['error_p90']:.3f} -> "
+              f"{after['error_p90']:.3f}")
+    for tenant, entry in sorted(tenants.items()):
+        slo = entry["slo"]
+        latency = entry["latency_ms"]
+        print(f"tenant {tenant!r}: {entry['count']} queries  "
+              f"latency p50/p90={latency['p50']:.2f}"
+              f"/{latency['p90']:.2f}ms  "
+              f"SLO met {100 * slo['met_fraction']:.1f}% "
+              f"(burn {slo['burn_rate']:.2f})")
+    if args.ledger:
+        stats = db.ledger.stats()
+        print(f"ledger: {stats['records_written']} records in "
+              f"{stats['segments']} segment(s) at {stats['path']} "
+              f"(fsync={stats['fsync']})")
+    db.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -346,6 +486,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_rpoi(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "outcomes":
+        return _cmd_outcomes(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,7 +24,12 @@ from ..crypto.primitives import generate_key
 from ..obs import (
     DEFAULT_RATIO_BUCKETS,
     MetricsRegistry,
+    OutcomeStore,
+    PlanOutcomeLedger,
+    SLOTarget,
     Tracer,
+    build_atom,
+    statement_hash,
 )
 from ..plan import (
     TRAPDOOR_MEMO_SIZE,
@@ -136,6 +141,12 @@ class EncryptedDatabase:
         #: Serving-layer attachments (session managers / query servers)
         #: drained before teardown — see :meth:`close`.
         self._serving: list = []
+        #: Plan-outcome tracking (``None`` until
+        #: :meth:`enable_outcomes`): the in-memory aggregate store, the
+        #: optional durable ledger and the injectable atom clock.
+        self.outcomes: OutcomeStore | None = None
+        self._ledger: PlanOutcomeLedger | None = None
+        self._outcome_clock = time.time
 
     # -- observability ------------------------------------------------------- #
 
@@ -159,6 +170,8 @@ class EncryptedDatabase:
         self.counter.tracer = self.tracer
         self.counter.metrics = self.metrics
         self._register_metrics(self.metrics)
+        if self.outcomes is not None:
+            self.outcomes.bind_metrics(self.metrics)
         return self.tracer, self.metrics
 
     def disable_observability(self) -> None:
@@ -256,13 +269,112 @@ class EncryptedDatabase:
     def observability_endpoint(self) -> "ObservabilityEndpoint":
         """An HTTP-ready introspection surface for this database.
 
-        ``GET /metrics``, ``/metrics.json``, ``/trace/<query_id>`` and
-        ``/health`` — see :class:`~repro.edbms.server.ObservabilityEndpoint`.
-        Call :meth:`enable_observability` first for metrics and traces
+        ``GET /metrics``, ``/metrics.json``, ``/trace/<query_id>``,
+        ``/health``, ``/outcomes`` and ``/tenants`` — see
+        :class:`~repro.edbms.server.ObservabilityEndpoint`.
+        Call :meth:`enable_observability` first for metrics and traces,
+        :meth:`enable_outcomes` for the outcome/tenant reports
         (``/health`` works regardless).
         """
         return ObservabilityEndpoint(self.server, tracer=self.tracer,
-                                     registry=self.metrics)
+                                     registry=self.metrics,
+                                     outcomes=self.outcomes)
+
+    # -- plan outcomes -------------------------------------------------------- #
+
+    def enable_outcomes(self, path=None, *, fsync="off",
+                        rotate_bytes: int = 4 << 20, max_segments: int = 8,
+                        slo: SLOTarget | None = None,
+                        store: OutcomeStore | None = None,
+                        clock=None) -> OutcomeStore:
+        """Start recording one knowledge atom per executed query.
+
+        Every :meth:`query` / session query / :meth:`explain_analyze`
+        then feeds an :class:`~repro.obs.OutcomeStore` (per-fingerprint
+        error statistics, per-tenant SLO percentiles, learned correction
+        factors).  With ``path`` set, atoms are also appended to a
+        durable :class:`~repro.obs.PlanOutcomeLedger` there —
+        ``fsync`` / ``rotate_bytes`` / ``max_segments`` are the ledger's
+        knobs (the fsync grammar is the WAL's).  ``slo`` overrides the
+        default per-tenant target; ``store`` supplies a pre-seeded
+        store; ``clock`` injects the atom timestamp source (a callable,
+        for deterministic tests).  Recording is pure post-execution
+        bookkeeping: it spends no QPF and never changes planning —
+        estimates only move when :meth:`apply_corrections` is called
+        explicitly.  Idempotent while enabled.
+        """
+        if self.outcomes is not None:
+            return self.outcomes
+        self.outcomes = store if store is not None else OutcomeStore(slo=slo)
+        if path is not None:
+            self._ledger = PlanOutcomeLedger(
+                path, fsync=fsync, rotate_bytes=rotate_bytes,
+                max_segments=max_segments, metrics=self.metrics)
+        if clock is not None:
+            self._outcome_clock = clock
+        if self.metrics is not None:
+            self.outcomes.bind_metrics(self.metrics)
+        return self.outcomes
+
+    def disable_outcomes(self) -> None:
+        """Stop outcome recording; closes the ledger if one is attached."""
+        if self._ledger is not None:
+            self._ledger.close()
+            self._ledger = None
+        self.outcomes = None
+        self._outcome_clock = time.time
+
+    @property
+    def ledger(self) -> PlanOutcomeLedger | None:
+        """The durable plan-outcome ledger (``None`` when memory-only)."""
+        return self._ledger
+
+    def apply_corrections(self, corrections: dict | None = None) -> dict:
+        """Load learned per-step correction factors into the estimator.
+
+        ``corrections=None`` pulls them from the live outcome store
+        (:meth:`~repro.obs.OutcomeStore.corrections`); an explicit dict
+        (e.g. from a ledger replayed elsewhere) is used as-is.  The plan
+        cache is invalidated — corrections change estimates without
+        touching catalog fingerprints, so stale plans cannot be
+        revalidated away.  Sessions created *after* this call inherit
+        the factors; the returned dict is what was installed.
+        """
+        if corrections is None:
+            if self.outcomes is None:
+                raise RuntimeError(
+                    "no outcome store; call enable_outcomes() first or "
+                    "pass corrections explicitly")
+            corrections = self.outcomes.corrections()
+        corrections = dict(corrections)
+        self.planner.estimator.corrections = corrections or None
+        self.planner.invalidate_plans()
+        return corrections
+
+    def clear_corrections(self) -> None:
+        """Restore the uncorrected analytic cost model (and replan)."""
+        self.planner.estimator.corrections = None
+        self.planner.invalidate_plans()
+
+    def _record_outcome(self, plan: PhysicalPlan, sql: str,
+                        actual_qpf: int, wall_ms: float, rows: int,
+                        tenant: str | None,
+                        step_actuals=None) -> None:
+        """Build one knowledge atom and feed the ledger + store."""
+        store = self.outcomes
+        ledger = self._ledger
+        if store is None and ledger is None:
+            return
+        atom = build_atom(
+            table=plan.statement.table, strategy=plan.strategy,
+            steps=plan.steps, sql_hash=statement_hash(sql),
+            tenant=tenant or "local", estimated_qpf=plan.estimated_qpf,
+            actual_qpf=actual_qpf, wall_ms=wall_ms, rows=rows,
+            ts=self._outcome_clock(), step_actuals=step_actuals)
+        if ledger is not None and not ledger.closed:
+            ledger.append(atom)
+        if store is not None:
+            store.ingest(atom)
 
     # -- durability ---------------------------------------------------------- #
 
@@ -344,6 +456,10 @@ class EncryptedDatabase:
         for attached in reversed(self._serving):
             attached.close()
         self._serving.clear()
+        # The ledger closes after the serving drain (in-flight queries
+        # still append atoms) and before durability teardown.
+        if self._ledger is not None:
+            self._ledger.close()
         if self.durability is not None:
             self.durability.close()
         close = getattr(self._trusted_machine, "close", None)
@@ -452,12 +568,15 @@ class EncryptedDatabase:
 
     def _query_with(self, planner: Planner, sql: str,
                     strategy: str = "auto",
-                    measured: bool = False) -> QueryAnswer:
+                    measured: bool = False,
+                    tenant: str | None = None) -> QueryAnswer:
         """Parse/plan/execute through a specific planner.
 
         ``planner`` is this database's own for :meth:`query`; serving
         sessions pass their per-tenant planner (built over an isolated
         namespace) so tenants never share plan caches or indexes.
+        ``tenant`` labels the query's knowledge atom when outcome
+        tracking is enabled (``None`` records as ``"local"``).
 
         ``measured=False`` accounts per-query cost as a global counter
         snapshot/diff — exact, and bit-identical to the historical
@@ -472,7 +591,9 @@ class EncryptedDatabase:
         counter = self.counter
         tracer = counter.tracer
         metrics = counter.metrics
-        start = time.perf_counter() if metrics is not None else 0.0
+        timed = metrics is not None or self.outcomes is not None \
+            or self._ledger is not None
+        start = time.perf_counter() if timed else 0.0
         query_id = None
         if tracer is None:
             plan = planner.plan(statement, strategy)
@@ -504,10 +625,13 @@ class EncryptedDatabase:
                          rows=int(uids.size))
                 query_id = span.trace_id
         planner.record_execution(plan)
+        wall = time.perf_counter() - start if timed else 0.0
         if metrics is not None:
-            metrics.histogram("repro_query_latency_seconds").observe(
-                time.perf_counter() - start)
+            metrics.histogram("repro_query_latency_seconds").observe(wall)
             self._record_estimate_error(plan, spent.qpf_uses)
+        if self.outcomes is not None or self._ledger is not None:
+            self._record_outcome(plan, sql, spent.qpf_uses, wall * 1e3,
+                                 int(uids.size), tenant)
         return QueryAnswer(
             uids=uids,
             value=value,
@@ -648,6 +772,13 @@ class EncryptedDatabase:
                 "repro_plan_estimate_error_ratio",
                 buckets=DEFAULT_RATIO_BUCKETS,
             ).observe((spent.qpf_uses + 1) / (plan.estimated_qpf + 1))
+        if self.outcomes is not None or self._ledger is not None:
+            # The audit gives exact per-step actuals, so even multi-step
+            # plans yield an *exact* atom the corrector can learn from.
+            self._record_outcome(
+                physical, sql, spent.qpf_uses, wall_ms, int(uids.size),
+                None, step_actuals=[
+                    s.actual_qpf for s in steps[:len(physical.steps)]])
         return PlanAnalysis(plan=plan, steps=tuple(steps), answer=answer)
 
     # -- result materialisation (DO side) ------------------------------------ #

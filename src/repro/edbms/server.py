@@ -273,6 +273,11 @@ class ObservabilityEndpoint:
       (``QueryAnswer.query_id``), 404 when evicted/unknown.
     * ``GET /health`` — per-index :meth:`~repro.core.prkb.PRKBIndex.health`
       plus the shared cost counter.
+    * ``GET /outcomes`` — the attached
+      :class:`~repro.obs.OutcomeStore`'s estimate-error report
+      (503 when outcome tracking is not enabled).
+    * ``GET /tenants`` — per-tenant latency/QPF percentiles and SLO
+      standing from the same store (503 when not enabled).
     * ``POST /query`` — execute one SELECT through an attached
       :class:`~repro.serve.QueryServer` (503 when none is attached).
       Body: ``{"sql": ..., "tenant": ..., "strategy": ...}``; admission
@@ -280,11 +285,12 @@ class ObservabilityEndpoint:
     """
 
     def __init__(self, server: ServiceProvider, tracer=None, registry=None,
-                 query_server=None):
+                 query_server=None, outcomes=None):
         self.server = server
         self.tracer = tracer
         self.registry = registry
         self.query_server = query_server
+        self.outcomes = outcomes
         self._httpd = None
         self._thread = None
 
@@ -324,6 +330,16 @@ class ObservabilityEndpoint:
                 for attribute, index in indexes.items():
                     body["indexes"][f"{table}.{attribute}"] = index.health()
             return 200, "application/json", json.dumps(body, indent=2)
+        if path == "/outcomes":
+            if self.outcomes is None:
+                return 503, "text/plain", "outcome tracking not enabled\n"
+            return (200, "application/json",
+                    json.dumps(self.outcomes.report(), indent=2))
+        if path == "/tenants":
+            if self.outcomes is None:
+                return 503, "text/plain", "outcome tracking not enabled\n"
+            return (200, "application/json",
+                    json.dumps(self.outcomes.tenant_reports(), indent=2))
         return 404, "text/plain", f"unknown path {path!r}\n"
 
     def handle_post(self, path: str, body: bytes) -> tuple[int, str, str]:

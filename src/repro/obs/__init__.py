@@ -7,7 +7,9 @@ it on the hot path either — the tracer/metrics handles travel on the
 shared :class:`~repro.edbms.costs.CostCounter` (``counter.tracer`` /
 ``counter.metrics``, both ``None`` until
 ``EncryptedDatabase.enable_observability()`` installs them), so the
-disabled cost is a single attribute test.
+disabled cost is a single attribute test.  (The plan-outcome ledger
+reuses the WAL's ``FsyncPolicy`` via a *lazy* import inside its
+constructor, so leafness at import time is preserved.)
 
 See API.md § Observability for the full tour; the short version::
 
@@ -19,6 +21,7 @@ See API.md § Observability for the full tour; the short version::
     print(tracer.trace_tree(tracer.spans(name="query")[-1].trace_id))
 """
 
+from .ledger import LedgerReadResult, PlanOutcomeLedger, read_ledger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_RATIO_BUCKETS,
@@ -30,6 +33,15 @@ from .metrics import (
     render_json,
     render_prometheus,
 )
+from .outcomes import (
+    OutcomeStore,
+    SLOTarget,
+    build_atom,
+    plan_fingerprint,
+    statement_hash,
+    step_key,
+    symmetric_error,
+)
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -37,4 +49,7 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "log_buckets",
     "DEFAULT_LATENCY_BUCKETS", "DEFAULT_RATIO_BUCKETS",
     "render_prometheus", "render_json",
+    "PlanOutcomeLedger", "LedgerReadResult", "read_ledger",
+    "OutcomeStore", "SLOTarget", "build_atom", "statement_hash",
+    "step_key", "plan_fingerprint", "symmetric_error",
 ]

@@ -39,6 +39,7 @@ from ..core.aggregates import AggregateResolver
 from ..core.multi import estimate_grid_qpf
 from ..core.single import SingleDimensionProcessor
 from ..edbms.sql import ComparisonCondition
+from ..obs.outcomes import step_key
 from .logical import BoundedDimension
 
 __all__ = ["CostEstimator", "ESTIMATE_BOUND", "ESTIMATE_SLACK"]
@@ -63,6 +64,31 @@ class CostEstimator:
     def __init__(self, server, memo_probe: Callable):
         self.server = server
         self._memo_probe = memo_probe
+        #: Learned per-step-fingerprint multipliers
+        #: (:meth:`~repro.obs.outcomes.OutcomeStore.corrections`), keyed
+        #: by ``table|kind|attributes``.  ``None`` (the default) keeps
+        #: estimation bit-identical to the analytic model — corrections
+        #: are strictly opt-in via
+        #: :meth:`~repro.edbms.engine.EncryptedDatabase.apply_corrections`.
+        self.corrections: dict[str, float] | None = None
+
+    def corrected_qpf(self, table_name: str, kind: str, attributes,
+                      estimate: int) -> tuple[int, int | None]:
+        """Apply a learned correction factor to one step estimate.
+
+        Returns ``(corrected, raw)`` where ``raw`` is the uncorrected
+        estimate when a factor applied, else ``None`` — the planner
+        records ``raw`` as ``("uncorrected", raw)`` provenance in the
+        step's alternatives.  With no corrections loaded (the default)
+        this is the identity.
+        """
+        corrections = self.corrections
+        if not corrections:
+            return estimate, None
+        factor = corrections.get(step_key(table_name, kind, attributes))
+        if factor is None:
+            return estimate, None
+        return max(1, int(round(estimate * factor))), estimate
 
     # -- primitive costs -------------------------------------------------- #
 

@@ -253,6 +253,16 @@ class Planner:
         return BatchProbeOp(table, tuple(
             statement.conditions[0] for statement in statements))
 
+    def invalidate_plans(self) -> None:
+        """Drop every cached physical plan (and statement profile).
+
+        Needed when the cost model itself changes under the cache —
+        loading or clearing estimator corrections alters estimates
+        without touching any catalog fingerprint, so revalidation alone
+        would keep serving pre-correction plans.
+        """
+        self._plan_cache = PlanCache(PLAN_CACHE_SIZE)
+
     def record_execution(self, plan: PhysicalPlan) -> None:
         """Count the dispatched strategies of one executed plan."""
         metrics = self.counter.metrics
@@ -332,7 +342,9 @@ class Planner:
         start = time.perf_counter()
         if tracer is not None:
             with tracer.span("plan.fingerprint", table=profile.table,
-                             attributes=len(profile.attributes)):
+                             attributes=len(profile.attributes),
+                             corrections=len(
+                                 self.estimator.corrections or ())):
                 fingerprint = self._profile_fingerprint(profile)
         else:
             fingerprint = self._profile_fingerprint(profile)
@@ -410,10 +422,15 @@ class Planner:
             attrs = tuple(d.attribute for d in dimensions)
             ks = [self.server.index(table, a).num_partitions
                   for a in attrs]
+            kind = "md-grid" if mode == "md" else "prkb-sd"
             estimated = estimator.grid_qpf(table, dimensions,
                                            bonus=(mode == "md"))
+            estimated, raw = estimator.corrected_qpf(table, kind, attrs,
+                                                     estimated)
+            if raw is not None:
+                grid_alternatives += (("uncorrected", raw),)
             step = PlanStep(
-                kind="md-grid" if mode == "md" else "prkb-sd",
+                kind=kind,
                 attributes=attrs,
                 indexed=True,
                 partitions=min(ks),
@@ -446,6 +463,9 @@ class Planner:
         kind = ("prkb-between"
                 if isinstance(condition, BetweenCondition) else "prkb-sd")
         prkb_cost = self.estimator.comparison_qpf(table, attribute)
+        prkb_cost, raw = self.estimator.corrected_qpf(
+            table, kind, (attribute,), prkb_cost)
+        provenance = (("uncorrected", raw),) if raw is not None else ()
         if kind == "prkb-sd" and self.estimator.is_cached(table, condition):
             # A predicate the equivalence cache already knows is one
             # chain slice: 0 QPF, not a cold NS-pair scan.
@@ -457,10 +477,12 @@ class Planner:
             else prkb_cost
         if effective <= scan_cost:
             step = PlanStep(kind, (attribute,), True, k, effective,
-                            alternatives=(("baseline-scan", scan_cost),))
+                            alternatives=(("baseline-scan", scan_cost),)
+                            + provenance)
             return PRKBSelectOp(table, condition, step)
         # Degenerate index (capped chain pricier than the scan, and no
         # refinement to buy): the adaptive dispatch drops to the scan.
         step = PlanStep("baseline-scan", (attribute,), False, None,
-                        scan_cost, alternatives=((kind, prkb_cost),))
+                        scan_cost, alternatives=((kind, prkb_cost),)
+                        + provenance)
         return LinearScanOp(table, condition, step)

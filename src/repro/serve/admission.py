@@ -34,14 +34,17 @@ __all__ = ["AdmissionController", "Overloaded", "QuotaExceeded",
 class Overloaded(RuntimeError):
     """Request shed: the server (or the tenant's slot quota) is full.
 
-    Retryable — carries the tenant and a human-readable reason; the
-    HTTP surface maps it to 429.
+    Retryable — carries the tenant, a human-readable reason and a
+    machine-readable ``code`` (``"capacity"`` / ``"inflight"`` /
+    ``"qpf_window"``) used as the metrics shed-reason label; the HTTP
+    surface maps it to 429.
     """
 
-    def __init__(self, tenant: str, reason: str):
+    def __init__(self, tenant: str, reason: str, code: str = "capacity"):
         super().__init__(f"tenant {tenant!r}: {reason}")
         self.tenant = tenant
         self.reason = reason
+        self.code = code
 
 
 class QuotaExceeded(Overloaded):
@@ -138,12 +141,14 @@ class AdmissionController:
                 self._shed_capacity += 1
                 raise Overloaded(
                     tenant, f"server at capacity "
-                            f"({self._pending}/{self.capacity} admitted)")
+                            f"({self._pending}/{self.capacity} admitted)",
+                    code="capacity")
             if state.inflight >= quota.max_inflight:
                 state.shed_inflight += 1
                 raise Overloaded(
                     tenant, f"{state.inflight} requests already in "
-                            f"flight (max {quota.max_inflight})")
+                            f"flight (max {quota.max_inflight})",
+                    code="inflight")
             if quota.qpf_per_window is not None:
                 now = self.clock()
                 if (state.window_start is None
@@ -156,7 +161,8 @@ class AdmissionController:
                     raise QuotaExceeded(
                         tenant, f"QPF budget spent "
                                 f"({state.window_qpf}"
-                                f"/{quota.qpf_per_window} this window)")
+                                f"/{quota.qpf_per_window} this window)",
+                        code="qpf_window")
             state.inflight += 1
             state.admitted += 1
             self._pending += 1

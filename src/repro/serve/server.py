@@ -17,8 +17,10 @@ per-query cost accounting uses thread-local measurement scopes, so
 
 Observability: when the database has metrics enabled the server feeds
 ``repro_serve_requests_total{tenant,outcome}``,
-``repro_serve_qpf_total{tenant}``, ``repro_serve_latency_seconds`` and
-an in-flight gauge; when tracing is enabled every request runs inside a
+``repro_serve_shed_total{tenant,reason}``,
+``repro_serve_qpf_total{tenant}``, ``repro_serve_latency_seconds``, a
+per-tenant ``repro_serve_request_seconds{tenant}`` histogram and an
+in-flight gauge; when tracing is enabled every request runs inside a
 ``serve.request`` span on its worker thread, with the engine's
 ``query`` span nesting beneath it.  :meth:`endpoint` returns the
 database's :class:`~repro.edbms.server.ObservabilityEndpoint` wired to
@@ -90,8 +92,9 @@ class QueryServer:
         session = self.session(tenant)
         try:
             self.admission.admit(tenant)
-        except Overloaded:
+        except Overloaded as exc:
             self._count(tenant, "shed")
+            self._count_shed(tenant, exc.code)
             raise
         try:
             return self._pool.submit(self._serve, session, sql, strategy)
@@ -134,10 +137,16 @@ class QueryServer:
         finally:
             self.admission.release(tenant, qpf_used)
             if metrics is not None:
+                elapsed = time.perf_counter() - start
                 metrics.histogram(
                     "repro_serve_latency_seconds",
                     "wall time of served requests, admission to answer",
-                ).observe(time.perf_counter() - start)
+                ).observe(elapsed)
+                metrics.histogram(
+                    "repro_serve_request_seconds",
+                    "wall time of served requests, by tenant",
+                    ("tenant",),
+                ).observe(elapsed, tenant=tenant)
                 if qpf_used:
                     metrics.counter(
                         "repro_serve_qpf_total",
@@ -155,6 +164,15 @@ class QueryServer:
                 "serving requests by tenant and outcome",
                 ("tenant", "outcome"),
             ).inc(tenant=tenant, outcome=outcome)
+
+    def _count_shed(self, tenant: str, reason: str) -> None:
+        metrics = self.db.counter.metrics
+        if metrics is not None:
+            metrics.counter(
+                "repro_serve_shed_total",
+                "shed serving requests by tenant and admission reason",
+                ("tenant", "reason"),
+            ).inc(tenant=tenant, reason=reason)
 
     def _register_metrics(self) -> None:
         metrics = self.db.counter.metrics

@@ -156,6 +156,11 @@ class SessionManager:
                     self.db.server, tenant)
                 planner = Planner(self.db.owner, namespace,
                                   self.db.counter)
+                # Learned cost corrections are database-wide knowledge
+                # (keyed by table|kind|attributes, not by tenant), so a
+                # fresh tenant planner inherits them.
+                planner.estimator.corrections = \
+                    self.db.planner.estimator.corrections
             else:
                 namespace = self.db.server
                 planner = self.db.planner
@@ -219,7 +224,8 @@ class SessionManager:
                     else gate.write())
             with hold:
                 answer = self.db._query_with(session.planner, sql,
-                                             strategy, measured=True)
+                                             strategy, measured=True,
+                                             tenant=session.tenant)
             with session._lock:
                 session.queries_served += 1
             return answer

@@ -198,3 +198,56 @@ class TestRpoi:
     def test_unknown_column(self, csv_file):
         with pytest.raises(SystemExit):
             main(["rpoi", "--csv", str(csv_file), "--column", "nope"])
+
+
+class TestOutcomes:
+    def test_outcomes_report(self, capsys):
+        code = main(["outcomes", "--rows", "300", "--queries", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan outcomes: 20 atoms" in out
+        assert "estimate error: p50=" in out
+        assert "tenant 'local': 20 queries" in out
+
+    def test_json_outputs_share_the_formatter(self, capsys):
+        import json
+
+        assert main(["outcomes", "--rows", "300", "--queries", "20",
+                     "--json"]) == 0
+        outcomes = json.loads(capsys.readouterr().out)
+        assert outcomes["outcomes"]["atoms"] == 20
+        assert outcomes["tenants"]["local"]["count"] == 20
+        assert main(["stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert set(stats) == {"health", "metrics"}
+
+    def test_ledger_persists_atoms(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        assert main(["outcomes", "--rows", "300", "--queries", "10",
+                     "--ledger", str(ledger), "--fsync", "every:4",
+                     "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ledger"]["records_written"] == 10
+        assert doc["ledger"]["fsync"] == "every:4"
+        from repro.obs import read_ledger
+
+        assert len(read_ledger(ledger).atoms) == 10
+
+    def test_selftune_replays_a_corrected_twin(self, capsys):
+        import json
+
+        assert main(["outcomes", "--rows", "400", "--queries", "40",
+                     "--selftune", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        selftune = doc["selftune"]
+        assert selftune["applied"]  # enough samples to learn factors
+        assert selftune["error_p90_after"] <= \
+            selftune["error_p90_before"]
+
+    def test_csv_workload(self, csv_file, capsys):
+        code = main(["outcomes", "--csv", str(csv_file),
+                     "--queries", "12"])
+        assert code == 0
+        assert "plan outcomes: 12 atoms" in capsys.readouterr().out

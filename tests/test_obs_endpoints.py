@@ -1,18 +1,23 @@
-"""The /metrics, /trace and /health introspection surface.
+"""The /metrics, /trace, /health and /outcomes introspection surface.
 
 ``ObservabilityEndpoint.handle`` is pure (path in, response out) so the
 routing tests need no sockets; one test exercises the real stdlib HTTP
-wrapper end to end on an ephemeral port.
+wrapper end to end on an ephemeral port.  Error paths (malformed POST
+bodies, unknown traces, outcomes-before-enable, scrape during drain)
+get their own classes.
 """
 
 import json
 import re
+import threading
 import urllib.request
 
 import numpy as np
 import pytest
 
 from repro.edbms.engine import EncryptedDatabase
+
+pytestmark = pytest.mark.obs
 
 #: One Prometheus exposition line: name{labels} value.
 _SAMPLE_LINE = re.compile(
@@ -110,6 +115,116 @@ class TestHealthRoute:
         health = doc["indexes"]["t.X"]
         for key in ("chain_length", "refinement_rate", "qpf_per_query"):
             assert key in health, key
+
+
+class TestOutcomesRoutes:
+    def test_503_without_outcome_tracking(self, served):
+        __, endpoint, __ = served
+        for path in ("/outcomes", "/tenants"):
+            status, __, body = endpoint.handle(path)
+            assert status == 503, path
+            assert "not enabled" in body
+
+    def test_empty_store_answers_200_with_zeroed_report(self):
+        db = EncryptedDatabase(seed=0)
+        db.enable_outcomes()  # no queries yet: the ledger is "empty"
+        endpoint = db.observability_endpoint()
+        status, content_type, body = endpoint.handle("/outcomes")
+        assert status == 200 and content_type == "application/json"
+        doc = json.loads(body)
+        assert doc["atoms"] == 0
+        assert doc["fingerprints"] == {} and doc["corrections"] == {}
+        status, __, body = endpoint.handle("/tenants")
+        assert status == 200 and json.loads(body) == {}
+
+    def test_populated_reports(self):
+        db = EncryptedDatabase(seed=0)
+        rng = np.random.default_rng(1)
+        db.create_table("t", {"X": (1, 10_000)},
+                        {"X": rng.integers(1, 10_001, 300)})
+        db.enable_prkb("t", ["X"])
+        db.enable_outcomes()
+        for c in (1000, 4000, 7000):
+            db.query(f"SELECT * FROM t WHERE X < {c}")
+        endpoint = db.observability_endpoint()
+        outcomes = json.loads(endpoint.handle("/outcomes")[2])
+        assert outcomes["atoms"] == 3
+        assert "t|prkb-sd|X" in outcomes["steps"]
+        tenants = json.loads(endpoint.handle("/tenants")[2])
+        assert tenants["local"]["count"] == 3
+        assert tenants["local"]["slo"]["met_fraction"] == 1.0
+
+
+class TestPostErrorPaths:
+    def test_post_unknown_path_is_404(self, served):
+        __, endpoint, __ = served
+        assert endpoint.handle_post("/nope", b"{}")[0] == 404
+
+    def test_post_query_without_server_is_503(self, served):
+        __, endpoint, __ = served
+        status, __, body = endpoint.handle_post(
+            "/query", b'{"sql": "SELECT * FROM t"}')
+        assert status == 503 and "not enabled" in body
+
+    def test_malformed_bodies_are_400(self):
+        from repro.serve import QueryServer
+
+        db = EncryptedDatabase(seed=0)
+        rng = np.random.default_rng(2)
+        db.create_table("t", {"X": (1, 100)},
+                        {"X": rng.integers(1, 101, 50)})
+        server = QueryServer(db, workers=1)
+        endpoint = server.endpoint()
+        for body in (b"not json at all", b"\xff\xfe garbage",
+                     b'["a", "list"]', b'{"tenant": "a"}'):
+            status, __, text = endpoint.handle_post("/query", body)
+            assert status == 400, body
+            assert "JSON object" in text
+        # Bad SQL through a well-formed envelope is also a 400.
+        status, __, __ = endpoint.handle_post(
+            "/query", b'{"sql": "DROP TABLE t"}')
+        assert status == 400
+        db.close()
+
+
+class TestScrapeDuringDrain:
+    def test_concurrent_scrapes_while_server_drains(self):
+        """GET /metrics stays coherent while db.close() drains serving."""
+        from repro.serve import QueryServer
+
+        db = EncryptedDatabase(seed=0)
+        rng = np.random.default_rng(3)
+        db.create_table("t", {"X": (1, 1_000)},
+                        {"X": rng.integers(1, 1_001, 200)})
+        db.enable_prkb("t", ["X"])
+        db.enable_observability()
+        db.enable_outcomes()
+        server = QueryServer(db, workers=2)
+        endpoint = server.endpoint()
+        for c in (100, 400, 700):
+            server.query("acme", f"SELECT * FROM t WHERE X < {c}")
+        statuses: list = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                for path in ("/metrics", "/outcomes", "/tenants"):
+                    status, __, body = endpoint.handle(path)
+                    statuses.append((path, status, body))
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            db.close()  # drains the query server mid-scrape
+        finally:
+            stop.set()
+            scraper.join(timeout=10)
+        assert not scraper.is_alive()
+        assert statuses
+        for path, status, body in statuses:
+            assert status == 200, (path, status)
+            if path != "/metrics":
+                json.loads(body)  # never a torn/partial JSON document
 
 
 class TestHttpServer:
