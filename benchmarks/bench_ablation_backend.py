@@ -1,11 +1,18 @@
 """Ablation — PRKB over two EDBMS backends (the Sec. 3.1 compatibility claim).
 
-The same PRKB code answers the same workload on (a) a Cipherbase-style
-trusted-machine backend and (b) an SDB-style secret-sharing backend whose
-QPF is a two-party protocol.  QPF *counts* are identical — PRKB's whole
-point is backend-agnostic QPF frugality — while the MPC backend's
-simulated time is higher per use (message round-trips).  PRKB's saving is
-therefore worth *more* on the more expensive backend.
+The same workload is answered twice through the engine's scheme
+registry: once with the scheme forced to ``prkb`` (the Cipherbase-style
+trusted-machine QPF) and once forced to ``mpc`` (the SDB-style
+secret-sharing backend, PRKB over additive shares).  QPF *counts* are
+identical — PRKB's whole point is backend-agnostic QPF frugality; the
+share chain replicates the trusted-machine index's sampling seed, so
+even the refinement trajectories match — while the MPC backend's
+simulated time is higher per use (two messages per share probe).
+PRKB's saving is therefore worth *more* on the more expensive backend.
+
+Earlier revisions drove ``MPCQueryProcessingFunction`` through a
+hand-built processor; now that ``db.query(..., strategy="mpc")`` exists
+the ablation exercises the exact dispatch path production queries use.
 """
 
 from __future__ import annotations
@@ -13,74 +20,71 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench import bench_seed, format_count, format_ms
-from repro.core import PRKBIndex, SingleDimensionProcessor
-from repro.crypto import generate_key
-from repro.edbms import (
-    DEFAULT_COST_MODEL,
-    CostCounter,
-    QueryProcessingFunction,
-    TrustedMachine,
-)
-from repro.edbms.owner import DataOwner
-from repro.edbms.sdb_backend import MPCQueryProcessingFunction, share_table
+from repro.edbms import DEFAULT_COST_MODEL
+from repro.edbms.engine import EncryptedDatabase
 from repro.workloads import distinct_comparison_thresholds, uniform_table
 
 from _common import emit, scaled
 
 DOMAIN = (1, 1_000_000)
+NUM_QUERIES = 80
 
 
-def _run_backend(backend: str, n: int):
-    owner = DataOwner(key=generate_key(300))
-    table = uniform_table("t", n, ["X"], domain=DOMAIN, seed=bench_seed() + 300)
-    counter = CostCounter()
-    if backend == "trusted-machine":
-        server_table = owner.encrypt_table(table, keep_plain=False)
-        qpf = QueryProcessingFunction(TrustedMachine(owner.key, counter))
-    else:
-        server_table = share_table(owner.key, table)
-        qpf = MPCQueryProcessingFunction(owner.key, counter)
-    index = PRKBIndex(server_table, qpf, "X", seed=bench_seed() + 301)
-    processor = SingleDimensionProcessor(index)
-    thresholds = distinct_comparison_thresholds(DOMAIN, 80, seed=bench_seed() + 302)
+def _run_strategy(strategy: str, n: int, queries: int = NUM_QUERIES):
+    """The workload on a seed-twin database with ``strategy`` forced."""
+    table = uniform_table("t", n, ["X"], domain=DOMAIN,
+                          seed=bench_seed() + 300)
+    db = EncryptedDatabase(seed=301)
+    db.create_table("t", {"X": DOMAIN}, {"X": table.columns["X"]})
+    db.enable_prkb("t", ["X"])
+    db.enable_hybrid()
+    build_qpf = db.counter.qpf_uses
+    thresholds = distinct_comparison_thresholds(DOMAIN, queries,
+                                                seed=bench_seed() + 302)
     results = []
     for threshold in thresholds:
-        trapdoor = owner.comparison_trapdoor("X", "<", int(threshold))
-        results.append(np.sort(processor.select(trapdoor)))
-    return counter, results, index.num_partitions
+        sql = f"SELECT * FROM t WHERE X < {int(threshold)}"
+        results.append(np.sort(db.query(sql, strategy=strategy).uids))
+    if strategy == "mpc":
+        chain = db.hybrid.materializer.mpc_index("t", "X")
+    else:
+        chain = db.server.index("t", "X")
+    query_qpf = db.counter.qpf_uses - build_qpf
+    return db, results, chain.num_partitions, query_qpf
 
 
 def test_ablation_backend(benchmark):
     n = scaled(4_000)
-    tm_counter, tm_results, tm_k = _run_backend("trusted-machine", n)
-    mpc_counter, mpc_results, mpc_k = _run_backend("secret-sharing", n)
+    tm_db, tm_results, tm_k, tm_qpf = _run_strategy("prkb", n)
+    mpc_db, mpc_results, mpc_k, mpc_qpf = _run_strategy("mpc", n)
     for a, b in zip(tm_results, mpc_results):
         assert np.array_equal(a, b)  # identical answers
     assert tm_k == mpc_k  # identical knowledge growth
-    assert tm_counter.qpf_uses == mpc_counter.qpf_uses  # identical QPF
-    tm_ms = DEFAULT_COST_MODEL.simulated_millis(tm_counter)
-    mpc_ms = DEFAULT_COST_MODEL.simulated_millis(mpc_counter)
+    assert tm_qpf == mpc_qpf  # identical QPF, query for query
+    tm_ms = DEFAULT_COST_MODEL.simulated_millis(tm_db.counter)
+    mpc_ms = DEFAULT_COST_MODEL.simulated_millis(mpc_db.counter)
     emit(
         "ablation_backend",
-        f"Ablation: PRKB over two EDBMS backends "
-        f"(80 distinct queries, n={n})",
-        ["Backend", "Total #QPF", "MPC messages", "Simulated time",
+        f"Ablation: PRKB over two EDBMS backends, forced through the "
+        f"scheme registry ({NUM_QUERIES} distinct queries, n={n})",
+        ["Backend", "Query #QPF", "MPC messages", "Simulated time",
          "Final k"],
         [
-            ["Trusted machine (Cipherbase-style)",
-             format_count(tm_counter.qpf_uses),
-             format_count(tm_counter.mpc_messages),
+            ["Trusted machine (strategy=prkb)",
+             format_count(tm_qpf),
+             format_count(tm_db.counter.mpc_messages),
              format_ms(tm_ms), str(tm_k)],
-            ["Secret sharing (SDB-style)",
-             format_count(mpc_counter.qpf_uses),
-             format_count(mpc_counter.mpc_messages),
+            ["Secret sharing (strategy=mpc)",
+             format_count(mpc_qpf),
+             format_count(mpc_db.counter.mpc_messages),
              format_ms(mpc_ms), str(mpc_k)],
         ],
     )
-    assert tm_counter.mpc_messages == 0
-    assert mpc_counter.mpc_messages == 2 * mpc_counter.qpf_uses
-    assert mpc_ms > 2 * tm_ms  # communication dominates
+    assert tm_db.counter.mpc_messages == 0
+    assert mpc_db.counter.mpc_messages == 2 * mpc_qpf
+    assert mpc_db.scheme_stats()["mpc"]["qpf_uses"] == mpc_qpf
+    assert mpc_ms > tm_ms  # communication dominates
 
     benchmark.pedantic(
-        lambda: _run_backend("secret-sharing", scaled(800)),
+        lambda: _run_strategy("mpc", scaled(800), queries=20),
         rounds=3, iterations=1)

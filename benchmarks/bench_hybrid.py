@@ -1,0 +1,216 @@
+"""Hybrid scheme routing under a security budget, vs forced PRKB.
+
+Not a paper figure: this gates the scheme-adaptive dispatcher
+(``repro.plan.schemes``).  One database runs a three-phase workload
+under a budget sized to exercise every scheme transition:
+
+* **Phase A** — distinct ``X < c`` comparisons.  The budget starts
+  above 1.0 RPOI, so the planner pays for the OPE column once and
+  answers every comparison at zero QPF (``ope-compare``).
+* **Phase B** — narrow ``Y BETWEEN`` bands (~1% of the domain).  The
+  OPE spend leaves less than 1.0 RPOI, so a second OPE column is
+  inadmissible; the Log-SRC-i probe (``src-probe``) wins on cost at
+  2 cuts/n leakage each, draining the remainder exactly.
+* **Phase C** — ``Z < c`` comparisons with the budget exhausted.  Only
+  the zero-leakage MPC share scheme is admissible (``mpc-share``).
+
+A seed-twin database answers the identical statements with forced
+PRKB (scan fallback on unindexed attributes); every winner set must be
+identical.  Results land in ``BENCH_hybrid.json``; CI diffs them with
+``bench_diff.py --threshold 0`` (routing counts, QPF and RPOI are all
+deterministic) and holds a floor on the forced-PRKB-over-hybrid
+wall-clock ratio.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_seed
+from repro.edbms.engine import EncryptedDatabase
+from repro.plan.schemes import MPC_KIND, OPE_KIND, SRC_KIND
+from repro.workloads import distinct_comparison_thresholds, uniform_table
+
+from _common import emit, emit_note, parse_bench_args, write_bench_json
+
+DOMAIN = (1, 100_000)
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hybrid.json"
+
+#: (rows, comparison queries, band queries, mpc queries) per mode.
+FULL_PARAMS = (2_000, 20, 20, 5)
+TINY_PARAMS = (400, 8, 8, 3)
+
+
+def _workload(n: int, num_cmp: int, num_band: int, num_mpc: int):
+    """The three-phase statement list (deterministic from the seed)."""
+    base = bench_seed()
+    phase_a = [f"SELECT * FROM t WHERE X < {int(t)}" for t in
+               distinct_comparison_thresholds(DOMAIN, num_cmp,
+                                              seed=base + 401)]
+    span = (DOMAIN[1] - DOMAIN[0] + 1) // 100  # ~1% of the domain
+    rng = np.random.default_rng(base + 402)
+    lows = rng.integers(DOMAIN[0], DOMAIN[1] - span, num_band)
+    phase_b = [f"SELECT * FROM t WHERE Y BETWEEN {int(lo)} "
+               f"AND {int(lo) + span}" for lo in lows]
+    phase_c = [f"SELECT * FROM t WHERE Z < {int(t)}" for t in
+               distinct_comparison_thresholds(DOMAIN, num_mpc,
+                                              seed=base + 403)]
+    return phase_a, phase_b, phase_c
+
+
+def _make_db(n: int) -> EncryptedDatabase:
+    """A seed-pinned database: X PRKB-indexed, Y and Z bare."""
+    table = uniform_table("t", n, ["X", "Y", "Z"], domain=DOMAIN,
+                          seed=bench_seed() + 400)
+    db = EncryptedDatabase(seed=7)
+    db.create_table("t", {attr: DOMAIN for attr in ("X", "Y", "Z")},
+                    {attr: table.columns[attr]
+                     for attr in ("X", "Y", "Z")})
+    db.enable_prkb("t", ["X"])
+    return db
+
+
+def _run_phases(db, phases, strategy: str):
+    """Execute every phase; returns (answers, per-phase wall seconds)."""
+    answers = []
+    walls = []
+    for statements in phases:
+        start = time.perf_counter()
+        for sql in statements:
+            answers.append(np.sort(db.query(sql, strategy=strategy).uids))
+        walls.append(time.perf_counter() - start)
+    return answers, walls
+
+
+def _measure(tiny: bool) -> dict:
+    n, num_cmp, num_band, num_mpc = TINY_PARAMS if tiny else FULL_PARAMS
+    phases = _workload(n, num_cmp, num_band, num_mpc)
+    budget = 1.0 + (2.0 * num_band) / n
+
+    hybrid_db = _make_db(n)
+    dispatch = hybrid_db.enable_hybrid(budget=budget)
+    qpf_before = hybrid_db.counter.qpf_uses
+    hybrid_answers, hybrid_walls = _run_phases(hybrid_db, phases, "auto")
+    hybrid_qpf = hybrid_db.counter.qpf_uses - qpf_before
+    routing = dict(hybrid_db.planner.strategy_counts)
+    scheme_qpf = {scheme: stats["qpf_uses"]
+                  for scheme, stats in hybrid_db.scheme_stats().items()}
+    spent = dispatch.ledger.spent("t")
+
+    prkb_db = _make_db(n)
+    qpf_before = prkb_db.counter.qpf_uses
+    prkb_answers, prkb_walls = _run_phases(prkb_db, phases, "prkb")
+    prkb_qpf = prkb_db.counter.qpf_uses - qpf_before
+
+    mismatches = sum(
+        0 if np.array_equal(a, b) else 1
+        for a, b in zip(hybrid_answers, prkb_answers))
+
+    hybrid_wall = sum(hybrid_walls)
+    prkb_wall = sum(prkb_walls)
+    return {
+        "params": {"rows": n, "comparisons": num_cmp,
+                   "bands": num_band, "mpc_queries": num_mpc},
+        "routing": {
+            "ope_compare": routing.get(OPE_KIND, 0),
+            "src_probe": routing.get(SRC_KIND, 0),
+            "mpc_share": routing.get(MPC_KIND, 0),
+            "prkb": sum(count for kind, count in routing.items()
+                        if kind.startswith("prkb")),
+            "scan": routing.get("baseline-scan", 0),
+        },
+        "qpf": {
+            "hybrid_total": hybrid_qpf,
+            "forced_prkb_total": prkb_qpf,
+            "by_scheme": scheme_qpf,
+        },
+        "leakage": {
+            "budget_rpoi": round(budget, 6),
+            "spent_rpoi": round(spent, 6),
+        },
+        "parity": {"winner_mismatches": mismatches,
+                   "statements": len(hybrid_answers)},
+        "wall": {
+            "hybrid_ms": hybrid_wall * 1e3,
+            "forced_prkb_ms": prkb_wall * 1e3,
+            "prkb_over_hybrid_speedup": prkb_wall / max(hybrid_wall,
+                                                        1e-9),
+        },
+    }
+
+
+def _check(results: dict) -> list[str]:
+    failures = []
+    params = results["params"]
+    routing = results["routing"]
+    expected = {"ope_compare": params["comparisons"],
+                "src_probe": params["bands"],
+                "mpc_share": params["mpc_queries"]}
+    for key, want in expected.items():
+        if routing[key] != want:
+            failures.append(
+                f"routing.{key}: {routing[key]} queries != {want}")
+    if results["parity"]["winner_mismatches"]:
+        failures.append(
+            f"{results['parity']['winner_mismatches']} statements "
+            "disagreed with the forced-PRKB twin")
+    if results["qpf"]["by_scheme"].get("ope", 0) != 0:
+        failures.append("ope-compare spent QPF; it must be SP-local")
+    budget = results["leakage"]["budget_rpoi"]
+    spent = results["leakage"]["spent_rpoi"]
+    if spent > budget + 1e-6:
+        failures.append(f"ledger overdrawn: {spent} > {budget}")
+    return failures
+
+
+def _report(results: dict, out=None) -> None:
+    routing = results["routing"]
+    qpf = results["qpf"]
+    rows = [
+        ["A: X < c (comparisons)", "ope-compare",
+         routing["ope_compare"], qpf["by_scheme"].get("ope", 0)],
+        ["B: Y BETWEEN (narrow bands)", "src-probe",
+         routing["src_probe"], qpf["by_scheme"].get("src", 0)],
+        ["C: Z < c (budget spent)", "mpc-share",
+         routing["mpc_share"], qpf["by_scheme"].get("mpc", 0)],
+    ]
+    emit("hybrid",
+         f"Hybrid routing under a {results['leakage']['budget_rpoi']} "
+         f"RPOI budget (n={results['params']['rows']})",
+         ["phase", "scheme", "queries", "scheme QPF"], rows)
+    emit_note(
+        "hybrid",
+        f"hybrid total {qpf['hybrid_total']} QPF vs forced PRKB "
+        f"{qpf['forced_prkb_total']} QPF; "
+        f"{results['parity']['statements']} statements, "
+        f"{results['parity']['winner_mismatches']} mismatches; "
+        f"RPOI spent {results['leakage']['spent_rpoi']}")
+    write_bench_json(out or JSON_PATH, "hybrid", 7, results)
+
+
+def test_bench_hybrid():
+    results = _measure(tiny=True)
+    _report(results, out="/dev/null")
+    assert not _check(results)
+
+
+def main(argv: list[str]) -> int:
+    args = parse_bench_args(argv)
+    results = _measure(tiny=args.tiny)
+    _report(results, out=args.out)
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"OK: every phase routed to its scheme; "
+          f"{results['parity']['statements']} winners match forced PRKB")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

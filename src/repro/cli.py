@@ -85,8 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated columns to index "
                            "(default: all)")
     plan.add_argument("--strategy", default="auto",
-                      choices=("auto", "md", "sd+", "baseline"),
-                      help="override the adaptive dispatch")
+                      choices=("auto", "md", "sd+", "baseline",
+                               "prkb", "scan", "ope", "src", "mpc"),
+                      help="override the adaptive dispatch; the scheme "
+                           "names (prkb/scan/ope/src/mpc) force one "
+                           "hybrid scheme per predicate")
+    plan.add_argument("--budget", type=float, default=None, metavar="RPOI",
+                      help="enable hybrid dispatch with this max "
+                           "cumulative RPOI per table (use 'inf' for "
+                           "unconstrained hybrid)")
     plan.add_argument("--prime", type=int, default=0, metavar="N",
                       help="pre-warm each index with N DO-generated "
                            "queries before planning (shows how estimates "
@@ -270,10 +277,23 @@ def _cmd_plan(args) -> int:
                 domains[attribute], args.prime, seed=args.seed)
             print(f"primed {attribute!r}: k={report.partitions_after} "
                   f"({report.qpf_spent} QPF)")
+    hybrid = None
+    if args.budget is not None or args.strategy in ("ope", "src", "mpc"):
+        import math as _math
+
+        budget = (None if args.budget is None
+                  or _math.isinf(args.budget) else args.budget)
+        hybrid = db.enable_hybrid(budget=budget)
     for sql in args.sql:
         physical = db.planner.plan(parse_select(sql),
                                    strategy=args.strategy)
         print(physical.render_tree())
+    if hybrid is not None:
+        spent = hybrid.ledger.spent(args.table)
+        limit = hybrid.budget.max_rpoi
+        print(f"security budget: {spent:.4g} RPOI spent of "
+              f"{'unconstrained' if limit is None else f'{limit:.4g}'} "
+              f"(planning only — execution charges the ledger)")
     return 0
 
 

@@ -286,6 +286,10 @@ class PRKBIndex:
         self.max_partitions = max_partitions
         self.cap_policy = cap_policy
         self.early_stop = early_stop
+        #: Retained so a sibling index (e.g. the hybrid layer's
+        #: PRKB-over-shares twin) can replicate this chain's sampling
+        #: trajectory exactly.
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         # Snapshot-read protocol (see repro/serve + DESIGN.md): concurrent
         # selections hold ``lock.read()`` while they freeze a ChainView and

@@ -147,6 +147,10 @@ class EncryptedDatabase:
         self.outcomes: OutcomeStore | None = None
         self._ledger: PlanOutcomeLedger | None = None
         self._outcome_clock = time.time
+        #: Shared hybrid artifact cache (``None`` until
+        #: :meth:`enable_hybrid`); survives :meth:`disable_hybrid` so
+        #: re-enabling reuses materialized artifacts.
+        self._hybrid_materializer = None
 
     # -- observability ------------------------------------------------------- #
 
@@ -355,6 +359,57 @@ class EncryptedDatabase:
         """Restore the uncorrected analytic cost model (and replan)."""
         self.planner.estimator.corrections = None
         self.planner.invalidate_plans()
+
+    def enable_hybrid(self, budget=None):
+        """Turn on scheme-adaptive hybrid execution (Enc²DB direction).
+
+        The planner then ranks every residual predicate across the full
+        scheme registry — PRKB, linear scan, OPE compare, Log-SRC-i
+        probe, MPC share — by corrected cost estimate, admitting only
+        candidates whose RPOI leakage fits ``budget``
+        (a :class:`~repro.plan.schemes.SecurityBudget`, a bare
+        ``max_rpoi`` float, or ``None`` for unconstrained).  Artifacts
+        (OPE columns, SRC structures, share tables + PRKB-over-shares
+        chains) are materialized lazily and version-keyed by the
+        :class:`~repro.edbms.hybrid.HybridMaterializer`, which is
+        shared with tenant sessions; returns the database's
+        :class:`~repro.plan.schemes.HybridDispatch`.
+
+        Hybrid is strictly opt-in: without this call, planning and
+        execution are bit-identical to the pure PRKB-vs-scan dispatch.
+        """
+        from ..plan.schemes import HybridDispatch, SecurityBudget
+        from .hybrid import HybridMaterializer
+
+        if budget is None or isinstance(budget, SecurityBudget):
+            budget_obj = budget if budget is not None else SecurityBudget()
+        else:
+            budget_obj = SecurityBudget(max_rpoi=float(budget))
+        if self._hybrid_materializer is None:
+            self._hybrid_materializer = HybridMaterializer(
+                self.owner, self.server, self.counter, seed=self._seed)
+        dispatch = HybridDispatch(self._hybrid_materializer, budget_obj)
+        self.planner.hybrid = dispatch
+        self.planner.invalidate_plans()
+        return dispatch
+
+    def disable_hybrid(self) -> None:
+        """Back to pure PRKB-vs-scan dispatch (materialized artifacts
+        are kept — re-enabling reuses them at their versions)."""
+        self.planner.hybrid = None
+        self.planner.invalidate_plans()
+
+    @property
+    def hybrid(self):
+        """The active :class:`~repro.plan.schemes.HybridDispatch`
+        (``None`` while hybrid execution is off)."""
+        return self.planner.hybrid
+
+    def scheme_stats(self) -> dict:
+        """Per-scheme QPF attribution tallies (hybrid executions only)."""
+        if self._hybrid_materializer is None:
+            return {}
+        return self._hybrid_materializer.scheme_stats()
 
     def _record_outcome(self, plan: PhysicalPlan, sql: str,
                         actual_qpf: int, wall_ms: float, rows: int,
@@ -684,6 +739,7 @@ class EncryptedDatabase:
                 table, [statement for __, statement in group])
             batch = probe.execute(self.planner.execution_context(),
                                   window=window)
+            self.planner.record_batch(table, len(group))
             for (position, _), answer in zip(group, batch):
                 logical = CostCounter(qpf_uses=answer.qpf_uses,
                                       tuples_retrieved=answer.qpf_uses)

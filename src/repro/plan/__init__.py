@@ -14,12 +14,21 @@ parse → plan → execute:
   (PRKB vs. linear scan vs. grid, cache-hit fast paths) and caches the
   resulting :class:`PhysicalPlan` per normalized statement;
 * :mod:`repro.plan.report` holds the EXPLAIN / EXPLAIN ANALYZE
-  dataclasses rendered from the *same* plan tree the executor runs.
+  dataclasses rendered from the *same* plan tree the executor runs;
+* :mod:`repro.plan.schemes` is the hybrid scheme registry — budgeted
+  (cost, leakage) dispatch over PRKB / scan / OPE / Log-SRC-i /
+  MPC-share candidates, off by default.
 
-See DESIGN.md ("Planner/executor split") and API.md ("repro.plan").
+See DESIGN.md ("Planner/executor split", "Hybrid scheme dispatch") and
+API.md ("repro.plan").
 """
 
-from .estimator import ESTIMATE_BOUND, ESTIMATE_SLACK, CostEstimator
+from .estimator import (
+    ESTIMATE_BOUND,
+    ESTIMATE_SLACK,
+    MPC_COST_FACTOR,
+    CostEstimator,
+)
 from .logical import BoundedDimension, LogicalSelect, build_logical
 from .operators import (
     AggregateOp,
@@ -28,9 +37,12 @@ from .operators import (
     ExecutionContext,
     GridIntersectOp,
     LinearScanOp,
+    MPCShareOp,
+    OPECompareOp,
     PhysicalOperator,
     PRKBSelectOp,
     SelectionRoot,
+    SRCStructureOp,
 )
 from .planner import (
     PLAN_CACHE_SIZE,
@@ -39,6 +51,15 @@ from .planner import (
     Planner,
 )
 from .report import PlanAnalysis, PlanStep, QueryPlan, StepAnalysis
+from .schemes import (
+    SCHEMES,
+    HybridDispatch,
+    LeakageLedger,
+    SchemeCandidate,
+    SecurityBudget,
+    condition_cuts,
+    inclusive_band,
+)
 
 __all__ = [
     "BoundedDimension",
@@ -47,15 +68,26 @@ __all__ = [
     "CostEstimator",
     "ESTIMATE_BOUND",
     "ESTIMATE_SLACK",
+    "MPC_COST_FACTOR",
     "ExecutionContext",
     "PhysicalOperator",
     "PRKBSelectOp",
     "CacheHitOp",
     "LinearScanOp",
     "GridIntersectOp",
+    "OPECompareOp",
+    "SRCStructureOp",
+    "MPCShareOp",
     "SelectionRoot",
     "AggregateOp",
     "BatchProbeOp",
+    "SCHEMES",
+    "SecurityBudget",
+    "LeakageLedger",
+    "HybridDispatch",
+    "SchemeCandidate",
+    "condition_cuts",
+    "inclusive_band",
     "Planner",
     "PhysicalPlan",
     "PLAN_CACHE_SIZE",

@@ -33,6 +33,7 @@ cost more).
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 from ..core.aggregates import AggregateResolver
@@ -42,7 +43,8 @@ from ..edbms.sql import ComparisonCondition
 from ..obs.outcomes import step_key
 from .logical import BoundedDimension
 
-__all__ = ["CostEstimator", "ESTIMATE_BOUND", "ESTIMATE_SLACK"]
+__all__ = ["CostEstimator", "ESTIMATE_BOUND", "ESTIMATE_SLACK",
+           "MPC_COST_FACTOR"]
 
 #: Documented bound on estimate error for strategy dispatch (see module
 #: docstring; enforced by tests/test_plan_property.py).
@@ -50,6 +52,10 @@ ESTIMATE_BOUND = 5
 #: Additive slack of the bound — absorbs binary-search and sampling
 #: constants on tiny tables where the multiplicative bound is meaningless.
 ESTIMATE_SLACK = 100
+#: Relative price of one QPF use over secret shares vs. the trusted
+#: machine: each probe is a share exchange (2 messages) on top of the
+#: evaluation itself, and recombination happens per tuple on the DO.
+MPC_COST_FACTOR = 3
 
 
 class CostEstimator:
@@ -118,6 +124,26 @@ class CostEstimator:
         if index.can_grow:
             return min(cost, self.scan_qpf(table_name))
         return cost
+
+    def src_probe_qpf(self, table_name: str, span: int,
+                      domain_size: int) -> int:
+        """One Log-SRC-i probe: SSE record opens for every matching
+        tuple (access-pattern volume, priced under uniform selectivity
+        ``span/D``) over both replica trees, plus the dyadic cover
+        lookups (``≤ 2·log2 D`` nodes)."""
+        n = self.scan_qpf(table_name)
+        fraction = min(1.0, max(0.0, span / max(1, domain_size)))
+        cover = 2 * max(1, int(math.ceil(math.log2(max(2, domain_size)))))
+        return max(1, int(2 * n * fraction) + cover)
+
+    def mpc_share_qpf(self, table_name: str, partitions: int) -> int:
+        """One predicate through PRKB-over-shares: the same analytic
+        chain model as the TM path (with the refinement credit — shared
+        chains grow too), scaled by :data:`MPC_COST_FACTOR`."""
+        n = self.scan_qpf(table_name)
+        formula = SingleDimensionProcessor.estimate_qpf(
+            n, max(1, partitions))
+        return MPC_COST_FACTOR * max(1, min(formula, n))
 
     def is_cached(self, table_name: str, condition) -> bool:
         """Whether re-running ``condition`` would hit the SP's

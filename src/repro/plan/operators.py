@@ -35,6 +35,9 @@ __all__ = [
     "CacheHitOp",
     "LinearScanOp",
     "GridIntersectOp",
+    "OPECompareOp",
+    "SRCStructureOp",
+    "MPCShareOp",
     "SelectionRoot",
     "AggregateOp",
     "BatchProbeOp",
@@ -57,6 +60,11 @@ class ExecutionContext:
     counter: object
     seal_comparison: Callable
     audit: list | None = None
+    #: Hybrid dispatch state (``repro.plan.schemes.HybridDispatch``) or
+    #: ``None`` when hybrid execution is off — the default.  Operators
+    #: reach the artifact materializer (OPE columns, Log-SRC-i indexes,
+    #: secret-shared tables) exclusively through this handle.
+    hybrid: object | None = None
 
 
 class _audited:
@@ -89,6 +97,10 @@ class PhysicalOperator:
     """Base: one plan step + one execute method."""
 
     __slots__ = ("step",)
+
+    #: Scheme label for per-scheme QPF attribution under hybrid
+    #: dispatch (see ``repro.plan.schemes.SCHEMES``).
+    scheme = "prkb"
 
     def __init__(self, step: PlanStep):
         self.step = step
@@ -143,6 +155,8 @@ class LinearScanOp(PhysicalOperator):
 
     __slots__ = ("table", "condition")
 
+    scheme = "scan"
+
     def __init__(self, table: str, condition, step: PlanStep):
         super().__init__(step)
         self.table = table
@@ -191,6 +205,82 @@ class GridIntersectOp(PhysicalOperator):
                                            strategy=self.mode)
 
 
+class OPECompareOp(PhysicalOperator):
+    """One predicate answered by SP-local order-preserving ciphertext
+    comparison — zero QPF, but the materialized OPE column has paid the
+    full total order (RPOI 1.0) to get here.  The column itself is
+    lazily built (version-keyed) by the hybrid materializer."""
+
+    __slots__ = ("table", "condition")
+
+    scheme = "ope"
+
+    def __init__(self, table: str, condition, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Compare OPE ciphertexts SP-side; zero QPF, exact winners."""
+        if ctx.hybrid is None:
+            raise RuntimeError("OPECompareOp requires hybrid execution "
+                               "(EncryptedDatabase.enable_hybrid)")
+        with _audited(ctx.audit, (self.condition.attribute,), ctx.counter):
+            return ctx.hybrid.materializer.ope_select(
+                self.table, self.condition, ctx.hybrid.ledger)
+
+
+class SRCStructureOp(PhysicalOperator):
+    """One predicate probed through the Log-SRC-i structure: an SSE
+    lookup per covering dyadic node, false positives filtered inside
+    the structure (exact winners out)."""
+
+    __slots__ = ("table", "condition")
+
+    scheme = "src"
+
+    def __init__(self, table: str, condition, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Probe the Log-SRC-i structure for the inclusive band."""
+        if ctx.hybrid is None:
+            raise RuntimeError("SRCStructureOp requires hybrid execution "
+                               "(EncryptedDatabase.enable_hybrid)")
+        with _audited(ctx.audit, (self.condition.attribute,), ctx.counter):
+            return ctx.hybrid.materializer.src_select(
+                self.table, self.condition)
+
+
+class MPCShareOp(PhysicalOperator):
+    """One predicate through the full PRKB pipeline over a
+    secret-shared table: same QFilter/QScan, but Θ is
+    ``MPCQueryProcessingFunction`` — comparison outcomes come back as
+    shares the DO recombines, so the SP learns nothing (RPOI 0).  The
+    trapdoor is sealed through the same DO memo as the TM path, so the
+    shared-side equivalence cache answers repeats identically."""
+
+    __slots__ = ("table", "condition")
+
+    scheme = "mpc"
+
+    def __init__(self, table: str, condition, step: PlanStep):
+        super().__init__(step)
+        self.table = table
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> np.ndarray:
+        """Seal the predicate and run PRKB over the shared table."""
+        if ctx.hybrid is None:
+            raise RuntimeError("MPCShareOp requires hybrid execution "
+                               "(EncryptedDatabase.enable_hybrid)")
+        with _audited(ctx.audit, (self.condition.attribute,), ctx.counter):
+            trapdoor = self._seal_condition(ctx, self.condition)
+            return ctx.hybrid.materializer.mpc_select(self.table, trapdoor)
+
+
 class SelectionRoot:
     """Intersect the child operators' winner sets (conjunctive AND).
 
@@ -210,8 +300,13 @@ class SelectionRoot:
         if not self.children:
             return np.sort(ctx.server.table(self.table).uids)
         winners: np.ndarray | None = None
+        hybrid = ctx.hybrid
         for child in self.children:
-            part = child.execute(ctx)
+            if hybrid is None:
+                part = child.execute(ctx)
+            else:
+                with hybrid.tally(child.scheme):
+                    part = child.execute(ctx)
             winners = part if winners is None else np.intersect1d(
                 winners, part, assume_unique=True)
         assert winners is not None

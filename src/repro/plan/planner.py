@@ -44,11 +44,21 @@ from .operators import (
     ExecutionContext,
     GridIntersectOp,
     LinearScanOp,
+    MPCShareOp,
+    OPECompareOp,
     PhysicalOperator,
     PRKBSelectOp,
     SelectionRoot,
+    SRCStructureOp,
 )
 from .report import PlanStep, QueryPlan
+from .schemes import (
+    MPC_KIND,
+    OPE_KIND,
+    SRC_KIND,
+    SchemeCandidate,
+    condition_cuts,
+)
 
 __all__ = ["Planner", "PhysicalPlan", "TRAPDOOR_MEMO_SIZE",
            "PLAN_CACHE_SIZE"]
@@ -63,7 +73,14 @@ TRAPDOOR_MEMO_SIZE = 512
 #: Physical plans retained per database, keyed ``(statement, strategy)``.
 PLAN_CACHE_SIZE = 256
 
-_STRATEGIES = ("auto", "md", "sd+", "baseline")
+#: Legacy paper strategies plus the scheme-forcing views: ``prkb`` and
+#: ``scan`` force the paper's two pipelines per predicate; ``ope``,
+#: ``src`` and ``mpc`` force the hybrid schemes (these three require
+#: hybrid execution to be enabled — they need materialized artifacts).
+_STRATEGIES = ("auto", "md", "sd+", "baseline",
+               "prkb", "scan", "ope", "src", "mpc")
+_SCHEME_STRATEGIES = ("prkb", "scan", "ope", "src", "mpc")
+_HYBRID_ONLY = ("ope", "src", "mpc")
 
 
 class PhysicalPlan:
@@ -151,6 +168,12 @@ class Planner:
         self._plan_cache = PlanCache(PLAN_CACHE_SIZE)
         self.estimator = CostEstimator(server, self._trapdoor_memo.get)
         self.strategy_counts: dict[str, int] = {}
+        #: Hybrid dispatch state (``repro.plan.schemes.HybridDispatch``)
+        #: or ``None`` — the default, which keeps planning bit-identical
+        #: to the pure PRKB-vs-scan dispatch.  Set via
+        #: ``EncryptedDatabase.enable_hybrid`` (callers must
+        #: ``invalidate_plans`` when flipping it).
+        self.hybrid = None
         # Guards the trapdoor memo and strategy tallies when worker
         # threads share one planner (the serving fast path); the plan
         # cache carries its own lock.
@@ -221,6 +244,10 @@ class Planner:
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"expected one of {_STRATEGIES}")
+        if strategy in _HYBRID_ONLY and self.hybrid is None:
+            raise RuntimeError(
+                f"strategy {strategy!r} requires hybrid execution "
+                f"(EncryptedDatabase.enable_hybrid)")
         cache = self._plan_cache
         profile = cache.profile(statement)
         counter = self.counter
@@ -228,6 +255,9 @@ class Planner:
             fingerprint = self._profile_fingerprint(profile)
         else:
             fingerprint = self._observed_fingerprint(profile)
+        if self.hybrid is not None:
+            fingerprint = fingerprint + self.hybrid.fingerprint_parts(
+                profile.table, profile.attributes)
         invalidations = cache.invalidations
         cached = cache.lookup((statement, strategy), fingerprint)
         if cached is not None:
@@ -276,6 +306,27 @@ class Planner:
                     "executed plan steps by dispatched strategy",
                     ("strategy",),
                 ).inc(strategy=step.kind)
+        if self.hybrid is not None:
+            self.hybrid.charge_execution(plan.statement.table, plan.steps)
+
+    def record_batch(self, table: str, count: int) -> None:
+        """Strategy attribution for the coalesced ``execute_many``
+        path: ``count`` single-comparison statements answered by one
+        :class:`BatchProbeOp` carry no per-statement plan steps, so the
+        batch dispatcher labels them here — every dispatch path feeds
+        ``repro_plan_strategy_total{strategy}``."""
+        if count <= 0:
+            return
+        with self._memo_lock:
+            self.strategy_counts["batch-probe"] = (
+                self.strategy_counts.get("batch-probe", 0) + count)
+        metrics = self.counter.metrics
+        if metrics is not None:
+            metrics.counter(
+                "repro_plan_strategy_total",
+                "executed plan steps by dispatched strategy",
+                ("strategy",),
+            ).inc(count, strategy="batch-probe")
 
     def execution_context(self, audit: list | None = None
                           ) -> ExecutionContext:
@@ -283,7 +334,7 @@ class Planner:
         return ExecutionContext(owner=self.owner, server=self.server,
                                 counter=self.counter,
                                 seal_comparison=self.seal_comparison,
-                                audit=audit)
+                                audit=audit, hybrid=self.hybrid)
 
     # -- internals --------------------------------------------------------- #
 
@@ -436,6 +487,9 @@ class Planner:
                 partitions=min(ks),
                 estimated_qpf=estimated,
                 alternatives=grid_alternatives,
+                # Each bounded dimension reveals a two-cut band.
+                leakage=(2 * len(attrs) / max(1, scan_cost)
+                         if self.hybrid is not None else 0.0),
             )
             steps.append(step)
             ops.append(GridIntersectOp(table, dimensions, mode, step))
@@ -451,6 +505,10 @@ class Planner:
                             scan_cost: int) -> PhysicalOperator:
         """Cost-based PRKB / cache-hit / linear-scan choice for one
         predicate (the Enc2DB-style adaptive dispatch)."""
+        if strategy in _SCHEME_STRATEGIES or (
+                strategy == "auto" and self.hybrid is not None):
+            return self._dispatch_scheme(table, condition, strategy,
+                                         scan_cost)
         attribute = condition.attribute
         indexed = (strategy != "baseline"
                    and self.server.has_index(table, attribute))
@@ -486,3 +544,107 @@ class Planner:
                         scan_cost, alternatives=((kind, prkb_cost),)
                         + provenance)
         return LinearScanOp(table, condition, step)
+
+    def _dispatch_scheme(self, table: str, condition, strategy: str,
+                         scan_cost: int) -> PhysicalOperator:
+        """Scheme-registry dispatch for one predicate.
+
+        Builds the full candidate list — PRKB (when indexed), linear
+        scan, and (when hybrid artifacts are reachable) OPE compare,
+        Log-SRC-i probe and MPC share — each carrying a corrected cost
+        estimate and an RPOI leakage estimate.  Under ``auto`` the
+        cheapest candidate *admissible under the leakage budget* wins
+        (ties prefer registry order, PRKB first); a forced scheme
+        strategy bypasses admissibility but still records and charges
+        its leakage.  Every rejected candidate lands in
+        ``PlanStep.alternatives`` as a ``(kind, cost, leakage)`` triple.
+        """
+        hybrid = self.hybrid
+        estimator = self.estimator
+        attribute = condition.attribute
+        between = isinstance(condition, BetweenCondition)
+        prkb_kind = "prkb-between" if between else "prkb-sd"
+        reveal = condition_cuts(condition) / max(1, scan_cost)
+        indexed = self.server.has_index(table, attribute)
+
+        candidates: list[SchemeCandidate] = []
+        factories: dict[str, object] = {}
+        provenance: dict[str, tuple] = {}
+
+        partitions = None
+        if indexed:
+            index = self.server.index(table, attribute)
+            partitions = index.num_partitions
+            cost, raw = estimator.corrected_qpf(
+                table, prkb_kind, (attribute,),
+                estimator.comparison_qpf(table, attribute))
+            if raw is not None:
+                provenance[prkb_kind] = (("uncorrected", raw),)
+            effective = min(cost, scan_cost) if index.can_grow else cost
+            candidates.append(
+                SchemeCandidate("prkb", prkb_kind, effective, reveal))
+            factories[prkb_kind] = \
+                lambda step: PRKBSelectOp(table, condition, step)
+        candidates.append(
+            SchemeCandidate("scan", "baseline-scan", scan_cost, reveal))
+        factories["baseline-scan"] = \
+            lambda step: LinearScanOp(table, condition, step)
+
+        if hybrid is not None:
+            scheme_factories = {
+                OPE_KIND: lambda step: OPECompareOp(table, condition,
+                                                    step),
+                SRC_KIND: lambda step: SRCStructureOp(table, condition,
+                                                      step),
+                MPC_KIND: lambda step: MPCShareOp(table, condition, step),
+            }
+            for candidate in hybrid.scheme_estimates(table, condition,
+                                                     estimator):
+                cost, raw = estimator.corrected_qpf(
+                    table, candidate.kind, (attribute,), candidate.cost)
+                if raw is not None:
+                    provenance[candidate.kind] = (("uncorrected", raw),)
+                    candidate = SchemeCandidate(
+                        candidate.scheme, candidate.kind, cost,
+                        candidate.leakage)
+                factories[candidate.kind] = \
+                    scheme_factories[candidate.kind]
+                candidates.append(candidate)
+
+        if (indexed and not between and strategy in ("auto", "prkb")
+                and estimator.is_cached(table, condition)):
+            # Equivalence-cache hit: the repeat costs ~0 QPF and reveals
+            # no *new* cut — the adversary already saw this result set.
+            alternatives = (tuple(c.as_alternative() for c in candidates)
+                            + provenance.get(prkb_kind, ()))
+            step = PlanStep(prkb_kind, (attribute,), True, partitions, 0,
+                            cached=True, alternatives=alternatives)
+            return CacheHitOp(table, condition, step)
+
+        if strategy in _SCHEME_STRATEGIES:
+            chosen = next((c for c in candidates
+                           if c.scheme == strategy), None)
+            if chosen is None:
+                # Forced PRKB on an unindexed attribute: only the scan
+                # is physically legal; the miss shows in alternatives.
+                chosen = next(c for c in candidates if c.scheme == "scan")
+        else:
+            ledger = hybrid.ledger
+            admissible = [c for c in candidates
+                          if ledger.admits(table, c.leakage)]
+            # MPC (leakage 0) is always admissible, so the pool is never
+            # empty while hybrid is on; the fallbacks are belt-and-braces.
+            pool = (admissible
+                    or [c for c in candidates if c.leakage <= 0.0]
+                    or candidates)
+            chosen = min(pool, key=lambda c: c.cost)
+
+        alternatives = (tuple(c.as_alternative() for c in candidates
+                              if c is not chosen)
+                        + provenance.get(chosen.kind, ()))
+        step = PlanStep(chosen.kind, (attribute,),
+                        chosen.kind == prkb_kind,
+                        partitions if chosen.kind == prkb_kind else None,
+                        chosen.cost, alternatives=alternatives,
+                        leakage=chosen.leakage)
+        return factories[chosen.kind](step)

@@ -22,7 +22,9 @@ __all__ = ["PlanStep", "QueryPlan", "StepAnalysis", "PlanAnalysis"]
 class PlanStep:
     """One step of an explained query plan."""
 
-    kind: str  # "md-grid" | "prkb-sd" | "prkb-between" | "baseline-scan"
+    # "md-grid" | "prkb-sd" | "prkb-between" | "baseline-scan"
+    # | "ope-compare" | "src-probe" | "mpc-share"
+    kind: str
     attributes: tuple[str, ...]
     indexed: bool
     partitions: int | None
@@ -30,9 +32,14 @@ class PlanStep:
     #: The planner expects the SP's equivalence cache to answer this step
     #: (a repeat of a known predicate): estimated cost collapses to ~0.
     cached: bool = False
-    #: Strategies the cost-based dispatch considered and rejected, as
-    #: ``(kind, estimated_qpf)`` pairs (empty when only one was legal).
+    #: Strategies the cost-based dispatch considered and rejected.
+    #: Legacy entries are ``(kind, estimated_qpf)`` pairs; hybrid
+    #: dispatch records ``(kind, estimated_qpf, leakage)`` triples so
+    #: every rejected scheme carries both cost and leakage.
     alternatives: tuple = ()
+    #: Estimated RPOI revealed by executing this step (0.0 outside
+    #: hybrid dispatch; see ``repro.plan.schemes`` for the model).
+    leakage: float = 0.0
 
     def render(self) -> str:
         """Human-readable single line."""
@@ -40,16 +47,23 @@ class PlanStep:
         index_note = (f"PRKB k={self.partitions}" if self.indexed
                       else "no index")
         cache_note = " [cached]" if self.cached else ""
+        leak_note = (f" leak={self.leakage:.4g}" if self.leakage else "")
         return (f"{self.kind}({attrs}) [{index_note}]{cache_note} "
-                f"~{self.estimated_qpf} QPF")
+                f"~{self.estimated_qpf} QPF{leak_note}")
 
     def render_alternatives(self) -> str:
         """The rejected strategies, one ``kind ~cost`` clause each."""
         if not self.alternatives:
             return ""
-        clauses = ", ".join(f"{kind} ~{cost} QPF"
-                            for kind, cost in self.alternatives)
-        return f"rejected: {clauses}"
+        clauses = []
+        for entry in self.alternatives:
+            if len(entry) >= 3:
+                kind, cost, leakage = entry[0], entry[1], entry[2]
+                clauses.append(f"{kind} ~{cost} QPF leak={leakage:.4g}")
+            else:
+                kind, cost = entry
+                clauses.append(f"{kind} ~{cost} QPF")
+        return f"rejected: {', '.join(clauses)}"
 
 
 @dataclass(frozen=True)

@@ -143,8 +143,19 @@ class SessionManager:
 
     # -- session lifecycle -------------------------------------------- #
 
-    def session(self, tenant: str, isolate: bool = True) -> Session:
-        """The (get-or-create) session for ``tenant``."""
+    def session(self, tenant: str, isolate: bool = True,
+                budget=None) -> Session:
+        """The (get-or-create) session for ``tenant``.
+
+        ``budget`` sets a per-tenant
+        :class:`~repro.plan.schemes.SecurityBudget` (or bare
+        ``max_rpoi`` float) for hybrid dispatch: the tenant's planner
+        gets a private leakage ledger over the database's *shared*
+        artifact materializer, so already-paid OPE columns are reused
+        while each tenant's cumulative RPOI is metered independently.
+        Requires ``db.enable_hybrid()`` first (only checked when a
+        budget is requested); ignored for existing sessions.
+        """
         with self._lock:
             if self._draining:
                 raise RuntimeError("session manager is closed")
@@ -161,12 +172,33 @@ class SessionManager:
                 # fresh tenant planner inherits them.
                 planner.estimator.corrections = \
                     self.db.planner.estimator.corrections
+                db_hybrid = self.db.planner.hybrid
+                if budget is not None or db_hybrid is not None:
+                    planner.hybrid = self._tenant_hybrid(budget, db_hybrid)
             else:
                 namespace = self.db.server
                 planner = self.db.planner
             session = Session(self, tenant, namespace, planner)
             self._sessions[tenant] = session
             return session
+
+    def _tenant_hybrid(self, budget, db_hybrid):
+        """A tenant-private dispatch over the shared materializer."""
+        from ..plan.schemes import (HybridDispatch, LeakageLedger,
+                                    SecurityBudget)
+
+        if db_hybrid is None:
+            raise RuntimeError(
+                "per-tenant security budgets need hybrid execution: "
+                "call db.enable_hybrid() first")
+        if budget is None:
+            budget_obj = db_hybrid.budget
+        elif isinstance(budget, SecurityBudget):
+            budget_obj = budget
+        else:
+            budget_obj = SecurityBudget(max_rpoi=float(budget))
+        return HybridDispatch(db_hybrid.materializer, budget_obj,
+                              LeakageLedger(budget_obj))
 
     def sessions(self) -> dict[str, Session]:
         """Live sessions by tenant name (snapshot copy)."""

@@ -1,0 +1,285 @@
+"""Scheme-adaptive hybrid execution: dispatch, budgets, parity, tallies.
+
+Covers the hybrid scheme registry end to end: default-off behaviour,
+budgeted candidate ranking with (cost, leakage) alternatives, forced
+scheme strategies with exact winner parity, OPE pay-once leakage
+accounting, MPC-vs-PRKB QPF trajectory parity with disjoint per-scheme
+attribution, per-tenant security budgets and scheme-labelled outcome
+atoms feeding the correction loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import BetweenPredicate, ComparisonPredicate
+from repro.edbms.engine import EncryptedDatabase
+from repro.edbms.sql import BetweenCondition, parse_select
+from repro.plan.schemes import MPC_KIND, OPE_KIND, SRC_KIND, SecurityBudget
+
+pytestmark = pytest.mark.hybrid
+
+N_ROWS = 300
+DOMAIN = (1, 10_000)
+
+FORCED = ("prkb", "scan", "ope", "src", "mpc")
+
+WORKLOAD = (
+    "SELECT * FROM t WHERE X < 4000",
+    "SELECT * FROM t WHERE X >= 7777",
+    "SELECT * FROM t WHERE Y BETWEEN 2000 AND 2400",
+    "SELECT * FROM t WHERE Y > 9000",
+)
+
+
+def _make_db(seed=7, attrs=("X", "Y")):
+    rng = np.random.default_rng(0)
+    database = EncryptedDatabase(seed=seed)
+    database.create_table(
+        "t", {"X": DOMAIN, "Y": DOMAIN},
+        {"X": rng.integers(DOMAIN[0], DOMAIN[1] + 1, N_ROWS,
+                           dtype=np.int64),
+         "Y": rng.integers(DOMAIN[0], DOMAIN[1] + 1, N_ROWS,
+                           dtype=np.int64)})
+    database.enable_prkb("t", list(attrs))
+    return database
+
+
+def _expected(db, sql):
+    statement = parse_select(sql)
+    winners = None
+    for condition in statement.conditions:
+        if isinstance(condition, BetweenCondition):
+            predicate = BetweenPredicate(condition.attribute,
+                                         condition.low, condition.high)
+        else:
+            predicate = ComparisonPredicate(condition.attribute,
+                                            condition.operator,
+                                            condition.constant)
+        part = db.owner.expected_result("t", predicate)
+        winners = part if winners is None else np.intersect1d(winners,
+                                                              part)
+    return np.sort(winners)
+
+
+@pytest.fixture
+def db():
+    return _make_db()
+
+
+class TestHybridOffDefaults:
+    def test_forced_scheme_strategies_require_hybrid(self, db):
+        for strategy in ("ope", "src", "mpc"):
+            with pytest.raises(RuntimeError, match="hybrid"):
+                db.query(WORKLOAD[0], strategy=strategy)
+
+    def test_default_plans_carry_no_leakage_or_triples(self, db):
+        plan = db.planner.plan(parse_select(WORKLOAD[0]))
+        assert plan.steps[0].leakage == 0.0
+        for entry in plan.steps[0].alternatives:
+            assert len(entry) == 2
+
+    def test_forced_prkb_and_scan_work_without_hybrid(self, db):
+        for strategy in ("prkb", "scan"):
+            answer = db.query(WORKLOAD[2], strategy=strategy)
+            assert np.array_equal(np.sort(answer.uids),
+                                  _expected(db, WORKLOAD[2]))
+
+
+class TestBudgetedDispatch:
+    def test_unconstrained_plans_record_three_scheme_alternatives(self,
+                                                                  db):
+        db.enable_hybrid()
+        for sql in WORKLOAD:
+            plan = db.planner.plan(parse_select(sql))
+            for step in plan.steps:
+                triples = [entry for entry in step.alternatives
+                           if len(entry) == 3]
+                assert len(triples) >= 3
+                for kind, cost, leakage in triples:
+                    assert isinstance(kind, str)
+                    assert cost >= 0
+                    assert leakage >= 0.0
+
+    def test_unconstrained_budget_routes_to_ope_for_free(self, db):
+        db.enable_hybrid()
+        answer = db.query(WORKLOAD[0])
+        assert answer.qpf_uses == 0
+        assert np.array_equal(np.sort(answer.uids),
+                              _expected(db, WORKLOAD[0]))
+        assert db.planner.strategy_counts.get(OPE_KIND) == 1
+
+    def test_zero_budget_forces_mpc(self, db):
+        dispatch = db.enable_hybrid(budget=0.0)
+        answer = db.query(WORKLOAD[0])
+        assert np.array_equal(np.sort(answer.uids),
+                              _expected(db, WORKLOAD[0]))
+        assert db.planner.strategy_counts.get(MPC_KIND) == 1
+        assert dispatch.ledger.spent("t") == 0.0
+        assert db.counter.mpc_messages > 0
+
+    def test_ope_charges_budget_once_then_blocks_second_column(self, db):
+        # Budget fits exactly one OPE column: X takes it, Y must route
+        # to a leakage-free or cut-priced scheme instead of OPE.
+        dispatch = db.enable_hybrid(budget=1.0 + 10.0 / N_ROWS)
+        first = db.query("SELECT * FROM t WHERE X < 4000")
+        assert first.qpf_uses == 0
+        assert dispatch.ledger.spent("t") == pytest.approx(1.0)
+        repeat = db.query("SELECT * FROM t WHERE X < 2222")
+        assert repeat.qpf_uses == 0  # same column: already paid
+        assert dispatch.ledger.spent("t") == pytest.approx(1.0)
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE Y BETWEEN 2000 AND 2400"))
+        assert plan.steps[0].kind != OPE_KIND
+        rejected = {entry[0] for entry in plan.steps[0].alternatives
+                    if len(entry) == 3}
+        assert OPE_KIND in rejected
+
+    def test_ope_leakage_estimate_drops_after_materialization(self, db):
+        db.enable_hybrid()
+        fresh = db.planner.plan(parse_select(WORKLOAD[0]))
+        assert fresh.steps[0].kind == OPE_KIND
+        assert fresh.steps[0].leakage == pytest.approx(1.0)
+        db.query(WORKLOAD[0])  # materializes the X column
+        # Artifact versions are part of the plan fingerprint, so the
+        # cached plan is invalidated and the fresh plan prices OPE at 0.
+        replanned = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X < 1234"))
+        assert replanned.steps[0].kind == OPE_KIND
+        assert replanned.steps[0].leakage == 0.0
+
+
+class TestForcedSchemes:
+    @pytest.mark.parametrize("strategy", FORCED)
+    @pytest.mark.parametrize("sql", WORKLOAD)
+    def test_every_forced_scheme_matches_ground_truth(self, strategy,
+                                                      sql):
+        database = _make_db()
+        database.enable_hybrid()
+        answer = database.query(sql, strategy=strategy)
+        assert np.array_equal(np.sort(answer.uids),
+                              _expected(database, sql))
+
+    def test_forced_scheme_winner_parity_against_prkb(self):
+        prkb_db = _make_db()
+        prkb_db.enable_hybrid()
+        for strategy in ("ope", "src", "mpc", "scan"):
+            other = _make_db()
+            other.enable_hybrid()
+            for sql in WORKLOAD:
+                reference = prkb_db.query(sql, strategy="prkb")
+                answer = other.query(sql, strategy=strategy)
+                assert np.array_equal(np.sort(answer.uids),
+                                      np.sort(reference.uids))
+
+    def test_forced_ope_spends_zero_qpf(self):
+        database = _make_db()
+        database.enable_hybrid()
+        before = database.counter.qpf_uses
+        database.query(WORKLOAD[0], strategy="ope")
+        assert database.counter.qpf_uses == before
+
+
+class TestMPCParity:
+    def test_mpc_qpf_trajectory_matches_prkb_twin(self):
+        # Satellite: MPCQueryProcessingFunction driven through the
+        # planner — same statements, exact winner parity, identical
+        # qpf_uses trajectory (the shared chain replicates the TM
+        # twin's sampling seed), messages = 2 per share-probe.
+        prkb_db = _make_db(seed=11)
+        mpc_db = _make_db(seed=11)
+        prkb_db.enable_hybrid()
+        mpc_db.enable_hybrid()
+        messages_before = mpc_db.counter.mpc_messages
+        statements = [f"SELECT * FROM t WHERE X < {c}"
+                      for c in (3000, 6000, 1500, 8000, 3000)]
+        for sql in statements:
+            reference = prkb_db.query(sql, strategy="prkb")
+            answer = mpc_db.query(sql, strategy="mpc")
+            assert np.array_equal(np.sort(answer.uids),
+                                  np.sort(reference.uids))
+            assert answer.qpf_uses == reference.qpf_uses
+        mpc_qpf = mpc_db.scheme_stats()["mpc"]["qpf_uses"]
+        assert mpc_db.counter.mpc_messages - messages_before \
+            == 2 * mpc_qpf
+
+    def test_per_scheme_qpf_accounting_is_disjoint(self):
+        database = _make_db()
+        database.enable_hybrid()
+        total_before = database.counter.qpf_uses
+        database.query(WORKLOAD[0], strategy="prkb")
+        database.query(WORKLOAD[2], strategy="mpc")
+        database.query(WORKLOAD[1], strategy="src")
+        database.query(WORKLOAD[3], strategy="ope")
+        stats = database.scheme_stats()
+        spent = database.counter.qpf_uses - total_before
+        assert stats["ope"]["qpf_uses"] == 0
+        assert stats["mpc"]["qpf_uses"] > 0
+        assert stats["src"]["qpf_uses"] > 0
+        assert stats["prkb"]["qpf_uses"] > 0
+        assert sum(entry["qpf_uses"] for entry in stats.values()) \
+            == spent
+
+
+class TestTenantBudgets:
+    def test_per_tenant_budgets_route_independently(self):
+        from repro.serve import SessionManager
+
+        database = _make_db()
+        database.enable_hybrid()
+        manager = SessionManager(database)
+        tight = manager.session("tight", budget=0.0)
+        loose = manager.session("loose", budget=SecurityBudget())
+        sql = "SELECT * FROM t WHERE X < 5000"
+        expected = _expected(database, sql)
+        tight_answer = tight.query(sql)
+        loose_answer = loose.query(sql)
+        assert np.array_equal(np.sort(tight_answer.uids), expected)
+        assert np.array_equal(np.sort(loose_answer.uids), expected)
+        assert tight.planner.strategy_counts.get(MPC_KIND) == 1
+        assert loose.planner.strategy_counts.get(OPE_KIND) == 1
+        assert tight.planner.hybrid.ledger.spent("t") == 0.0
+        manager.close()
+
+    def test_tenant_budget_requires_hybrid(self):
+        from repro.serve import SessionManager
+
+        database = _make_db()
+        manager = SessionManager(database)
+        with pytest.raises(RuntimeError, match="enable_hybrid"):
+            manager.session("tenant", budget=0.5)
+        manager.close()
+
+
+class TestOutcomeIntegration:
+    def test_atoms_are_scheme_labelled_and_corrections_learn(self):
+        database = _make_db()
+        database.enable_hybrid()
+        store = database.enable_outcomes()
+        for _ in range(store.min_samples):  # corrections need 5 samples
+            database.query(WORKLOAD[1], strategy="src")
+        corrections = database.apply_corrections()
+        assert any(SRC_KIND in key for key in corrections), \
+            "src-probe executions must yield scheme-labelled corrections"
+        # Corrected plans keep working (and record provenance).
+        answer = database.query(WORKLOAD[1], strategy="src")
+        assert np.array_equal(np.sort(answer.uids),
+                              _expected(database, WORKLOAD[1]))
+
+    def test_explain_analyze_audits_hybrid_steps(self):
+        database = _make_db()
+        database.enable_hybrid()
+        analysis = database.explain_analyze(WORKLOAD[2])
+        rendered = analysis.render()
+        assert analysis.steps
+        assert np.array_equal(np.sort(analysis.answer.uids),
+                              _expected(database, WORKLOAD[2]))
+        assert "QPF" in rendered
+
+    def test_disable_hybrid_restores_defaults(self, db):
+        db.enable_hybrid()
+        db.query(WORKLOAD[0])
+        db.disable_hybrid()
+        plan = db.planner.plan(parse_select(
+            "SELECT * FROM t WHERE X < 999"))
+        assert plan.steps[0].kind not in (OPE_KIND, SRC_KIND, MPC_KIND)
+        assert plan.steps[0].leakage == 0.0

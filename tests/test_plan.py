@@ -276,3 +276,35 @@ class TestStrategyCounters:
         status, _, body = db.observability_endpoint().handle("/metrics")
         assert status == 200
         assert "repro_plan_strategy_total" in body
+
+    def test_fastpath_cache_hits_still_label_strategy(self, db):
+        # Regression: every dispatch path labels the strategy — a
+        # plan-cache (fast path) hit must bump the metric exactly like
+        # the fresh-planning path.
+        _, registry = db.enable_observability()
+        sql = "SELECT * FROM t WHERE X < 321"
+        db.query(sql)  # fresh plan (and chain refinement)
+        db.query(sql)  # replan against the refined fingerprint
+        hits_before = db.planner.cache_hits
+        counter = registry.counter(
+            "repro_plan_strategy_total",
+            "executed plan steps by dispatched strategy", ("strategy",))
+        labelled_before = counter.labels(strategy="prkb-sd").value
+        db.query(sql)
+        db.query(sql)
+        assert db.planner.cache_hits == hits_before + 2
+        assert counter.labels(strategy="prkb-sd").value \
+            == labelled_before + 2
+
+    def test_batched_dispatch_labels_strategy(self, db):
+        # Regression: execute_many's coalesced BatchProbeOp path used to
+        # skip strategy attribution entirely.
+        _, registry = db.enable_observability()
+        statements = [f"SELECT * FROM t WHERE X < {c}"
+                      for c in (150, 250, 350, 450)]
+        db.execute_many(statements)
+        assert db.planner.strategy_counts.get("batch-probe") == 4
+        counter = registry.counter(
+            "repro_plan_strategy_total",
+            "executed plan steps by dispatched strategy", ("strategy",))
+        assert counter.labels(strategy="batch-probe").value == 4
